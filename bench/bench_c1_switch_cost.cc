@@ -1,0 +1,87 @@
+// C1 — switch-cost claims (§2): "recent coroutine implementations have
+// brought the context switch latency down to less than 10 ns (e.g., 9 ns for
+// Boost's fcontext_t)", versus hundreds of ns to a few us for OS threads.
+//
+// Part A measures REAL C++20 coroutine suspend/resume on this machine
+// (google-benchmark): the ping-pong resume cost is the native analogue of the
+// instrumented yield.
+//
+// Part B reports the simulated switch-cost model: the liveness-minimized save
+// set makes instrumented yields cheaper than save-everything switches, which
+// is the paper's compiler-support argument (§2, Dolan et al.).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/coro/task.h"
+#include "src/instrument/cost_model.h"
+
+namespace yieldhide::bench {
+namespace {
+
+coro::Task<uint64_t> YieldLoop(size_t yields) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < yields; ++i) {
+    acc += i;
+    co_await coro::YieldNow{};
+  }
+  co_return acc;
+}
+
+void BM_NativeCoroutineSwitch(benchmark::State& state) {
+  // Each resume enters the coroutine, does one add, suspends: the measured
+  // time per iteration is one suspend/resume round trip plus the add.
+  coro::Task<uint64_t> task = YieldLoop(1ull << 40);  // effectively endless
+  for (auto _ : state) {
+    task.Resume();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NativeCoroutineSwitch);
+
+void BM_NativeFunctionCallBaseline(benchmark::State& state) {
+  // Baseline: a plain indirect call doing the same add, to subtract the
+  // non-switch work from the coroutine number.
+  uint64_t acc = 0;
+  volatile uint64_t i = 0;
+  auto fn = [&](uint64_t x) { acc += x; };
+  void (*volatile fp)(decltype(fn)&, uint64_t) = [](decltype(fn)& f, uint64_t x) {
+    f(x);
+  };
+  for (auto _ : state) {
+    fp(fn, ++i);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NativeFunctionCallBaseline);
+
+void PrintSimulatedSwitchModel() {
+  Banner("C1b", "simulated switch-cost model: liveness-minimized save sets");
+  const sim::MachineConfig machine = sim::MachineConfig::SkylakeLike();
+  const instrument::YieldCostModel model =
+      instrument::YieldCostModel::FromMachine(machine.cost);
+  Table table({"live_regs", "switch_cycles", "switch_ns"});
+  table.PrintHeader();
+  for (int regs : {0, 2, 4, 8, 12, 16}) {
+    const analysis::RegMask mask =
+        regs == 0 ? 0 : static_cast<analysis::RegMask>((1u << regs) - 1);
+    const uint32_t cycles = model.SwitchCycles(mask);
+    table.PrintRow({StrFormat("%d", regs), FmtU(cycles),
+                    Fmt("%.1f", cycles / machine.cycles_per_ns)});
+  }
+  std::printf(
+      "\nThe all-live cost (%u cycles = %.1f ns at 3 GHz) matches the paper's\n"
+      "sub-10 ns class; typical instrumented yields save 4-6 live registers.\n",
+      model.SwitchCycles(analysis::kAllRegs),
+      model.SwitchCycles(analysis::kAllRegs) / machine.cycles_per_ns);
+}
+
+}  // namespace
+}  // namespace yieldhide::bench
+
+int main(int argc, char** argv) {
+  yieldhide::bench::Banner("C1a", "native C++20 coroutine switch latency (ns/resume)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  yieldhide::bench::PrintSimulatedSwitchModel();
+  return 0;
+}

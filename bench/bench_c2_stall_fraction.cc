@@ -1,0 +1,131 @@
+// C2 — baseline stall fractions (§1): "some widely-used modern applications
+// lose more than 60% of all processor cycles due to memory-bound CPU stalls".
+//
+// Runs each workload uninstrumented, single-context, on the Skylake-like
+// machine and reports the fraction of cycles stalled on memory plus the
+// per-level hit breakdown. The pointer-bound workloads land well above the
+// paper's 60% line. The sequential scan stalls too (one DRAM line fetch per
+// eight loads), but its per-load stall is small and the hardware next-line
+// prefetcher claws much of it back — the per-SITE statistics that drive
+// instrumentation differ sharply from the pointer workloads (see C7).
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/sim/exact_stats.h"
+#include "src/workloads/array_scan.h"
+#include "src/workloads/btree_lookup.h"
+#include "src/workloads/hash_probe.h"
+#include "src/workloads/pointer_chase.h"
+#include "src/workloads/skiplist_lookup.h"
+
+namespace yieldhide::bench {
+namespace {
+
+struct RowResult {
+  uint64_t cycles = 0;
+  double stall_fraction = 0;
+  double l1 = 0, l2 = 0, l3 = 0, dram = 0;
+  double ipc = 0;
+};
+
+RowResult RunBaseline(const workloads::SimWorkload& workload, bool nextline_prefetcher) {
+  sim::MachineConfig config = sim::MachineConfig::SkylakeLike();
+  config.hierarchy.enable_nextline_prefetcher = nextline_prefetcher;
+  sim::Machine machine(config);
+  workload.InitMemory(machine.memory());
+  sim::Executor executor(&workload.program(), &machine);
+
+  RowResult row;
+  uint64_t issue = 0, stall = 0, insns = 0;
+  for (int task = 0; task < 8; ++task) {
+    sim::CpuContext ctx;
+    ctx.ResetArchState(workload.program().entry());
+    workload.SetupFor(task)(ctx);
+    auto cycles = executor.RunToCompletion(ctx, 500'000'000);
+    if (!cycles.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", cycles.status().ToString().c_str());
+      return row;
+    }
+    issue += ctx.issue_cycles;
+    stall += ctx.stall_cycles;
+    insns += ctx.instructions;
+  }
+  const auto& hs = machine.hierarchy().stats();
+  const double loads = static_cast<double>(hs.loads);
+  row.cycles = issue + stall;
+  row.stall_fraction = static_cast<double>(stall) / static_cast<double>(issue + stall);
+  row.l1 = hs.l1_hits / loads;
+  row.l2 = hs.l2_hits / loads;
+  row.l3 = hs.l3_hits / loads;
+  row.dram = hs.dram_accesses / loads;
+  row.ipc = static_cast<double>(insns) / static_cast<double>(issue + stall);
+  return row;
+}
+
+}  // namespace
+}  // namespace yieldhide::bench
+
+int main() {
+  using namespace yieldhide;
+  using namespace yieldhide::bench;
+
+  Banner("C2", "baseline memory-bound stall fractions (paper: >60% for big apps)");
+  Table table({"workload", "cycles", "stall_frac", "IPC", "l1", "l2", "l3", "dram"});
+  table.PrintHeader();
+
+  auto print = [&](const char* name, const RowResult& row) {
+    table.PrintRow({name, FmtU(row.cycles), Fmt("%.3f", row.stall_fraction),
+                    Fmt("%.3f", row.ipc), Fmt("%.3f", row.l1), Fmt("%.3f", row.l2),
+                    Fmt("%.3f", row.l3), Fmt("%.3f", row.dram)});
+  };
+
+  {
+    workloads::PointerChase::Config wc;
+    wc.num_nodes = 1 << 18;  // 16 MiB of nodes, 2x the L3
+    wc.steps_per_task = 4000;
+    auto workload = workloads::PointerChase::Make(wc).value();
+    print("pointer_chase", RunBaseline(workload, false));
+  }
+  {
+    workloads::HashProbe::Config wc;
+    wc.buckets_log2 = 20;  // 16 MiB table
+    wc.keys_per_task = 4000;
+    wc.num_tasks = 8;
+    auto workload = workloads::HashProbe::Make(wc).value();
+    print("hash_probe", RunBaseline(workload, false));
+  }
+  {
+    workloads::BtreeLookup::Config wc;
+    wc.num_keys = 1 << 19;  // 16 MiB of nodes
+    wc.lookups_per_task = 1500;
+    wc.num_tasks = 8;
+    auto workload = workloads::BtreeLookup::Make(wc).value();
+    print("btree_lookup", RunBaseline(workload, false));
+  }
+  {
+    workloads::SkiplistLookup::Config wc;
+    wc.num_keys = 1 << 17;  // ~16 MiB of nodes at max_level 12
+    wc.max_level = 12;
+    wc.lookups_per_task = 800;
+    wc.num_tasks = 8;
+    auto workload = workloads::SkiplistLookup::Make(wc).value();
+    print("skiplist_lookup", RunBaseline(workload, false));
+  }
+  {
+    workloads::ArrayScan::Config wc;
+    wc.num_elements = 1 << 21;  // 16 MiB
+    wc.elements_per_task = 200'000;
+    auto workload = workloads::ArrayScan::Make(wc).value();
+    print("array_scan", RunBaseline(workload, false));
+    print("array_scan+hwpf", RunBaseline(workload, true));
+  }
+
+  std::printf(
+      "\nReading: every memory-resident workload exceeds the paper's 60%%\n"
+      "stall line; the pointer-bound ones approach 90%%+. The scan's stalls\n"
+      "come from one miss per 8 loads (12.5%% per-site miss probability) and\n"
+      "shrink under the next-line hardware prefetcher — the regime where the\n"
+      "gain/cost policy declines to instrument (C7), unlike the chase/probe\n"
+      "sites whose per-site miss probability is ~1.\n");
+  return 0;
+}

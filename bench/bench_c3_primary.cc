@@ -1,0 +1,119 @@
+// C3 — primary instrumentation throughput (§3.2): baseline (no yields) vs
+// CoroBase-style manual prefetch+yield vs this system's profile-guided
+// instrumentation, across coroutine group sizes.
+//
+// Expected shape (matching the coroutine-interleaving literature the paper
+// builds on): interleaving wins multiples over the baseline once the group is
+// large enough to cover the miss latency, with diminishing returns past
+// latency/switch-cost.
+//
+// The "manual" variant reproduces the paper's §2 warning that "inferring the
+// presence of short events is challenging and error-prone even for domain
+// experts": the developer put the prefetch+yield before the pointer
+// dereference, but the node's cache line is first touched by the payload
+// load two instructions earlier — so the hand instrumentation pays yields
+// without hiding anything and LOSES to the baseline. "manual-expert" is the
+// developer who hand-profiled and found the true site; profile-guided
+// instrumentation finds it automatically and adds liveness-minimized
+// switches on top.
+#include "bench/bench_util.h"
+#include "src/workloads/hash_probe.h"
+#include "src/workloads/pointer_chase.h"
+
+namespace yieldhide::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  const instrument::InstrumentedProgram* binary;
+  const workloads::SimWorkload* workload;
+};
+
+void SweepGroups(const std::string& title, const std::vector<Variant>& variants,
+                 uint64_t ops_per_task) {
+  std::printf("\n-- %s --\n", title.c_str());
+  Table table({"group", "variant", "cycles/op", "IPC", "stall%", "switch%", "speedup"});
+  table.PrintHeader();
+  const sim::MachineConfig machine = sim::MachineConfig::SkylakeLike();
+  double baseline_cpo = 0;
+  for (int group : {1, 2, 4, 8, 16, 32, 64}) {
+    for (const Variant& variant : variants) {
+      const runtime::RunReport report =
+          RunRoundRobin(*variant.workload, *variant.binary, machine, group);
+      const double ops = static_cast<double>(ops_per_task) * group;
+      const double cpo = static_cast<double>(report.total_cycles) / ops;
+      if (variant.name == "baseline" && group == 1) {
+        baseline_cpo = cpo;
+      }
+      table.PrintRow({StrFormat("%d", group), variant.name, Fmt("%.1f", cpo),
+                      Fmt("%.3f", report.Ipc()),
+                      Fmt("%.1f", 100 * report.StallFraction()),
+                      Fmt("%.1f", 100 * report.SwitchFraction()),
+                      Fmt("%.2fx", baseline_cpo / cpo)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yieldhide::bench
+
+int main() {
+  using namespace yieldhide;
+  using namespace yieldhide::bench;
+
+  Banner("C3", "throughput: baseline vs manual yields vs profile-guided");
+
+  {
+    workloads::PointerChase::Config wc;
+    wc.num_nodes = 1 << 18;
+    wc.steps_per_task = 1500;
+    auto plain = workloads::PointerChase::Make(wc).value();
+    wc.manual_prefetch_yield = true;
+    auto manual = workloads::PointerChase::Make(wc).value();  // intuitive (wrong) site
+    wc.manual_at_first_touch = true;
+    auto manual_expert = workloads::PointerChase::Make(wc).value();  // true site
+
+    auto config = BenchPipeline();
+    auto artifacts = core::BuildInstrumentedForWorkload(plain, config).value();
+    std::printf("pipeline: %s\n", artifacts.primary_report.ToString().c_str());
+
+    auto baseline_binary =
+        runtime::AnnotateManualYields(plain.program(), config.machine.cost);
+    auto manual_binary =
+        runtime::AnnotateManualYields(manual.program(), config.machine.cost);
+    auto expert_binary =
+        runtime::AnnotateManualYields(manual_expert.program(), config.machine.cost);
+    SweepGroups("pointer chase (1500 dependent loads/task)",
+                {{"baseline", &baseline_binary, &plain},
+                 {"manual", &manual_binary, &manual},
+                 {"manual-expert", &expert_binary, &manual_expert},
+                 {"profile", &artifacts.binary, &plain}},
+                wc.steps_per_task);
+  }
+
+  {
+    workloads::HashProbe::Config wc;
+    wc.buckets_log2 = 20;
+    wc.keys_per_task = 1500;
+    wc.num_tasks = 64;
+    auto workload = workloads::HashProbe::Make(wc).value();
+    auto config = BenchPipeline();
+    auto artifacts = core::BuildInstrumentedForWorkload(workload, config).value();
+    std::printf("\npipeline: %s\n", artifacts.primary_report.ToString().c_str());
+    auto baseline_binary =
+        runtime::AnnotateManualYields(workload.program(), config.machine.cost);
+    SweepGroups("hash probe (1500 probes/task, 16 MiB table)",
+                {{"baseline", &baseline_binary, &workload},
+                 {"profile", &artifacts.binary, &workload}},
+                wc.keys_per_task);
+  }
+
+  std::printf(
+      "\nReading: interleaving converts stall time into other coroutines'\n"
+      "work; wins grow with group size until the miss is covered, then\n"
+      "flatten (switch overhead). The naive manual placement targets the\n"
+      "intuitive-but-wrong load and loses to the baseline — the paper's\n"
+      "expert-error case; profile-guided matches the hand-profiled expert\n"
+      "with cheaper liveness-minimized switches, automatically.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// C4 — SMT vs software coroutines (§1): "modern CPUs have only 2 to 8
+// threads per physical core, which is insufficient for SMT to fully hide the
+// latency of events like memory accesses ... especially for applications that
+// have large memory footprints".
+//
+// Same miss-bound chase kernel under (a) the SMT core model with 1-8 hardware
+// contexts and (b) coroutine interleaving with 2-64 coroutines. Reported:
+// core utilization (issue slots / total cycles) and per-task latency
+// inflation relative to running alone — SMT's other cited weakness.
+#include "bench/bench_util.h"
+#include "src/isa/assembler.h"
+#include "src/sim/smt_core.h"
+#include "src/workloads/pointer_chase.h"
+
+namespace yieldhide::bench {
+namespace {
+
+constexpr int kSteps = 1200;
+
+workloads::PointerChase MakeChase(bool manual) {
+  workloads::PointerChase::Config wc;
+  wc.num_nodes = 1 << 18;
+  wc.steps_per_task = kSteps;
+  wc.manual_prefetch_yield = manual;
+  wc.manual_at_first_touch = manual;  // yields at the true miss site
+  return workloads::PointerChase::Make(wc).value();
+}
+
+}  // namespace
+}  // namespace yieldhide::bench
+
+int main() {
+  using namespace yieldhide;
+  using namespace yieldhide::bench;
+
+  Banner("C4", "SMT (2-8 hardware contexts) vs coroutines (2-64) on a miss-bound chase");
+  const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
+
+  Table table({"mechanism", "contexts", "utilization", "cycles/op", "task_latency_x"});
+  table.PrintHeader();
+
+  auto chase_plain = MakeChase(false);
+  auto chase_yield = MakeChase(true);
+
+  // Solo latency reference (cycles for one task run alone, blocking).
+  double solo_cycles = 0;
+  {
+    sim::Machine machine(machine_config);
+    chase_plain.InitMemory(machine.memory());
+    sim::Executor executor(&chase_plain.program(), &machine);
+    sim::CpuContext ctx;
+    ctx.ResetArchState(chase_plain.program().entry());
+    chase_plain.SetupFor(0)(ctx);
+    solo_cycles = static_cast<double>(
+        executor.RunToCompletion(ctx, 100'000'000).value());
+  }
+
+  // SMT sweep.
+  for (int contexts : {1, 2, 4, 8}) {
+    sim::Machine machine(machine_config);
+    chase_plain.InitMemory(machine.memory());
+    sim::SmtCore core(&chase_plain.program(), &machine);
+    for (int c = 0; c < contexts; ++c) {
+      core.AddContext(chase_plain.SetupFor(c));
+    }
+    auto report = core.Run(500'000'000);
+    if (!report.ok()) {
+      std::fprintf(stderr, "smt run failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    double mean_finish = 0;
+    for (uint64_t f : report->context_finish_cycles) {
+      mean_finish += static_cast<double>(f);
+    }
+    mean_finish /= contexts;
+    const double cpo =
+        static_cast<double>(report->total_cycles) / (static_cast<double>(kSteps) * contexts);
+    table.PrintRow({"SMT", StrFormat("%d", contexts),
+                    Fmt("%.3f", report->Utilization()), Fmt("%.1f", cpo),
+                    Fmt("%.2fx", mean_finish / solo_cycles)});
+  }
+
+  // Coroutine sweep (manual yield binary — identical yields for all groups).
+  auto binary = runtime::AnnotateManualYields(chase_yield.program(), machine_config.cost);
+  for (int group : {2, 4, 8, 16, 32, 64}) {
+    const runtime::RunReport report =
+        RunRoundRobin(chase_yield, binary, machine_config, group);
+    double mean_latency = 0;
+    for (const auto& record : report.completions) {
+      mean_latency += static_cast<double>(record.LatencyCycles());
+    }
+    mean_latency /= report.completions.empty() ? 1 : report.completions.size();
+    const double cpo = static_cast<double>(report.total_cycles) /
+                       (static_cast<double>(kSteps) * group);
+    table.PrintRow({"coroutines", StrFormat("%d", group),
+                    Fmt("%.3f", report.CpuEfficiency()), Fmt("%.1f", cpo),
+                    Fmt("%.2fx", mean_latency / solo_cycles)});
+  }
+
+  // SMT's latency hazard (the paper's second SMT critique) appears under
+  // issue-slot contention, not memory waits: colocate one compute-bound task
+  // with ALU-heavy neighbours and its completion time inflates by the
+  // multiplexing factor, with no software control over who pays.
+  std::printf("\n-- SMT latency contention (compute-bound task + N ALU neighbours) --\n");
+  Table contention({"neighbours", "task_latency_x"});
+  contention.PrintHeader();
+  auto alu = isa::Assemble(R"(
+    loop:
+      addi r3, r3, 1
+      xor r4, r4, r3
+      addi r2, r2, -1
+      bne r2, r0, loop
+      halt
+  )").value();
+  double alu_solo = 0;
+  for (int neighbours : {0, 1, 3, 7}) {
+    sim::Machine machine(machine_config);
+    sim::SmtCore core(&alu, &machine);
+    core.AddContext([](sim::CpuContext& ctx) { ctx.regs[2] = 5000; });  // the task
+    for (int n = 0; n < neighbours; ++n) {
+      core.AddContext([](sim::CpuContext& ctx) { ctx.regs[2] = 50'000; });
+    }
+    auto report = core.Run(10'000'000);
+    if (!report.ok()) {
+      continue;
+    }
+    const double finish = static_cast<double>(report->context_finish_cycles[0]);
+    if (neighbours == 0) {
+      alu_solo = finish;
+    }
+    contention.PrintRow({StrFormat("%d", neighbours), Fmt("%.2fx", finish / alu_solo)});
+  }
+
+  std::printf(
+      "\nReading: SMT improves utilization roughly linearly in contexts but\n"
+      "is capped at 8 hardware threads, far short of covering a ~220-cycle\n"
+      "miss with ~6 cycles of per-step work; coroutines scale concurrency in\n"
+      "software until the miss is fully covered (cycles/op keeps dropping).\n"
+      "On the miss-bound chase neither mechanism hurts per-task latency much\n"
+      "(each chase is bound by its own dependent misses), but under compute\n"
+      "contention SMT inflates a task's latency by the full multiplexing\n"
+      "factor with no recourse — software scheduling can choose who pays\n"
+      "(bench C5).\n");
+  return 0;
+}

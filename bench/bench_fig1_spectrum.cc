@@ -1,0 +1,155 @@
+// F1 — Figure 1 reproduction: hiding events of different durations.
+//
+// The paper's only figure places mechanisms on a spectrum of event duration:
+// out-of-order execution handles <10 ns events, OS scheduling handles >1 us,
+// and the 10-100s of ns middle is claimed for coroutine-based software
+// hiding (with SMT as the unsatisfying hardware incumbent).
+//
+// We reproduce it as a measured series: a dependent-load kernel whose "event"
+// (memory access) latency we sweep from ~3 ns to ~1 us (10 to 3000 cycles at
+// 3 GHz), run under each mechanism, reporting CPU efficiency (useful issue
+// cycles / total cycles):
+//   * blocking     — in-order core, no hiding (the OoOE window in our model
+//                    is the L1 hit cost; beyond it, nothing is hidden),
+//   * SMT-2/SMT-8  — hardware thread multiplexing (bounded concurrency),
+//   * coro         — prefetch+yield interleaving, 16 coroutines, ~9 ns switch,
+//   * process      — same interleaving but with a 1.5 us context switch
+//                    (kernel thread/process cost per the paper's §1).
+//
+// Expected shape: blocking degrades as events grow; SMT helps but saturates
+// at its context count; coroutines dominate the middle of the spectrum; the
+// process-switch line only becomes competitive once events are far longer
+// than the switch cost.
+#include "bench/bench_util.h"
+#include "src/isa/assembler.h"
+#include "src/sim/smt_core.h"
+
+namespace yieldhide::bench {
+namespace {
+
+constexpr uint64_t kLines = 1 << 15;  // 2 MiB ring > L1/L2, sized vs L3 below
+constexpr uint64_t kBase = 0x0100'0000;
+constexpr int kSteps = 400;
+
+void WriteRing(sim::Machine& machine) {
+  for (uint64_t i = 0; i < kLines; ++i) {
+    machine.memory().Write64(kBase + i * 64, kBase + ((i + 12289) % kLines) * 64);
+  }
+}
+
+sim::MachineConfig ConfigWithEventLatency(uint32_t cycles) {
+  sim::MachineConfig config = sim::MachineConfig::SkylakeLike();
+  // The "event" is a memory access of the given duration: collapse L2/L3 so
+  // every miss costs exactly the swept latency.
+  config.hierarchy.l2.latency_cycles = cycles;
+  config.hierarchy.l3.latency_cycles = cycles;
+  config.hierarchy.dram_latency_cycles = cycles;
+  // Shrink L3 so the 2 MiB ring always misses.
+  config.hierarchy.l3.size_bytes = 512 * 1024;
+  config.hierarchy.l2.size_bytes = 256 * 1024;
+  return config;
+}
+
+constexpr char kPlainChase[] = R"(
+  loop:
+    load r1, [r1+0]
+    addi r2, r2, -1
+    bne r2, r0, loop
+    halt
+)";
+
+constexpr char kYieldChase[] = R"(
+  loop:
+    prefetch [r1+0]
+    yield
+    load r1, [r1+0]
+    addi r2, r2, -1
+    bne r2, r0, loop
+    halt
+)";
+
+std::function<void(sim::CpuContext&)> Setup(int i) {
+  // Starts must be far apart ALONG THE ORBIT of the stride ring (index-space
+  // distance is meaningless: index offsets can be tiny step counts), and must
+  // not all alias into the same L1 set. Spacing of kLines/64 + 7 = 519 orbit
+  // steps keeps contexts > kSteps apart and spreads their L1 sets (519 is
+  // odd, so i*519 mod 64 is distinct for i < 16).
+  const uint64_t orbit_pos = static_cast<uint64_t>(i) * (kLines / 64 + 7);
+  const uint64_t start_index = (orbit_pos * 12289) % kLines;
+  return [start_index](sim::CpuContext& ctx) {
+    ctx.regs[1] = kBase + start_index * 64;
+    ctx.regs[2] = kSteps;
+  };
+}
+
+double RunBlocking(const sim::MachineConfig& config) {
+  sim::Machine machine(config);
+  WriteRing(machine);
+  auto program = isa::Assemble(kPlainChase).value();
+  sim::Executor executor(&program, &machine);
+  sim::CpuContext ctx;
+  ctx.ResetArchState(0);
+  Setup(0)(ctx);
+  (void)executor.RunToCompletion(ctx, 100'000'000).value();
+  return static_cast<double>(ctx.issue_cycles) / static_cast<double>(ctx.TotalCycles());
+}
+
+double RunSmt(const sim::MachineConfig& config, int contexts) {
+  sim::Machine machine(config);
+  WriteRing(machine);
+  auto program = isa::Assemble(kPlainChase).value();
+  sim::SmtCore core(&program, &machine);
+  for (int c = 0; c < contexts; ++c) {
+    core.AddContext(Setup(c));
+  }
+  auto report = core.Run(100'000'000);
+  return report.ok() ? report->Utilization() : 0.0;
+}
+
+double RunCoroutines(sim::MachineConfig config, int group, uint32_t switch_cycles) {
+  config.cost.yield_switch_cycles = switch_cycles;
+  sim::Machine machine(config);
+  WriteRing(machine);
+  auto program = isa::Assemble(kYieldChase).value();
+  auto binary = runtime::AnnotateManualYields(program, config.cost);
+  runtime::RoundRobinScheduler sched(&binary, &machine);
+  for (int i = 0; i < group; ++i) {
+    sched.AddCoroutine(Setup(i));
+  }
+  auto report = sched.Run(200'000'000);
+  return report.ok() ? report->CpuEfficiency() : 0.0;
+}
+
+}  // namespace
+}  // namespace yieldhide::bench
+
+int main() {
+  using namespace yieldhide;
+  using namespace yieldhide::bench;
+
+  Banner("F1", "Figure 1: hiding efficacy vs event duration (CPU efficiency)");
+  std::printf(
+      "kernel: dependent-load chase, %d loads/ctx; efficiency = issue/total cycles\n"
+      "coro-16: 16 coroutines, 24-cycle (9 ns) switch; process-16: 4500-cycle\n"
+      "(1.5 us) switch — the paper's kernel-thread cost class.\n\n",
+      kSteps);
+
+  Table table({"event_ns", "cycles", "blocking", "smt2", "smt8", "coro16", "process16"});
+  table.PrintHeader();
+  for (uint32_t cycles : {10u, 30u, 60u, 100u, 200u, 400u, 800u, 1500u, 3000u}) {
+    const sim::MachineConfig config = ConfigWithEventLatency(cycles);
+    const double ns = cycles / config.cycles_per_ns;
+    table.PrintRow({Fmt("%.0f", ns), FmtU(cycles),
+                    Fmt("%.3f", RunBlocking(config)),
+                    Fmt("%.3f", RunSmt(config, 2)),
+                    Fmt("%.3f", RunSmt(config, 8)),
+                    Fmt("%.3f", RunCoroutines(config, 16, 24)),
+                    Fmt("%.3f", RunCoroutines(config, 16, 4500))});
+  }
+  std::printf(
+      "\nReading: coroutine interleaving holds high efficiency across the\n"
+      "10-1000 ns middle band where blocking collapses and SMT saturates at\n"
+      "its hardware context count; micro-second-class switches only pay off\n"
+      "for events far above the band (the OS-scheduling end of the figure).\n");
+  return 0;
+}

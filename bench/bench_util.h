@@ -1,0 +1,93 @@
+// Shared helpers for the experiment harnesses in bench/: consistent table
+// rendering plus canonical workload/machine constructions so every experiment
+// runs against the same Skylake-like configuration unless it says otherwise.
+#ifndef YIELDHIDE_BENCH_BENCH_UTIL_H_
+#define YIELDHIDE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/core/pipeline.h"
+#include "src/runtime/annotate.h"
+#include "src/runtime/round_robin.h"
+
+namespace yieldhide::bench {
+
+// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), col_width_(col_width) {}
+
+  void PrintHeader() const {
+    for (const std::string& h : headers_) {
+      std::printf("%-*s", col_width_, h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%-*s", col_width_, std::string(col_width_ - 2, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const std::string& cell : cells) {
+      std::printf("%-*s", col_width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int col_width_;
+};
+
+inline std::string Fmt(const char* fmt, double v) { return StrFormat(fmt, v); }
+inline std::string FmtU(uint64_t v) { return WithCommas(v); }
+
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+// Runs `binary` with `group` coroutines of `workload` round-robin on a fresh
+// machine; returns the report (results validated by the test suite, not
+// re-checked here).
+inline runtime::RunReport RunRoundRobin(const workloads::SimWorkload& workload,
+                                        const instrument::InstrumentedProgram& binary,
+                                        const sim::MachineConfig& machine_config,
+                                        int group, int first_task = 0) {
+  sim::Machine machine(machine_config);
+  workload.InitMemory(machine.memory());
+  runtime::RoundRobinScheduler sched(&binary, &machine);
+  for (int i = 0; i < group; ++i) {
+    sched.AddCoroutine(workload.SetupFor(first_task + i));
+  }
+  auto report = sched.Run(2'000'000'000ull);
+  if (!report.ok()) {
+    std::fprintf(stderr, "round-robin run failed: %s\n",
+                 report.status().ToString().c_str());
+    return runtime::RunReport{};
+  }
+  return report.value();
+}
+
+// The canonical pipeline configuration for benches: Skylake-like machine,
+// production-ish sampling periods.
+inline core::PipelineConfig BenchPipeline() {
+  core::PipelineConfig config;
+  config.machine = sim::MachineConfig::SkylakeLike();
+  config.profile_tasks = 4;
+  config.collector.l2_miss_period = 29;
+  config.collector.stall_cycles_period = 199;
+  config.collector.retired_period = 61;
+  config.Finalize();
+  return config;
+}
+
+}  // namespace yieldhide::bench
+
+#endif  // YIELDHIDE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,152 @@
+// latency_service: the paper's §3.3 asymmetric-concurrency deployment story.
+//
+// A latency-sensitive lookup service (pointer-chase requests, every yield a
+// true DRAM miss) is colocated with batch analytics on the same core. The
+// batch kernel goes through the scavenger pass so it can relinquish the CPU
+// within the configured hide window. The service's requests run in PRIMARY
+// mode; analytics runs in SCAVENGER mode under the dual-mode scheduler.
+//
+// Output: request latency percentiles and core efficiency for (a) the
+// service alone, (b) the service with scavenger-mode analytics, and (c) the
+// no-asymmetry strawman where analytics coroutines are ring peers.
+//
+// Build & run:   ./build/examples/latency_service
+#include <cstdio>
+
+#include "src/core/pipeline.h"
+#include "src/isa/builder.h"
+#include "src/runtime/dual_mode.h"
+#include "src/runtime/round_robin.h"
+#include "src/workloads/pointer_chase.h"
+
+using namespace yieldhide;
+
+namespace {
+
+constexpr int kRequests = 64;
+
+instrument::InstrumentedProgram MakeAnalyticsKernel(const sim::MachineConfig& machine) {
+  // A straight-line compute kernel (aggregation over registers), scavenger-
+  // instrumented at a 250-cycle target so it can always hand the CPU back
+  // just as a primary DRAM miss resolves.
+  isa::ProgramBuilder builder("analytics");
+  auto loop = builder.Here("loop");
+  for (int i = 0; i < 400; ++i) {
+    builder.Addi(3, 3, 7);
+    builder.Xor(4, 4, 3);
+  }
+  builder.Addi(2, 2, -1);
+  builder.Bne(2, 0, loop);
+  builder.Halt();
+
+  instrument::InstrumentedProgram input;
+  input.program = std::move(builder).Build().value();
+  instrument::ScavengerConfig config;
+  config.target_interval_cycles = 250;
+  config.machine_cost = machine.cost;
+  config.cost_model = instrument::YieldCostModel::FromMachine(machine.cost);
+  auto result = instrument::RunScavengerPass(input, nullptr, config).value();
+  std::printf("analytics kernel: %zu instructions, %zu conditional yields, %s\n",
+              result.instrumented.program.size(), result.instrumented.yields.size(),
+              result.report.ToString().c_str());
+  return result.instrumented;
+}
+
+void PrintRow(const char* name, const LatencyHistogram& latency, double efficiency,
+              double cycles_per_ns) {
+  std::printf("%-16s p50=%6.1f us  p99=%6.1f us  efficiency=%5.1f%%\n", name,
+              latency.ValueAtQuantile(0.5) / cycles_per_ns / 1000,
+              latency.ValueAtQuantile(0.99) / cycles_per_ns / 1000,
+              100 * efficiency);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== latency_service: asymmetric concurrency on one core ==\n\n");
+  const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
+
+  // The service: instrumented pointer-chase requests.
+  workloads::PointerChase::Config wc;
+  wc.num_nodes = 1 << 17;
+  wc.steps_per_task = 500;
+  auto service = workloads::PointerChase::Make(wc).value();
+  core::PipelineConfig pipeline;
+  pipeline.machine = machine_config;
+  pipeline.collector.l2_miss_period = 29;
+  pipeline.collector.stall_cycles_period = 199;
+  pipeline.collector.retired_period = 61;
+  pipeline.Finalize();
+  auto service_binary = core::BuildInstrumentedForWorkload(service, pipeline).value().binary;
+  auto analytics = MakeAnalyticsKernel(machine_config);
+  std::printf("\n");
+
+  auto run_dual = [&](const char* name, size_t scavengers) {
+    sim::Machine machine(machine_config);
+    service.InitMemory(machine.memory());
+    runtime::DualModeConfig dm;
+    dm.max_scavengers = scavengers;
+    dm.hide_window_cycles = 300;
+    runtime::DualModeScheduler sched(&service_binary, &analytics, &machine, dm);
+    for (int i = 0; i < kRequests; ++i) {
+      sched.AddPrimaryTask(service.SetupFor(i));
+    }
+    if (scavengers > 0) {
+      sched.SetScavengerFactory(
+          []() -> std::optional<runtime::DualModeScheduler::ContextSetup> {
+            return [](sim::CpuContext& ctx) { ctx.regs[2] = 1'000'000; };
+          });
+    }
+    auto report = sched.Run().value();
+    PrintRow(name, report.primary_latency, report.CpuEfficiency(),
+             machine_config.cycles_per_ns);
+    if (scavengers > 0) {
+      std::printf("%-16s   analytics throughput: %.2f M useful cycles; "
+                  "chains=%llu, scavengers spawned=%llu\n",
+                  "", report.scavenger_issue_cycles / 1e6,
+                  (unsigned long long)report.chains,
+                  (unsigned long long)report.scavengers_spawned);
+    }
+  };
+
+  run_dual("service alone", 0);
+  run_dual("dual-mode", 2);
+
+  // Strawman: analytics as symmetric ring peers (cyields enabled, but the
+  // scheduler has no notion of priority — everyone waits for everyone).
+  {
+    instrument::InstrumentedProgram linked;
+    linked.program = service_binary.program;
+    const isa::Addr analytics_entry =
+        linked.program.AppendProgram(analytics.program).value();
+    linked.yields = service_binary.yields;
+    for (const auto& [addr, info] : analytics.yields) {
+      linked.yields[addr + static_cast<isa::Addr>(service_binary.program.size())] = info;
+    }
+    sim::Machine machine(machine_config);
+    service.InitMemory(machine.memory());
+    runtime::RoundRobinScheduler sched(&linked, &machine);
+    for (int i = 0; i < 8; ++i) {
+      sched.AddCoroutine(service.SetupFor(i));
+    }
+    for (int b = 0; b < 7; ++b) {
+      sched.AddCoroutine([](sim::CpuContext& ctx) { ctx.regs[2] = 4000; },
+                         /*cyield_enabled=*/true, analytics_entry);
+    }
+    auto report = sched.Run(2'000'000'000ull).value();
+    LatencyHistogram latency;
+    for (const auto& record : report.completions) {
+      if (record.coroutine_id < 8) {
+        latency.Record(record.LatencyCycles());
+      }
+    }
+    PrintRow("symmetric ring", latency, report.CpuEfficiency(),
+             machine_config.cycles_per_ns);
+  }
+
+  std::printf(
+      "\nThe dual-mode run keeps request latency at the run-alone level while\n"
+      "analytics absorbs the stall cycles; the symmetric ring gets similar\n"
+      "efficiency but every request waits behind every batch peer.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "src/analysis/dependence.h"
+
+#include <algorithm>
+
+namespace yieldhide::analysis {
+
+namespace {
+
+bool IsTransparent(const isa::Instruction& insn) {
+  switch (isa::ClassOf(insn.op)) {
+    case isa::OpClass::kAlu:
+    case isa::OpClass::kNop:
+    case isa::OpClass::kPrefetch:
+      return true;
+    default:
+      return false;  // loads handled explicitly; stores/control/yields break
+  }
+}
+
+RegMask Bit(isa::Reg reg) { return static_cast<RegMask>(1u << reg); }
+
+// Registers whose values feed the address computation of a load.
+RegMask AddressUses(const isa::Instruction& insn) {
+  RegMask mask = Bit(insn.rs1);
+  if (insn.op == isa::Opcode::kLoadx) {
+    mask |= Bit(insn.rs2);
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<LoadGroup> FindCoalescibleGroups(const ControlFlowGraph& cfg,
+                                             const std::vector<isa::Addr>& candidate_loads) {
+  std::vector<isa::Addr> sorted = candidate_loads;
+  std::sort(sorted.begin(), sorted.end());
+
+  const isa::Program& program = cfg.program();
+  std::vector<LoadGroup> groups;
+  LoadGroup current;
+  // Registers written by ANY instruction since the group's first load (group
+  // members and intervening ALU ops alike). A later load can only join the
+  // group if its address registers are untouched since the group start,
+  // because the coalesced prefetches for the whole group are issued there
+  // with the register values of that point.
+  RegMask modified = 0;
+
+  auto flush = [&] {
+    if (!current.loads.empty()) {
+      groups.push_back(std::move(current));
+      current = LoadGroup{};
+      modified = 0;
+    }
+  };
+
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const isa::Addr addr = sorted[i];
+    const isa::Instruction& load = program.at(addr);
+    if (isa::ClassOf(load.op) != isa::OpClass::kLoad) {
+      continue;  // ignore non-load candidates defensively
+    }
+    if (current.loads.empty()) {
+      current.loads.push_back(addr);
+      modified = DefsOf(load);
+      continue;
+    }
+
+    const isa::Addr prev = current.loads.back();
+    bool extend = cfg.BlockOf(addr) == cfg.BlockOf(prev);
+    RegMask window_modified = modified;
+    if (extend) {
+      for (isa::Addr between = prev + 1; between < addr && extend; ++between) {
+        const isa::Instruction& insn = program.at(between);
+        if (!IsTransparent(insn)) {
+          extend = false;
+          break;
+        }
+        window_modified |= DefsOf(insn);
+      }
+    }
+    if (extend && (AddressUses(load) & window_modified) != 0) {
+      // The load's address registers changed since the group start: a
+      // prefetch hoisted to the group start would fetch the wrong line.
+      extend = false;
+    }
+
+    if (extend) {
+      current.loads.push_back(addr);
+      modified = static_cast<RegMask>(window_modified | DefsOf(load));
+    } else {
+      flush();
+      current.loads.push_back(addr);
+      modified = DefsOf(load);
+    }
+  }
+  flush();
+  return groups;
+}
+
+}  // namespace yieldhide::analysis

@@ -1,0 +1,42 @@
+// Dependence analysis for yield coalescing (paper §3.2: "instead of inserting
+// a yield for every load, we could issue prefetches all together and
+// instrument only a single yield ... Independence of adjacent loads can be
+// determined via dependence analysis").
+//
+// Two loads in the same basic block can be coalesced when the address of the
+// later load does not depend — through registers — on the result of any
+// earlier load in the group, and no intervening instruction breaks the
+// straight-line window (stores conservatively break it: the later load might
+// alias the stored location).
+#ifndef YIELDHIDE_SRC_ANALYSIS_DEPENDENCE_H_
+#define YIELDHIDE_SRC_ANALYSIS_DEPENDENCE_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/liveness.h"
+
+namespace yieldhide::analysis {
+
+// A maximal group of adjacent independent loads within one basic block,
+// in ascending address order. Groups of size 1 are plain loads.
+struct LoadGroup {
+  std::vector<isa::Addr> loads;
+};
+
+// Finds coalescible load groups among `candidate_loads` (addresses of loads
+// the primary pass decided to instrument). Loads in different blocks never
+// group. Within a block, a candidate extends the current group iff:
+//   * every instruction between it and the previous candidate is a
+//     side-effect-free ALU op or prefetch (no stores, yields, calls, control
+//     flow), and
+//   * the registers feeding its address have not been written by anything
+//     since the group start (group loads or intervening ALU ops) — the
+//     coalesced prefetches are hoisted to the group start and must compute
+//     the same addresses the loads will.
+std::vector<LoadGroup> FindCoalescibleGroups(const ControlFlowGraph& cfg,
+                                             const std::vector<isa::Addr>& candidate_loads);
+
+}  // namespace yieldhide::analysis
+
+#endif  // YIELDHIDE_SRC_ANALYSIS_DEPENDENCE_H_

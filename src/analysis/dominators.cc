@@ -1,0 +1,126 @@
+#include "src/analysis/dominators.h"
+
+#include <algorithm>
+#include <map>
+
+namespace yieldhide::analysis {
+
+DominatorTree DominatorTree::Build(const ControlFlowGraph& cfg) {
+  DominatorTree tree;
+  const size_t n = cfg.block_count();
+  tree.idom_.assign(n, kNoBlock);
+  tree.rpo_index_.assign(n, -1);
+
+  const std::vector<BlockId> rpo = cfg.ReversePostOrder();
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    tree.rpo_index_[rpo[i]] = static_cast<int>(i);
+  }
+  if (rpo.empty()) {
+    return tree;
+  }
+  const BlockId entry = rpo[0];
+  tree.idom_[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (tree.rpo_index_[a] > tree.rpo_index_[b]) {
+        a = tree.idom_[a];
+      }
+      while (tree.rpo_index_[b] > tree.rpo_index_[a]) {
+        b = tree.idom_[b];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < rpo.size(); ++i) {
+      const BlockId block = rpo[i];
+      BlockId new_idom = kNoBlock;
+      for (BlockId pred : cfg.block(block).predecessors) {
+        if (tree.rpo_index_[pred] < 0 || tree.idom_[pred] == kNoBlock) {
+          continue;  // unreachable or not yet processed
+        }
+        new_idom = new_idom == kNoBlock ? pred : intersect(new_idom, pred);
+      }
+      if (new_idom != kNoBlock && tree.idom_[block] != new_idom) {
+        tree.idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Normalize: the entry's idom is "none".
+  tree.idom_[entry] = kNoBlock;
+  return tree;
+}
+
+bool DominatorTree::Dominates(BlockId a, BlockId b) const {
+  if (rpo_index_[b] < 0) {
+    return false;
+  }
+  while (b != kNoBlock) {
+    if (a == b) {
+      return true;
+    }
+    b = idom_[b];
+  }
+  return false;
+}
+
+bool NaturalLoop::Contains(BlockId block) const {
+  return std::find(body.begin(), body.end(), block) != body.end();
+}
+
+std::vector<NaturalLoop> FindNaturalLoops(const ControlFlowGraph& cfg,
+                                          const DominatorTree& dom) {
+  std::map<BlockId, NaturalLoop> by_header;
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (!dom.Reachable(block.id)) {
+      continue;
+    }
+    for (BlockId succ : block.successors) {
+      if (!dom.Dominates(succ, block.id)) {
+        continue;  // not a back edge
+      }
+      // Natural loop of back edge block->succ: succ plus every block that
+      // reaches `block` without passing through `succ`.
+      NaturalLoop& loop = by_header[succ];
+      loop.header = succ;
+      auto add = [&](BlockId b) {
+        if (!loop.Contains(b)) {
+          loop.body.push_back(b);
+          return true;
+        }
+        return false;
+      };
+      add(succ);
+      std::vector<BlockId> work;
+      if (add(block.id)) {
+        work.push_back(block.id);
+      }
+      while (!work.empty()) {
+        const BlockId current = work.back();
+        work.pop_back();
+        if (current == succ) {
+          continue;
+        }
+        for (BlockId pred : cfg.block(current).predecessors) {
+          if (dom.Reachable(pred) && add(pred)) {
+            work.push_back(pred);
+          }
+        }
+      }
+    }
+  }
+  std::vector<NaturalLoop> loops;
+  loops.reserve(by_header.size());
+  for (auto& [header, loop] : by_header) {
+    std::sort(loop.body.begin(), loop.body.end());
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace yieldhide::analysis

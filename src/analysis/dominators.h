@@ -1,0 +1,44 @@
+// Dominator tree and natural-loop detection over a ControlFlowGraph,
+// restricted to the component reachable from the program entry. Loop
+// information feeds the scavenger pass: a cycle with no yield on it is
+// exactly the situation that lets inter-yield intervals grow without bound.
+#ifndef YIELDHIDE_SRC_ANALYSIS_DOMINATORS_H_
+#define YIELDHIDE_SRC_ANALYSIS_DOMINATORS_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace yieldhide::analysis {
+
+class DominatorTree {
+ public:
+  // Builds dominators for the blocks reachable from the program entry using
+  // the Cooper-Harvey-Kennedy iterative algorithm.
+  static DominatorTree Build(const ControlFlowGraph& cfg);
+
+  // Immediate dominator (kNoBlock for the entry block and unreachable blocks).
+  BlockId Idom(BlockId block) const { return idom_[block]; }
+  // True if `a` dominates `b` (reflexive).
+  bool Dominates(BlockId a, BlockId b) const;
+  bool Reachable(BlockId block) const { return rpo_index_[block] >= 0; }
+
+ private:
+  std::vector<BlockId> idom_;
+  std::vector<int> rpo_index_;
+};
+
+struct NaturalLoop {
+  BlockId header = kNoBlock;
+  std::vector<BlockId> body;  // includes the header
+
+  bool Contains(BlockId block) const;
+};
+
+// All natural loops (one per back edge; loops sharing a header are merged).
+std::vector<NaturalLoop> FindNaturalLoops(const ControlFlowGraph& cfg,
+                                          const DominatorTree& dom);
+
+}  // namespace yieldhide::analysis
+
+#endif  // YIELDHIDE_SRC_ANALYSIS_DOMINATORS_H_

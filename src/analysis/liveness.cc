@@ -1,0 +1,80 @@
+#include "src/analysis/liveness.h"
+
+namespace yieldhide::analysis {
+
+namespace {
+RegMask Bit(isa::Reg reg) { return static_cast<RegMask>(1u << reg); }
+}  // namespace
+
+RegMask UsesOf(const isa::Instruction& insn) {
+  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(insn.op);
+  RegMask uses = 0;
+  if (info.has_rs1) {
+    uses |= Bit(insn.rs1);
+  }
+  if (info.has_rs2) {
+    uses |= Bit(insn.rs2);
+  }
+  // No calling convention: a call may read anything, and after a RET the
+  // caller may read anything the callee left behind.
+  const isa::OpClass klass = isa::ClassOf(insn.op);
+  if (klass == isa::OpClass::kCall || klass == isa::OpClass::kRet) {
+    uses = kAllRegs;
+  }
+  return uses;
+}
+
+RegMask DefsOf(const isa::Instruction& insn) {
+  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(insn.op);
+  return info.has_rd ? Bit(insn.rd) : 0;
+}
+
+LivenessAnalysis LivenessAnalysis::Run(const ControlFlowGraph& cfg) {
+  const isa::Program& program = cfg.program();
+  const size_t n = program.size();
+  LivenessAnalysis result;
+  result.live_in_.assign(n, 0);
+  result.live_out_.assign(n, 0);
+
+  // Backward fixpoint at block granularity, then a final in-block sweep.
+  std::vector<RegMask> block_live_in(cfg.block_count(), 0);
+  std::vector<RegMask> block_live_out(cfg.block_count(), 0);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Iterate blocks in reverse id order — a decent approximation of reverse
+    // topological order for structured code; the fixpoint handles the rest.
+    for (size_t bi = cfg.block_count(); bi-- > 0;) {
+      const BasicBlock& block = cfg.block(static_cast<BlockId>(bi));
+      RegMask out = 0;
+      for (BlockId succ : block.successors) {
+        out |= block_live_in[succ];
+      }
+      // Block-terminating RET/CALL conservatism is handled by UsesOf.
+      RegMask live = out;
+      for (isa::Addr addr = block.end; addr-- > block.start;) {
+        const isa::Instruction& insn = program.at(addr);
+        live = static_cast<RegMask>((live & ~DefsOf(insn)) | UsesOf(insn));
+      }
+      if (out != block_live_out[bi] || live != block_live_in[bi]) {
+        block_live_out[bi] = out;
+        block_live_in[bi] = live;
+        changed = true;
+      }
+    }
+  }
+
+  for (const BasicBlock& block : cfg.blocks()) {
+    RegMask live = block_live_out[block.id];
+    for (isa::Addr addr = block.end; addr-- > block.start;) {
+      const isa::Instruction& insn = program.at(addr);
+      result.live_out_[addr] = live;
+      live = static_cast<RegMask>((live & ~DefsOf(insn)) | UsesOf(insn));
+      result.live_in_[addr] = live;
+    }
+  }
+  return result;
+}
+
+}  // namespace yieldhide::analysis

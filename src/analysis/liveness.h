@@ -1,0 +1,46 @@
+// Register liveness on binaries (paper §3.2: "identify registers whose values
+// will be used later via a register liveness analysis and only preserve the
+// values of these registers" — the optimization that shrinks the cost of an
+// instrumented yield).
+//
+// Backward may-analysis over the CFG. Because the ISA has no calling
+// convention, CALL and RET are treated conservatively: everything is assumed
+// live into a callee and live out of a RET. The result is sound (a register
+// reported dead is truly dead), which is what the rewriter needs.
+#ifndef YIELDHIDE_SRC_ANALYSIS_LIVENESS_H_
+#define YIELDHIDE_SRC_ANALYSIS_LIVENESS_H_
+
+#include <cstdint>
+
+#include "src/analysis/cfg.h"
+
+namespace yieldhide::analysis {
+
+// Bitmask over the 16 registers.
+using RegMask = uint16_t;
+inline constexpr RegMask kAllRegs = 0xffff;
+
+// Registers read / written by one instruction.
+RegMask UsesOf(const isa::Instruction& insn);
+RegMask DefsOf(const isa::Instruction& insn);
+
+class LivenessAnalysis {
+ public:
+  static LivenessAnalysis Run(const ControlFlowGraph& cfg);
+
+  // Registers live immediately BEFORE `addr` executes.
+  RegMask LiveIn(isa::Addr addr) const { return live_in_[addr]; }
+  // Registers live immediately AFTER `addr` executes — the set a yield
+  // inserted after `addr` must preserve.
+  RegMask LiveOut(isa::Addr addr) const { return live_out_[addr]; }
+
+  static int CountRegs(RegMask mask) { return __builtin_popcount(mask); }
+
+ private:
+  std::vector<RegMask> live_in_;
+  std::vector<RegMask> live_out_;
+};
+
+}  // namespace yieldhide::analysis
+
+#endif  // YIELDHIDE_SRC_ANALYSIS_LIVENESS_H_

@@ -1,0 +1,135 @@
+#include "src/analysis/yield_distance.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace yieldhide::analysis {
+
+namespace {
+
+// Maps every RET to the set of possible return addresses: for each function
+// entry that can reach the RET intra-procedurally, every instruction
+// following a CALL to that entry.
+std::map<isa::Addr, std::vector<isa::Addr>> ComputeReturnPoints(
+    const ControlFlowGraph& cfg) {
+  const isa::Program& program = cfg.program();
+
+  // Call sites per callee entry address.
+  std::map<isa::Addr, std::vector<isa::Addr>> returns_of_entry;
+  for (isa::Addr addr = 0; addr < program.size(); ++addr) {
+    if (isa::ClassOf(program.at(addr).op) == isa::OpClass::kCall &&
+        addr + 1 < program.size()) {
+      returns_of_entry[static_cast<isa::Addr>(program.at(addr).imm)].push_back(addr + 1);
+    }
+  }
+
+  // Which function entries reach each block (intra-procedural BFS per entry).
+  std::map<BlockId, std::set<isa::Addr>> entries_reaching;
+  for (const auto& [entry, unused] : returns_of_entry) {
+    std::vector<BlockId> work{cfg.BlockOf(entry)};
+    std::set<BlockId> seen{work[0]};
+    while (!work.empty()) {
+      const BlockId block = work.back();
+      work.pop_back();
+      entries_reaching[block].insert(entry);
+      for (BlockId succ : cfg.block(block).successors) {
+        if (seen.insert(succ).second) {
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  std::map<isa::Addr, std::vector<isa::Addr>> ret_points;
+  for (isa::Addr addr = 0; addr < program.size(); ++addr) {
+    if (isa::ClassOf(program.at(addr).op) != isa::OpClass::kRet) {
+      continue;
+    }
+    std::vector<isa::Addr>& points = ret_points[addr];
+    auto it = entries_reaching.find(cfg.BlockOf(addr));
+    if (it != entries_reaching.end()) {
+      for (isa::Addr entry : it->second) {
+        const auto& rets = returns_of_entry[entry];
+        points.insert(points.end(), rets.begin(), rets.end());
+      }
+    }
+  }
+  return ret_points;
+}
+
+}  // namespace
+
+std::vector<uint32_t> MaxDistanceToNextYield(const ControlFlowGraph& cfg,
+                                             const YieldDistanceConfig& config) {
+  const isa::Program& program = cfg.program();
+  const size_t n = program.size();
+  const uint32_t cap = config.cap;
+  std::vector<uint32_t> dist(n, 0);
+
+  const auto ret_points = ComputeReturnPoints(cfg);
+
+  auto saturating_add = [cap](uint32_t a, uint32_t b) {
+    const uint64_t sum = static_cast<uint64_t>(a) + b;
+    return sum >= cap ? cap : static_cast<uint32_t>(sum);
+  };
+
+  // Monotone increasing fixpoint on the finite lattice [0, cap].
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = n; i-- > 0;) {
+      const isa::Addr addr = static_cast<isa::Addr>(i);
+      const isa::Instruction& insn = program.at(addr);
+      const uint32_t cost = config.cost ? config.cost(addr) : 1;
+      uint32_t value = 0;
+      switch (isa::ClassOf(insn.op)) {
+        case isa::OpClass::kYield:
+          if (insn.op == isa::Opcode::kYield || config.cyield_counts) {
+            value = 0;
+          } else {
+            value = addr + 1 < n ? saturating_add(cost, dist[addr + 1]) : cost;
+          }
+          break;
+        case isa::OpClass::kHalt:
+          value = 0;  // the context relinquishes the CPU by terminating
+          break;
+        case isa::OpClass::kRet: {
+          uint32_t worst = 0;
+          auto it = ret_points.find(addr);
+          if (it != ret_points.end()) {
+            for (isa::Addr rp : it->second) {
+              worst = std::max(worst, dist[rp]);
+            }
+          }
+          value = saturating_add(cost, worst);
+          break;
+        }
+        case isa::OpClass::kCall: {
+          const isa::Addr callee = static_cast<isa::Addr>(insn.imm);
+          value = saturating_add(cost, dist[callee]);
+          break;
+        }
+        case isa::OpClass::kBranch: {
+          const uint32_t taken = dist[static_cast<isa::Addr>(insn.imm)];
+          const uint32_t fall = addr + 1 < n ? dist[addr + 1] : 0;
+          value = saturating_add(cost, std::max(taken, fall));
+          break;
+        }
+        case isa::OpClass::kJump:
+          value = saturating_add(cost, dist[static_cast<isa::Addr>(insn.imm)]);
+          break;
+        default:
+          value = addr + 1 < n ? saturating_add(cost, dist[addr + 1]) : cost;
+          break;
+      }
+      if (value > dist[addr]) {
+        dist[addr] = value;
+        changed = true;
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace yieldhide::analysis

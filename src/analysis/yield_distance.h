@@ -1,0 +1,43 @@
+// Worst-case distance-to-next-yield analysis.
+//
+// The scavenger phase (paper §3.3) must bound the inter-yield interval. The
+// profile-guided placement handles the common paths; this analysis provides
+// the "augment it with additional yields to bound the worst-case inter-yield
+// interval based on static analysis" step: for every instruction it computes
+// the maximum static cost, over all paths, until the next yield is executed,
+// saturating at a cap. Any point whose value saturates lies on a yield-free
+// cycle (or an over-long straight path) and needs an extra conditional yield.
+//
+// RET is handled interprocedurally: return points are the instructions after
+// call sites of the containing function(s), discovered from call targets.
+#ifndef YIELDHIDE_SRC_ANALYSIS_YIELD_DISTANCE_H_
+#define YIELDHIDE_SRC_ANALYSIS_YIELD_DISTANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace yieldhide::analysis {
+
+struct YieldDistanceConfig {
+  // Saturation bound in cost units (cycles).
+  uint32_t cap = 1 << 20;
+  // Static cost of executing the instruction at an address. Callers supply
+  // this from the machine cost model (optionally blended with profiled block
+  // latencies).
+  std::function<uint32_t(isa::Addr)> cost;
+  // When true, CYIELD counts as a yield (the analysis targets scavenger-mode
+  // execution, where conditional yields are enabled).
+  bool cyield_counts = true;
+};
+
+// Result: per-instruction worst-case cost until the next yield, saturated at
+// config.cap. result[i] == cap means "unbounded or >= cap".
+std::vector<uint32_t> MaxDistanceToNextYield(const ControlFlowGraph& cfg,
+                                             const YieldDistanceConfig& config);
+
+}  // namespace yieldhide::analysis
+
+#endif  // YIELDHIDE_SRC_ANALYSIS_YIELD_DISTANCE_H_

@@ -1,0 +1,66 @@
+// Bump-pointer arena for allocation-heavy analysis passes (CFG nodes, liveness
+// sets). All memory is released at once when the arena is destroyed.
+#ifndef YIELDHIDE_SRC_COMMON_ARENA_H_
+#define YIELDHIDE_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace yieldhide {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `size` bytes aligned to `align`. Never returns nullptr.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || offset + size > blocks_.back().size) {
+      NewBlock(size + align);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    void* ptr = blocks_.back().data.get() + offset;
+    cursor_ = offset + size;
+    total_allocated_ += size;
+    return ptr;
+  }
+
+  // Constructs a T in the arena. T's destructor is NOT run; only use for
+  // trivially destructible payloads or ones whose cleanup is irrelevant.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  size_t total_allocated() const { return total_allocated_; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void NewBlock(size_t min_size) {
+    const size_t size = min_size > block_size_ ? min_size : block_size_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    cursor_ = 0;
+  }
+
+  size_t block_size_;
+  size_t cursor_ = 0;
+  size_t total_allocated_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace yieldhide
+
+#endif  // YIELDHIDE_SRC_COMMON_ARENA_H_

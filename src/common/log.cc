@@ -1,0 +1,47 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace yieldhide {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= g_level.load()) {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace yieldhide

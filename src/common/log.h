@@ -1,0 +1,55 @@
+// Minimal leveled logging. Defaults to WARNING so library internals stay quiet
+// in tests and benchmarks; examples raise the level explicitly.
+#ifndef YIELDHIDE_SRC_COMMON_LOG_H_
+#define YIELDHIDE_SRC_COMMON_LOG_H_
+
+#include <sstream>
+
+namespace yieldhide {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define YH_LOG(level)                                                        \
+  (static_cast<int>(::yieldhide::LogLevel::k##level) <                       \
+   static_cast<int>(::yieldhide::GetLogLevel()))                             \
+      ? (void)0                                                              \
+      : (void)::yieldhide::internal::LogMessage(                             \
+            ::yieldhide::LogLevel::k##level, __FILE__, __LINE__)             \
+            .stream()
+
+#define YH_LOG_STREAM(level)                                         \
+  ::yieldhide::internal::LogMessage(::yieldhide::LogLevel::k##level, \
+                                    __FILE__, __LINE__)              \
+      .stream()
+
+}  // namespace yieldhide
+
+#endif  // YIELDHIDE_SRC_COMMON_LOG_H_

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation used across the simulator,
+// workload generators, and the simulated PMU. Everything that consumes
+// randomness takes an explicit Rng so runs are reproducible from a seed.
+#ifndef YIELDHIDE_SRC_COMMON_RNG_H_
+#define YIELDHIDE_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace yieldhide {
+
+// xorshift128+ generator: fast, high quality for simulation purposes, and
+// trivially seedable. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two lanes; guards against the
+    // all-zero state xorshift cannot escape.
+    state0_ = SplitMix64(&seed);
+    state1_ = SplitMix64(&seed);
+    if (state0_ == 0 && state1_ == 0) {
+      state0_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state1_ + s0;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // simulation bounds (< 2^48).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_ = 0;
+  uint64_t state1_ = 0;
+};
+
+}  // namespace yieldhide
+
+#endif  // YIELDHIDE_SRC_COMMON_RNG_H_

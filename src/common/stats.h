@@ -1,0 +1,77 @@
+// Streaming statistics and histograms used by the simulator, the runtime's
+// latency accounting, and the benchmark harnesses.
+#ifndef YIELDHIDE_SRC_COMMON_STATS_H_
+#define YIELDHIDE_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace yieldhide {
+
+// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Log-bucketed latency histogram (HDR-style): buckets grow geometrically so
+// the relative error of any recorded value is bounded by 1/kSubBuckets.
+// Values are non-negative integers (cycles or nanoseconds).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t n);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Value at quantile q in [0, 1]; e.g. 0.99 for p99. Returns an upper bound
+  // of the bucket containing the quantile.
+  uint64_t ValueAtQuantile(double q) const;
+
+  // "p50=... p90=... p99=... p999=... max=..." one-line rendering.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+}  // namespace yieldhide
+
+#endif  // YIELDHIDE_SRC_COMMON_STATS_H_

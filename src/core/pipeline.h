@@ -1,0 +1,73 @@
+// The yieldhide pipeline: the paper's three-step flow as one public API.
+//
+//   (i)   run the original binary in "production" with sample-based profiling
+//         (profile::CollectProfile),
+//   (ii)  instrument it — primary prefetch+yield placement at likely-miss
+//         loads, then scavenger conditional-yield placement to bound
+//         inter-yield intervals (instrument::RunPrimaryPass /
+//         RunScavengerPass), verified structurally, and
+//   (iii) execute the instrumented binary under a coroutine runtime
+//         (runtime::RoundRobinScheduler or runtime::DualModeScheduler).
+//
+// This header covers (i)+(ii); step (iii) is the runtime's job, since how to
+// schedule depends on the deployment (symmetric throughput vs. asymmetric
+// latency). See examples/quickstart.cpp for the full loop.
+#ifndef YIELDHIDE_SRC_CORE_PIPELINE_H_
+#define YIELDHIDE_SRC_CORE_PIPELINE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/instrument/primary_pass.h"
+#include "src/instrument/scavenger_pass.h"
+#include "src/instrument/verifier.h"
+#include "src/profile/collector.h"
+#include "src/sim/machine.h"
+#include "src/workloads/workload.h"
+
+namespace yieldhide::core {
+
+struct PipelineConfig {
+  sim::MachineConfig machine = sim::MachineConfig::SkylakeLike();
+  profile::CollectorConfig collector;
+  instrument::PrimaryConfig primary;
+  instrument::ScavengerConfig scavenger;
+  bool run_scavenger_pass = true;
+  bool verify = true;
+  // How many workload tasks to run (and merge) during profiling.
+  int profile_tasks = 4;
+
+  // Fills derived fields (cost models, machine-dependent parameters) from
+  // `machine`; call after editing `machine` or the pass configs' knobs.
+  void Finalize();
+};
+
+struct PipelineArtifacts {
+  profile::ProfileData profile;
+  uint64_t profile_run_cycles = 0;
+  uint64_t profile_run_instructions = 0;
+  double sampling_overhead_fraction = 0.0;
+  instrument::PrimaryReport primary_report;
+  instrument::ScavengerReport scavenger_report;
+  // The final instrumented binary (after both passes).
+  instrument::InstrumentedProgram binary;
+
+  std::string Summary() const;
+};
+
+// Runs steps (i)+(ii) against an explicit machine + context setup. The
+// machine's data memory must already hold representative inputs; its caches
+// and clock are reset before profiling.
+Result<PipelineArtifacts> BuildInstrumented(
+    const isa::Program& original, sim::Machine& machine,
+    const std::function<void(sim::CpuContext&)>& profile_setup,
+    const PipelineConfig& config);
+
+// Convenience wrapper for SimWorkloads: creates a machine, initializes the
+// workload image, profiles tasks [0, config.profile_tasks), and instruments.
+Result<PipelineArtifacts> BuildInstrumentedForWorkload(
+    const workloads::SimWorkload& workload, const PipelineConfig& config);
+
+}  // namespace yieldhide::core
+
+#endif  // YIELDHIDE_SRC_CORE_PIPELINE_H_

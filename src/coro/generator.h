@@ -1,0 +1,64 @@
+// Generator<T>: a synchronous pull-model coroutine, used by native workloads
+// to stream keys without materializing arrays.
+#ifndef YIELDHIDE_SRC_CORO_GENERATOR_H_
+#define YIELDHIDE_SRC_CORO_GENERATOR_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace yieldhide::coro {
+
+template <typename T>
+class Generator {
+ public:
+  struct promise_type {
+    T current{};
+
+    Generator get_return_object() {
+      return Generator(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T value) {
+      current = std::move(value);
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Generator(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Generator(Generator&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  Generator& operator=(Generator&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Generator() { Destroy(); }
+
+  // Advances to the next value; false when exhausted.
+  bool Next() {
+    handle_.resume();
+    return !handle_.done();
+  }
+  const T& value() const { return handle_.promise().current; }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace yieldhide::coro
+
+#endif  // YIELDHIDE_SRC_CORO_GENERATOR_H_

@@ -1,0 +1,106 @@
+// Native coroutine schedulers.
+//
+// InterleaveAll: the symmetric ring — resume each unfinished task in turn
+// until all complete (group-size-G interleaving, CoroBase style).
+//
+// NativeDualMode: the asymmetric analogue of runtime::DualModeScheduler for
+// real hardware: one primary task gets priority; after each primary
+// suspension (a PrefetchAndYield), scavenger tasks run for a bounded number
+// of resumes before the primary continues.
+#ifndef YIELDHIDE_SRC_CORO_INTERLEAVE_H_
+#define YIELDHIDE_SRC_CORO_INTERLEAVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/coro/task.h"
+
+namespace yieldhide::coro {
+
+// Resumes tasks round-robin until every one is done. Returns the total number
+// of resume operations (switches).
+template <typename T>
+size_t InterleaveAll(std::vector<Task<T>>& tasks) {
+  size_t resumes = 0;
+  size_t remaining = 0;
+  for (auto& task : tasks) {
+    if (task.valid() && !task.done()) {
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    for (auto& task : tasks) {
+      if (!task.valid() || task.done()) {
+        continue;
+      }
+      task.Resume();
+      ++resumes;
+      if (task.done()) {
+        --remaining;
+      }
+    }
+  }
+  return resumes;
+}
+
+// Runs tasks strictly one after another (group size 1) — the no-interleaving
+// baseline. Returns total resumes.
+template <typename T>
+size_t RunSequential(std::vector<Task<T>>& tasks) {
+  size_t resumes = 0;
+  for (auto& task : tasks) {
+    while (task.valid() && !task.done()) {
+      task.Resume();
+      ++resumes;
+    }
+  }
+  return resumes;
+}
+
+struct NativeDualModeStats {
+  size_t primary_resumes = 0;
+  size_t scavenger_resumes = 0;
+  size_t scavengers_finished = 0;
+};
+
+// Runs `primary` to completion; after every primary suspension, resumes up to
+// `scavenger_burst` scavenger tasks (round-robin) before returning to the
+// primary. Scavengers left unfinished when the primary completes stay
+// unfinished.
+template <typename T, typename U>
+NativeDualModeStats RunNativeDualMode(Task<T>& primary, std::vector<Task<U>>& scavengers,
+                                      size_t scavenger_burst) {
+  NativeDualModeStats stats;
+  size_t cursor = 0;
+  while (primary.valid() && !primary.done()) {
+    primary.Resume();
+    ++stats.primary_resumes;
+    if (primary.done()) {
+      break;
+    }
+    for (size_t burst = 0; burst < scavenger_burst && !scavengers.empty(); ++burst) {
+      // Find the next unfinished scavenger.
+      bool resumed = false;
+      for (size_t scanned = 0; scanned < scavengers.size() && !resumed; ++scanned) {
+        auto& task = scavengers[cursor];
+        cursor = (cursor + 1) % scavengers.size();
+        if (task.valid() && !task.done()) {
+          task.Resume();
+          ++stats.scavenger_resumes;
+          if (task.done()) {
+            ++stats.scavengers_finished;
+          }
+          resumed = true;
+        }
+      }
+      if (!resumed) {
+        break;  // no runnable scavenger
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace yieldhide::coro
+
+#endif  // YIELDHIDE_SRC_CORO_INTERLEAVE_H_

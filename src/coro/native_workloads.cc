@@ -1,0 +1,135 @@
+#include "src/coro/native_workloads.h"
+
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace yieldhide::coro {
+
+NativeChaseData::NativeChaseData(size_t num_nodes, uint64_t seed) {
+  nodes_.resize(num_nodes);
+  std::vector<uint32_t> perm(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    perm[i] = static_cast<uint32_t>(i);
+  }
+  Rng rng(seed);
+  // Sattolo: one full cycle.
+  for (size_t i = num_nodes - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextBelow(i)]);
+  }
+  for (size_t i = 0; i < num_nodes; ++i) {
+    nodes_[i].next = perm[i];
+    nodes_[i].payload = static_cast<uint32_t>(rng.Next() & 0xffff);
+  }
+}
+
+uint32_t NativeChaseData::StartFor(int task_index) const {
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(task_index) * 0x9e3779b97f4a7c15ull) % nodes_.size());
+}
+
+uint64_t NativeChaseData::ChasePlain(uint32_t start, size_t steps) const {
+  uint64_t acc = 0;
+  uint32_t node = start;
+  for (size_t i = 0; i < steps; ++i) {
+    acc += nodes_[node].payload;
+    node = nodes_[node].next;
+  }
+  return acc;
+}
+
+Task<uint64_t> NativeChaseData::ChaseCoro(uint32_t start, size_t steps) const {
+  uint64_t acc = 0;
+  uint32_t node = start;
+  for (size_t i = 0; i < steps; ++i) {
+    // Prefetch the node, let siblings run while the line arrives, then touch.
+    co_await PrefetchAndYield{&nodes_[node]};
+    acc += nodes_[node].payload;
+    node = nodes_[node].next;
+  }
+  co_return acc;
+}
+
+NativeHashData::NativeHashData(size_t buckets_log2, double fill, uint64_t seed) {
+  const size_t buckets = 1ull << buckets_log2;
+  shift_ = static_cast<int>(64 - buckets_log2);
+  mask_ = buckets - 1;
+  buckets_.assign(buckets, Bucket{0, 0});
+  Rng rng(seed);
+  const size_t to_insert = static_cast<size_t>(fill * static_cast<double>(buckets));
+  present_keys_.reserve(to_insert);
+  for (size_t i = 0; i < to_insert; ++i) {
+    const uint64_t key = (rng.Next() | 1) & ~(1ull << 63);
+    uint64_t bucket = HashOf(key);
+    bool duplicate = false;
+    while (buckets_[bucket].key != 0) {
+      if (buckets_[bucket].key == key) {
+        duplicate = true;
+        break;
+      }
+      bucket = (bucket + 1) & mask_;
+    }
+    if (duplicate) {
+      continue;
+    }
+    buckets_[bucket] = Bucket{key, rng.Next() & 0xffff};
+    present_keys_.push_back(key);
+  }
+}
+
+std::vector<uint64_t> NativeHashData::MakeKeys(size_t count, double hit_fraction,
+                                               uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.NextBool(hit_fraction) && !present_keys_.empty()) {
+      keys.push_back(present_keys_[rng.NextBelow(present_keys_.size())]);
+    } else {
+      keys.push_back((rng.Next() & ~1ull) | 2);  // even: never inserted
+    }
+  }
+  return keys;
+}
+
+uint64_t NativeHashData::ProbePlain(const std::vector<uint64_t>& keys) const {
+  uint64_t acc = 0;
+  for (uint64_t key : keys) {
+    uint64_t bucket = HashOf(key);
+    while (true) {
+      const Bucket& slot = buckets_[bucket];
+      if (slot.key == key) {
+        acc += slot.value;
+        break;
+      }
+      if (slot.key == 0) {
+        break;
+      }
+      bucket = (bucket + 1) & mask_;
+    }
+  }
+  return acc;
+}
+
+Task<uint64_t> NativeHashData::ProbeCoro(const std::vector<uint64_t>& keys) const {
+  uint64_t acc = 0;
+  for (uint64_t key : keys) {
+    uint64_t bucket = HashOf(key);
+    co_await PrefetchAndYield{&buckets_[bucket]};
+    while (true) {
+      const Bucket& slot = buckets_[bucket];
+      if (slot.key == key) {
+        acc += slot.value;
+        break;
+      }
+      if (slot.key == 0) {
+        break;
+      }
+      bucket = (bucket + 1) & mask_;
+      co_await PrefetchAndYield{&buckets_[bucket]};
+    }
+  }
+  co_return acc;
+}
+
+}  // namespace yieldhide::coro

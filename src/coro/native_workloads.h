@@ -1,0 +1,69 @@
+// Native (real-hardware) workloads for the coro plane: pointer chasing over a
+// permutation array and open-addressing hash probes, each in a plain
+// function form and a coroutine form with prefetch+yield at the miss site.
+// Bench N1 and example db_index_join drive these.
+#ifndef YIELDHIDE_SRC_CORO_NATIVE_WORKLOADS_H_
+#define YIELDHIDE_SRC_CORO_NATIVE_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coro/task.h"
+
+namespace yieldhide::coro {
+
+// A permutation ring of cache-line-sized nodes.
+class NativeChaseData {
+ public:
+  // nodes of 64 bytes each; `num_nodes` should exceed LLC capacity / 64 to
+  // make chases miss.
+  NativeChaseData(size_t num_nodes, uint64_t seed);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t StartFor(int task_index) const;
+
+  // Plain dependent-load chase: returns the payload checksum.
+  uint64_t ChasePlain(uint32_t start, size_t steps) const;
+  // Coroutine chase: prefetches the next node and suspends before each
+  // dereference.
+  Task<uint64_t> ChaseCoro(uint32_t start, size_t steps) const;
+
+ private:
+  struct alignas(64) Node {
+    uint32_t next;
+    uint32_t payload;
+    char pad[56];
+  };
+  std::vector<Node> nodes_;
+};
+
+// Open-addressing hash table (linear probing) with 16-byte buckets.
+class NativeHashData {
+ public:
+  NativeHashData(size_t buckets_log2, double fill, uint64_t seed);
+
+  // Generates a probe key stream (mix of present/absent keys).
+  std::vector<uint64_t> MakeKeys(size_t count, double hit_fraction,
+                                 uint64_t seed) const;
+
+  uint64_t ProbePlain(const std::vector<uint64_t>& keys) const;
+  Task<uint64_t> ProbeCoro(const std::vector<uint64_t>& keys) const;
+
+ private:
+  struct Bucket {
+    uint64_t key;  // 0 = empty
+    uint64_t value;
+  };
+  uint64_t HashOf(uint64_t key) const {
+    return (key * 0x9e3779b97f4a7c15ull) >> shift_;
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<uint64_t> present_keys_;
+  int shift_;
+  uint64_t mask_;
+};
+
+}  // namespace yieldhide::coro
+
+#endif  // YIELDHIDE_SRC_CORO_NATIVE_WORKLOADS_H_

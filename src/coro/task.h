@@ -1,0 +1,132 @@
+// Minimal C++20 coroutine task types for the native plane.
+//
+// The simulated plane proves the mechanism end-to-end; this module checks the
+// physics on real hardware: C++20 coroutine frames + __builtin_prefetch give
+// suspend/resume costs in the ~10 ns class (bench C1/N1), which is what makes
+// the paper's arithmetic work.
+//
+// Task<T> is an eagerly-started-on-resume, manually-scheduled coroutine: the
+// scheduler (interleave.h) owns resumption; awaiting inside a task suspends
+// back to the scheduler, not to a nested coroutine (no symmetric transfer
+// chains — interleaving wants a flat ring of root coroutines).
+#ifndef YIELDHIDE_SRC_CORO_TASK_H_
+#define YIELDHIDE_SRC_CORO_TASK_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+namespace yieldhide::coro {
+
+template <typename T>
+class Task {
+ public:
+  struct promise_type {
+    T value{};
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }  // no-exceptions policy
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_.done(); }
+  void Resume() { handle_.resume(); }
+  // Only valid after done().
+  const T& result() const { return handle_.promise().value; }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// void specialization.
+template <>
+class Task<void> {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_.done(); }
+  void Resume() { handle_.resume(); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// Awaitable that issues a prefetch for `addr` and suspends back to the
+// scheduler — the native analogue of the instrumented PREFETCH+YIELD pair.
+struct PrefetchAndYield {
+  const void* addr;
+
+  bool await_ready() const noexcept {
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+    return false;  // always suspend: the scheduler decides who runs next
+  }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+// Plain cooperative yield (the scavenger CYIELD analogue; conditionality is
+// the scheduler's business on the native plane).
+struct YieldNow {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace yieldhide::coro
+
+#endif  // YIELDHIDE_SRC_CORO_TASK_H_

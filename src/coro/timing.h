@@ -1,0 +1,25 @@
+// Nanosecond timing helpers for native benchmarks (bench C1/N1).
+#ifndef YIELDHIDE_SRC_CORO_TIMING_H_
+#define YIELDHIDE_SRC_CORO_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace yieldhide::coro {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Prevents the compiler from optimizing a value away.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace yieldhide::coro
+
+#endif  // YIELDHIDE_SRC_CORO_TIMING_H_

@@ -1,0 +1,31 @@
+#include "src/instrument/cost_model.h"
+
+#include <algorithm>
+
+namespace yieldhide::instrument {
+
+double YieldCostModel::NetBenefit(const profile::SiteProfile& site,
+                                  analysis::RegMask live, uint32_t coalesced) const {
+  const double p_miss = site.L2MissProbability();
+  const double stall = std::min(site.StallPerExecution(),
+                                static_cast<double>(hideable_window_cycles));
+  const double gain = p_miss * stall;
+  const double cost =
+      static_cast<double>(prefetch_issue_cycles) +
+      static_cast<double>(SwitchCycles(live)) / std::max<uint32_t>(coalesced, 1);
+  return gain - cost;
+}
+
+YieldCostModel YieldCostModel::FromMachine(const sim::CostModel& cost) {
+  YieldCostModel model;
+  model.prefetch_issue_cycles = cost.prefetch_cycles;
+  // Split the machine's all-registers switch cost into fixed + per-reg parts,
+  // keeping the all-live total equal to yield_switch_cycles.
+  model.switch_per_reg_cycles =
+      std::max<uint32_t>(1, cost.yield_switch_cycles / (2 * isa::kNumRegisters));
+  model.switch_fixed_cycles =
+      cost.yield_switch_cycles - model.switch_per_reg_cycles * isa::kNumRegisters;
+  return model;
+}
+
+}  // namespace yieldhide::instrument

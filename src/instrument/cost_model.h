@@ -1,0 +1,55 @@
+// Quantitative gain/cost model for yield placement (paper §3.2: "we propose
+// to quantitatively model the gain and the cost of instrumenting at a
+// specific load instruction").
+//
+// For a candidate load with profiled L2-miss probability p and mean stall s:
+//   expected gain  = p * min(s, hideable_window)      (stall cycles removed)
+//   expected cost  = prefetch_issue + switch_cost      (paid on EVERY
+//                    execution, hit or miss — primary yields are
+//                    unconditional)
+// where switch_cost = switch_fixed + switch_per_reg * |live registers|,
+// reflecting the liveness-minimized save set. Coalescing k loads divides the
+// switch cost across k gains.
+#ifndef YIELDHIDE_SRC_INSTRUMENT_COST_MODEL_H_
+#define YIELDHIDE_SRC_INSTRUMENT_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/analysis/liveness.h"
+#include "src/profile/profile.h"
+#include "src/sim/config.h"
+
+namespace yieldhide::instrument {
+
+struct YieldCostModel {
+  // Switch cost decomposition: fixed control transfer plus per-saved-register
+  // spill/refill traffic. Defaults reconstruct the sim CostModel's default
+  // yield_switch_cycles (24) when all 16 registers are live: 8 + 16*1.
+  uint32_t switch_fixed_cycles = 8;
+  uint32_t switch_per_reg_cycles = 1;
+  uint32_t prefetch_issue_cycles = 1;
+  // The stall window a yield can realistically hide: bounded by how long the
+  // other coroutines run before control returns (set from the scavenger
+  // target interval at pipeline level).
+  uint32_t hideable_window_cycles = 300;
+
+  uint32_t SwitchCycles(analysis::RegMask live) const {
+    return switch_fixed_cycles +
+           switch_per_reg_cycles * static_cast<uint32_t>(
+                                       analysis::LivenessAnalysis::CountRegs(live));
+  }
+
+  // Expected net benefit, in cycles per execution, of instrumenting a load
+  // whose yield would save `live` registers and share its switch cost with
+  // `coalesced` loads total.
+  double NetBenefit(const profile::SiteProfile& site, analysis::RegMask live,
+                    uint32_t coalesced = 1) const;
+
+  // Construct from the machine cost model (keeps the sim and the instrumenter
+  // in agreement about what a switch costs).
+  static YieldCostModel FromMachine(const sim::CostModel& cost);
+};
+
+}  // namespace yieldhide::instrument
+
+#endif  // YIELDHIDE_SRC_INSTRUMENT_COST_MODEL_H_

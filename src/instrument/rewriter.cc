@@ -1,0 +1,139 @@
+#include "src/instrument/rewriter.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::instrument {
+
+const char* YieldKindName(YieldKind kind) {
+  switch (kind) {
+    case YieldKind::kPrimary:
+      return "primary";
+    case YieldKind::kScavenger:
+      return "scavenger";
+    case YieldKind::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+AddrMap AddrMap::ComposeWith(const AddrMap& later) const {
+  std::vector<isa::Addr> composed(forward_.size());
+  for (size_t i = 0; i < forward_.size(); ++i) {
+    composed[i] = later.Translate(forward_[i]);
+  }
+  return AddrMap(std::move(composed));
+}
+
+std::string InstrumentedProgram::DescribeYields() const {
+  std::string out;
+  for (const auto& [addr, info] : yields) {
+    out += StrFormat("%6u: %-9s save=%04x switch=%u loads=%u\n", addr,
+                     YieldKindName(info.kind), info.save_mask, info.switch_cycles,
+                     info.coalesced_loads);
+  }
+  return out;
+}
+
+void BinaryRewriter::InsertBefore(isa::Addr addr, std::vector<isa::Instruction> sequence) {
+  insertions_.push_back(Insertion{addr, std::move(sequence), insertions_.size()});
+}
+
+Result<BinaryRewriter::Rewritten> BinaryRewriter::Apply() {
+  const isa::Program& original = *original_;
+  YH_RETURN_IF_ERROR(original.Validate());
+  for (const Insertion& ins : insertions_) {
+    if (ins.addr >= original.size()) {
+      return OutOfRangeError(
+          StrFormat("insertion at %u outside program of size %zu", ins.addr,
+                    original.size()));
+    }
+  }
+
+  std::stable_sort(insertions_.begin(), insertions_.end(),
+                   [](const Insertion& a, const Insertion& b) {
+                     if (a.addr != b.addr) {
+                       return a.addr < b.addr;
+                     }
+                     return a.order < b.order;
+                   });
+
+  // Pass 1: for every original instruction compute
+  //   * target_map:  where control transfers to that instruction should land
+  //     — the START of any sequence inserted before it (the instrumentation
+  //     belongs to the instruction's basic block and must run on every path
+  //     reaching it), and
+  //   * insn_map:    the exact new position of the instruction itself — used
+  //     to carry per-instruction metadata (yield side-tables, profile IPs)
+  //     across the rewrite.
+  const size_t n = original.size();
+  std::vector<isa::Addr> target_map(n);
+  std::vector<isa::Addr> insn_map(n);
+  {
+    size_t ins_cursor = 0;
+    isa::Addr shift = 0;
+    for (isa::Addr addr = 0; addr < n; ++addr) {
+      target_map[addr] = addr + shift;
+      while (ins_cursor < insertions_.size() && insertions_[ins_cursor].addr == addr) {
+        shift += static_cast<isa::Addr>(insertions_[ins_cursor].sequence.size());
+        ++ins_cursor;
+      }
+      insn_map[addr] = addr + shift;
+    }
+  }
+
+  // Pass 2: emit instructions, recording where each inserted one landed.
+  Rewritten out;
+  out.program.set_name(original.name() + "+instr");
+  std::vector<std::pair<size_t, isa::Addr>> inserted_by_order;  // (order, new addr)
+  {
+    size_t ins_cursor = 0;
+    for (isa::Addr addr = 0; addr < n; ++addr) {
+      while (ins_cursor < insertions_.size() && insertions_[ins_cursor].addr == addr) {
+        const Insertion& ins = insertions_[ins_cursor];
+        for (const isa::Instruction& insn : ins.sequence) {
+          inserted_by_order.emplace_back(ins.order, out.program.Append(insn));
+        }
+        ++ins_cursor;
+      }
+      out.program.Append(original.at(addr));
+    }
+  }
+
+  // Pass 3: relocate code targets of original instructions. Inserted
+  // sequences are required to be straight-line (no control transfers).
+  std::vector<bool> is_inserted(out.program.size(), false);
+  for (const auto& [order, new_addr] : inserted_by_order) {
+    is_inserted[new_addr] = true;
+  }
+  for (isa::Addr addr = 0; addr < out.program.size(); ++addr) {
+    isa::Instruction& insn = out.program.at(addr);
+    if (!isa::HasCodeTarget(insn)) {
+      continue;
+    }
+    if (is_inserted[addr]) {
+      return InvalidArgumentError(
+          "inserted sequences must be straight-line (no branches/jumps/calls)");
+    }
+    insn.imm = target_map[static_cast<isa::Addr>(insn.imm)];
+  }
+
+  out.program.set_entry(target_map[original.entry()]);
+  for (const auto& [name, addr] : original.symbols()) {
+    out.program.AddSymbol(name, target_map[addr]);
+  }
+
+  std::sort(inserted_by_order.begin(), inserted_by_order.end());
+  out.inserted_addresses.reserve(inserted_by_order.size());
+  for (const auto& [order, new_addr] : inserted_by_order) {
+    out.inserted_addresses.push_back(new_addr);
+  }
+
+  out.addr_map = AddrMap(std::move(insn_map));
+  insertions_.clear();
+  YH_RETURN_IF_ERROR(out.program.Validate());
+  return out;
+}
+
+}  // namespace yieldhide::instrument

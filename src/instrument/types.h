@@ -1,0 +1,66 @@
+// Shared types of the instrumentation pipeline.
+#ifndef YIELDHIDE_SRC_INSTRUMENT_TYPES_H_
+#define YIELDHIDE_SRC_INSTRUMENT_TYPES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/liveness.h"
+#include "src/isa/program.h"
+
+namespace yieldhide::instrument {
+
+enum class YieldKind : uint8_t {
+  kPrimary,    // inserted to hide a likely L2/L3 miss (prefetch precedes it)
+  kScavenger,  // conditional yield inserted to bound inter-yield intervals
+  kManual,     // present in the original binary (developer-written)
+};
+
+const char* YieldKindName(YieldKind kind);
+
+// Side-table entry describing one yield site in an instrumented binary. The
+// runtime charges `switch_cycles` when this yield actually transfers control;
+// the value reflects the liveness-minimized save set, implementing the
+// paper's "only preserve the values of registers whose values will be used
+// later" optimization.
+struct YieldInfo {
+  YieldKind kind = YieldKind::kManual;
+  analysis::RegMask save_mask = analysis::kAllRegs;
+  uint32_t switch_cycles = 0;
+  // For primary yields: how many loads this yield covers (>1 when coalesced).
+  uint32_t coalesced_loads = 1;
+};
+
+// Mapping from pre-rewrite to post-rewrite instruction addresses, produced by
+// every rewriting pass so annotations and profiles can be carried forward.
+class AddrMap {
+ public:
+  AddrMap() = default;
+  explicit AddrMap(std::vector<isa::Addr> forward) : forward_(std::move(forward)) {}
+
+  // New address of the instruction that was at `old_addr`.
+  isa::Addr Translate(isa::Addr old_addr) const { return forward_[old_addr]; }
+  size_t old_size() const { return forward_.size(); }
+
+  // Composition: first `this`, then `later`.
+  AddrMap ComposeWith(const AddrMap& later) const;
+
+ private:
+  std::vector<isa::Addr> forward_;
+};
+
+// An instrumented binary: the rewritten program plus its yield side-table and
+// the address map back to the input of the pass that produced it.
+struct InstrumentedProgram {
+  isa::Program program;
+  std::map<isa::Addr, YieldInfo> yields;  // keyed by yield instruction address
+  AddrMap addr_map;
+
+  std::string DescribeYields() const;
+};
+
+}  // namespace yieldhide::instrument
+
+#endif  // YIELDHIDE_SRC_INSTRUMENT_TYPES_H_

@@ -1,0 +1,127 @@
+#include "src/instrument/verifier.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/instrument/scavenger_pass.h"
+
+namespace yieldhide::instrument {
+
+Status VerifyInstrumentation(const isa::Program& original,
+                             const InstrumentedProgram& instrumented,
+                             const VerifyOptions& options) {
+  const isa::Program& out = instrumented.program;
+  YH_RETURN_IF_ERROR(original.Validate());
+  YH_RETURN_IF_ERROR(out.Validate());
+
+  const AddrMap& map = instrumented.addr_map;
+  if (map.old_size() != original.size()) {
+    return FailedPreconditionError(
+        StrFormat("addr map covers %zu instructions, original has %zu",
+                  map.old_size(), original.size()));
+  }
+
+  // (2) Order-preserving injection; instructions identical modulo relocated
+  // code targets.
+  std::vector<bool> is_image(out.size(), false);
+  isa::Addr prev_mapped = 0;
+  for (isa::Addr addr = 0; addr < original.size(); ++addr) {
+    const isa::Addr mapped = map.Translate(addr);
+    if (mapped >= out.size()) {
+      return OutOfRangeError(StrFormat("addr %u maps to %u outside output", addr, mapped));
+    }
+    if (addr > 0 && mapped <= prev_mapped) {
+      return InternalError(StrFormat("addr map not strictly increasing at %u", addr));
+    }
+    prev_mapped = mapped;
+    is_image[mapped] = true;
+
+    const isa::Instruction& before = original.at(addr);
+    const isa::Instruction& after = out.at(mapped);
+    isa::Instruction compare = after;
+    if (isa::HasCodeTarget(before)) {
+      compare.imm = before.imm;  // targets are checked separately below
+    }
+    if (!(compare == before)) {
+      return InternalError(
+          StrFormat("instruction at %u changed: '%s' -> '%s'", addr,
+                    isa::FormatInstruction(before).c_str(),
+                    isa::FormatInstruction(after).c_str()));
+    }
+  }
+
+  // (3) Relocated targets land at or before the image of the old target,
+  // with only inserted instructions in between (the inserted preamble of the
+  // target's block).
+  for (isa::Addr addr = 0; addr < original.size(); ++addr) {
+    const isa::Instruction& before = original.at(addr);
+    if (!isa::HasCodeTarget(before)) {
+      continue;
+    }
+    const isa::Addr new_target =
+        static_cast<isa::Addr>(out.at(map.Translate(addr)).imm);
+    const isa::Addr image_of_target = map.Translate(static_cast<isa::Addr>(before.imm));
+    if (new_target > image_of_target) {
+      return InternalError(StrFormat("branch at %u overshoots its target image", addr));
+    }
+    for (isa::Addr between = new_target; between < image_of_target; ++between) {
+      if (is_image[between]) {
+        return InternalError(
+            StrFormat("branch at %u lands before a foreign original instruction "
+                      "(target %u, image %u)",
+                      addr, new_target, image_of_target));
+      }
+    }
+  }
+
+  // (4) Yield side-table is exactly the set of yield instructions.
+  for (const auto& [addr, info] : instrumented.yields) {
+    if (addr >= out.size() || isa::ClassOf(out.at(addr).op) != isa::OpClass::kYield) {
+      return InternalError(StrFormat("yield annotation at %u is not a yield", addr));
+    }
+  }
+  for (isa::Addr addr = 0; addr < out.size(); ++addr) {
+    if (isa::ClassOf(out.at(addr).op) == isa::OpClass::kYield &&
+        instrumented.yields.count(addr) == 0) {
+      return InternalError(StrFormat("yield at %u has no side-table entry", addr));
+    }
+  }
+
+  // (5) Every inserted prefetch is part of a prefetch+yield idiom: a yield
+  // follows before any control transfer.
+  for (isa::Addr addr = 0; addr < out.size(); ++addr) {
+    if (is_image[addr] || isa::ClassOf(out.at(addr).op) != isa::OpClass::kPrefetch) {
+      continue;
+    }
+    bool found_yield = false;
+    for (isa::Addr scan = addr + 1; scan < out.size(); ++scan) {
+      const isa::OpClass klass = isa::ClassOf(out.at(scan).op);
+      if (klass == isa::OpClass::kYield) {
+        found_yield = true;
+        break;
+      }
+      if (isa::IsControlFlow(out.at(scan))) {
+        break;
+      }
+    }
+    if (!found_yield) {
+      return InternalError(
+          StrFormat("inserted prefetch at %u is not followed by a yield", addr));
+    }
+  }
+
+  // (6) Optional scavenger bound.
+  if (options.max_interval_cycles > 0) {
+    const uint32_t cap = options.max_interval_cycles * 4;
+    const uint32_t worst =
+        WorstCaseInterval(out, options.machine_cost, cap == 0 ? 4 : cap);
+    if (worst > options.max_interval_cycles) {
+      return FailedPreconditionError(
+          StrFormat("worst-case inter-yield interval %u exceeds bound %u", worst,
+                    options.max_interval_cycles));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace yieldhide::instrument

@@ -1,0 +1,43 @@
+// Structural verifier for instrumented binaries. Binary rewriting is the most
+// dangerous part of the pipeline, so every production flow runs this before
+// executing an instrumented program. (Semantic equivalence — same
+// architectural results modulo yields — is additionally exercised by tests
+// that run both binaries; this verifier covers the properties checkable
+// without execution.)
+#ifndef YIELDHIDE_SRC_INSTRUMENT_VERIFIER_H_
+#define YIELDHIDE_SRC_INSTRUMENT_VERIFIER_H_
+
+#include "src/common/status.h"
+#include "src/instrument/types.h"
+#include "src/sim/config.h"
+
+namespace yieldhide::instrument {
+
+struct VerifyOptions {
+  // When > 0, also check that the scavenger-mode worst-case inter-yield
+  // interval of the instrumented binary is within this bound (cycles).
+  uint32_t max_interval_cycles = 0;
+  sim::CostModel machine_cost;
+};
+
+// Checks, against the original binary:
+//   1. the instrumented program validates structurally;
+//   2. the original instruction sequence is an order-preserving subsequence
+//      of the instrumented one (only insertions happened) and the AddrMap
+//      maps each original instruction to an identical instruction (modulo
+//      relocated code targets);
+//   3. every relocated code target points at the image of the block the
+//      original target started;
+//   4. every yield side-table entry points at a YIELD/CYIELD, and every
+//      YIELD/CYIELD has a side-table entry;
+//   5. each inserted PREFETCH is followed (within its inserted run) by a
+//      matching load or address computation, i.e. prefetches cover real
+//      loads;
+//   6. optionally, the scavenger interval bound (VerifyOptions).
+Status VerifyInstrumentation(const isa::Program& original,
+                             const InstrumentedProgram& instrumented,
+                             const VerifyOptions& options = {});
+
+}  // namespace yieldhide::instrument
+
+#endif  // YIELDHIDE_SRC_INSTRUMENT_VERIFIER_H_

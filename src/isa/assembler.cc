@@ -1,0 +1,296 @@
+#include "src/isa/assembler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::isa {
+
+namespace {
+
+struct PendingInstruction {
+  Instruction insn;
+  std::string target_label;  // non-empty if imm must be resolved from a label
+  int line = 0;
+};
+
+Status ErrorAt(int line, const std::string& message) {
+  return InvalidArgumentError(StrFormat("line %d: %s", line, message.c_str()));
+}
+
+// Parses "r0".."r15".
+Result<Reg> ParseReg(std::string_view tok, int line) {
+  tok = TrimString(tok);
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    return ErrorAt(line, "expected register, got '" + std::string(tok) + "'");
+  }
+  YH_ASSIGN_OR_RETURN(const uint64_t n, ParseUint64(tok.substr(1)));
+  if (n >= kNumRegisters) {
+    return ErrorAt(line, "register out of range: " + std::string(tok));
+  }
+  return static_cast<Reg>(n);
+}
+
+bool LooksLikeInteger(std::string_view tok) {
+  if (tok.empty()) {
+    return false;
+  }
+  size_t i = tok[0] == '-' || tok[0] == '+' ? 1 : 0;
+  if (i >= tok.size()) {
+    return false;
+  }
+  // Must start with a digit (hex needs the 0x prefix), so that labels like
+  // "b" or "fee" are never mistaken for numbers.
+  if (tok[i] < '0' || tok[i] > '9') {
+    return false;
+  }
+  for (; i < tok.size(); ++i) {
+    const char c = tok[i];
+    const bool hexish = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                        (c >= 'A' && c <= 'F') || c == 'x' || c == 'X';
+    if (!hexish) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Parses a "[rB+disp]" or "[rB+rI*scale]" memory operand.
+struct MemOperand {
+  Reg base = 0;
+  bool indexed = false;
+  Reg index = 0;
+  int64_t disp_or_scale = 0;
+};
+
+Result<MemOperand> ParseMemOperand(std::string_view tok, int line) {
+  tok = TrimString(tok);
+  if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']') {
+    return ErrorAt(line, "expected [base+disp] operand, got '" + std::string(tok) + "'");
+  }
+  std::string_view inner = tok.substr(1, tok.size() - 2);
+  MemOperand mem;
+  // Split base from the rest at the first '+' or '-'.
+  size_t split = inner.find_first_of("+-", 1);
+  std::string_view base_tok = split == std::string_view::npos ? inner : inner.substr(0, split);
+  YH_ASSIGN_OR_RETURN(mem.base, ParseReg(base_tok, line));
+  if (split == std::string_view::npos) {
+    mem.disp_or_scale = 0;
+    return mem;
+  }
+  std::string_view rest = inner.substr(split);  // includes sign
+  std::string_view body = TrimString(rest.substr(1));
+  if (!body.empty() && (body[0] == 'r' || body[0] == 'R') && !LooksLikeInteger(body)) {
+    // Indexed form: +rI*scale (scale optional, default 1).
+    if (rest[0] == '-') {
+      return ErrorAt(line, "negative index register is not supported");
+    }
+    mem.indexed = true;
+    size_t star = body.find('*');
+    std::string_view idx_tok = star == std::string_view::npos ? body : body.substr(0, star);
+    YH_ASSIGN_OR_RETURN(mem.index, ParseReg(idx_tok, line));
+    if (star == std::string_view::npos) {
+      mem.disp_or_scale = 1;
+    } else {
+      YH_ASSIGN_OR_RETURN(mem.disp_or_scale,
+                          ParseInt64(TrimString(body.substr(star + 1))));
+    }
+    return mem;
+  }
+  YH_ASSIGN_OR_RETURN(int64_t disp, ParseInt64(TrimString(rest)));
+  mem.disp_or_scale = disp;
+  return mem;
+}
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source, std::string name) {
+  Program program(std::move(name));
+  std::map<std::string, Addr, std::less<>> labels;
+  std::vector<PendingInstruction> pending;
+  std::string entry_label;
+  int line_no = 0;
+
+  for (std::string_view raw_line : SplitString(source, '\n', /*skip_empty=*/false)) {
+    ++line_no;
+    // Strip comments.
+    size_t comment = raw_line.find_first_of(";#");
+    std::string_view line =
+        TrimString(comment == std::string_view::npos ? raw_line : raw_line.substr(0, comment));
+    if (line.empty()) {
+      continue;
+    }
+
+    // Directives.
+    if (line[0] == '.') {
+      auto parts = SplitString(line, ' ');
+      if (parts[0] == ".entry") {
+        if (parts.size() != 2) {
+          return ErrorAt(line_no, ".entry takes exactly one symbol");
+        }
+        entry_label = std::string(TrimString(parts[1]));
+        continue;
+      }
+      return ErrorAt(line_no, "unknown directive: " + std::string(parts[0]));
+    }
+
+    // Labels (possibly followed by an instruction on the same line).
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        break;
+      }
+      std::string label(TrimString(line.substr(0, colon)));
+      if (label.empty()) {
+        return ErrorAt(line_no, "empty label");
+      }
+      if (labels.count(label) != 0) {
+        return ErrorAt(line_no, "duplicate label: " + label);
+      }
+      labels[label] = static_cast<Addr>(pending.size());
+      line = TrimString(line.substr(colon + 1));
+      if (line.empty()) {
+        break;
+      }
+    }
+    if (line.empty()) {
+      continue;
+    }
+
+    // Mnemonic + operands.
+    size_t space = line.find_first_of(" \t");
+    std::string_view mnemonic = space == std::string_view::npos ? line : line.substr(0, space);
+    std::string_view operand_str =
+        space == std::string_view::npos ? std::string_view() : TrimString(line.substr(space));
+    auto op_result = OpcodeFromName(mnemonic);
+    if (!op_result.ok()) {
+      return ErrorAt(line_no, "unknown mnemonic: " + std::string(mnemonic));
+    }
+    const Opcode op = op_result.value();
+    const OpcodeInfo& info = GetOpcodeInfo(op);
+
+    std::vector<std::string_view> ops;
+    for (std::string_view piece : SplitString(operand_str, ',')) {
+      // Memory operands may not contain commas, so a simple comma split works.
+      ops.push_back(TrimString(piece));
+    }
+
+    PendingInstruction pi;
+    pi.insn.op = op;
+    pi.line = line_no;
+
+    auto expect_ops = [&](size_t n) -> Status {
+      if (ops.size() != n) {
+        return ErrorAt(line_no, StrFormat("%s expects %zu operands, got %zu",
+                                          info.name, n, ops.size()));
+      }
+      return Status::Ok();
+    };
+
+    switch (ClassOf(op)) {
+      case OpClass::kLoad: {
+        YH_RETURN_IF_ERROR(expect_ops(2));
+        YH_ASSIGN_OR_RETURN(pi.insn.rd, ParseReg(ops[0], line_no));
+        YH_ASSIGN_OR_RETURN(const MemOperand mem, ParseMemOperand(ops[1], line_no));
+        if (mem.indexed != (op == Opcode::kLoadx)) {
+          return ErrorAt(line_no, mem.indexed ? "indexed operand requires loadx"
+                                              : "loadx requires an indexed operand");
+        }
+        pi.insn.rs1 = mem.base;
+        pi.insn.rs2 = mem.index;
+        pi.insn.imm = mem.disp_or_scale;
+        break;
+      }
+      case OpClass::kStore: {
+        YH_RETURN_IF_ERROR(expect_ops(2));
+        YH_ASSIGN_OR_RETURN(const MemOperand mem, ParseMemOperand(ops[0], line_no));
+        if (mem.indexed) {
+          return ErrorAt(line_no, "store does not support indexed operands");
+        }
+        pi.insn.rs1 = mem.base;
+        pi.insn.imm = mem.disp_or_scale;
+        YH_ASSIGN_OR_RETURN(pi.insn.rs2, ParseReg(ops[1], line_no));
+        break;
+      }
+      case OpClass::kPrefetch: {
+        YH_RETURN_IF_ERROR(expect_ops(1));
+        YH_ASSIGN_OR_RETURN(const MemOperand mem, ParseMemOperand(ops[0], line_no));
+        if (mem.indexed) {
+          return ErrorAt(line_no, "prefetch does not support indexed operands");
+        }
+        pi.insn.rs1 = mem.base;
+        pi.insn.imm = mem.disp_or_scale;
+        break;
+      }
+      case OpClass::kBranch: {
+        YH_RETURN_IF_ERROR(expect_ops(3));
+        YH_ASSIGN_OR_RETURN(pi.insn.rs1, ParseReg(ops[0], line_no));
+        YH_ASSIGN_OR_RETURN(pi.insn.rs2, ParseReg(ops[1], line_no));
+        if (LooksLikeInteger(ops[2])) {
+          YH_ASSIGN_OR_RETURN(pi.insn.imm, ParseInt64(ops[2]));
+        } else {
+          pi.target_label = std::string(ops[2]);
+        }
+        break;
+      }
+      case OpClass::kJump:
+      case OpClass::kCall: {
+        YH_RETURN_IF_ERROR(expect_ops(1));
+        if (LooksLikeInteger(ops[0])) {
+          YH_ASSIGN_OR_RETURN(pi.insn.imm, ParseInt64(ops[0]));
+        } else {
+          pi.target_label = std::string(ops[0]);
+        }
+        break;
+      }
+      default: {
+        size_t expected = 0;
+        expected += info.has_rd ? 1 : 0;
+        expected += info.has_rs1 ? 1 : 0;
+        expected += info.has_rs2 ? 1 : 0;
+        expected += info.has_imm ? 1 : 0;
+        YH_RETURN_IF_ERROR(expect_ops(expected));
+        size_t i = 0;
+        if (info.has_rd) {
+          YH_ASSIGN_OR_RETURN(pi.insn.rd, ParseReg(ops[i++], line_no));
+        }
+        if (info.has_rs1) {
+          YH_ASSIGN_OR_RETURN(pi.insn.rs1, ParseReg(ops[i++], line_no));
+        }
+        if (info.has_rs2) {
+          YH_ASSIGN_OR_RETURN(pi.insn.rs2, ParseReg(ops[i++], line_no));
+        }
+        if (info.has_imm) {
+          YH_ASSIGN_OR_RETURN(pi.insn.imm, ParseInt64(ops[i++]));
+        }
+        break;
+      }
+    }
+    pending.push_back(std::move(pi));
+  }
+
+  // Second pass: resolve labels.
+  for (PendingInstruction& pi : pending) {
+    if (!pi.target_label.empty()) {
+      auto it = labels.find(pi.target_label);
+      if (it == labels.end()) {
+        return ErrorAt(pi.line, "undefined label: " + pi.target_label);
+      }
+      pi.insn.imm = it->second;
+    }
+    program.Append(pi.insn);
+  }
+  for (const auto& [label, addr] : labels) {
+    program.AddSymbol(label, addr);
+  }
+  if (!entry_label.empty()) {
+    YH_ASSIGN_OR_RETURN(const Addr entry, program.LookupSymbol(entry_label));
+    program.set_entry(entry);
+  }
+  YH_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+}  // namespace yieldhide::isa

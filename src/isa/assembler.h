@@ -1,0 +1,34 @@
+// Two-pass textual assembler for the yieldhide ISA.
+//
+// Syntax (one instruction or directive per line, ';' or '#' starts a comment):
+//
+//   .entry main            ; set the entry symbol (default: address 0)
+//   main:                  ; label (becomes a symbol)
+//     movi r1, 0x1000
+//   loop:
+//     load r2, [r1+8]      ; rd, [base+displacement]
+//     loadx r3, [r1+r2*8]  ; rd, [base+index*scale]
+//     store [r1+0], r2     ; [base+disp], source
+//     prefetch [r1+64]
+//     beq r2, r0, done     ; branch targets may be labels or absolute ints
+//     addi r1, r1, 8
+//     jmp loop
+//   done:
+//     yield
+//     halt
+#ifndef YIELDHIDE_SRC_ISA_ASSEMBLER_H_
+#define YIELDHIDE_SRC_ISA_ASSEMBLER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/isa/program.h"
+
+namespace yieldhide::isa {
+
+// Assembles `source` into a validated Program named `name`.
+Result<Program> Assemble(std::string_view source, std::string name = "asm");
+
+}  // namespace yieldhide::isa
+
+#endif  // YIELDHIDE_SRC_ISA_ASSEMBLER_H_

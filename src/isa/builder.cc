@@ -1,0 +1,37 @@
+#include "src/isa/builder.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::isa {
+
+void ProgramBuilder::Bind(Label label) {
+  label_targets_.at(label.id_) = static_cast<Addr>(instructions_.size());
+}
+
+ProgramBuilder::Label ProgramBuilder::Here(const std::string& symbol_name) {
+  Label label = NewLabel();
+  Bind(label);
+  symbol_labels_.emplace_back(symbol_name, label.id_);
+  return label;
+}
+
+Result<Program> ProgramBuilder::Build() && {
+  for (const Fixup& fixup : fixups_) {
+    const Addr target = label_targets_.at(fixup.label_id);
+    if (target == kInvalidAddr) {
+      return FailedPreconditionError(
+          StrFormat("label %zu referenced by instruction %zu was never bound",
+                    fixup.label_id, fixup.insn_index));
+    }
+    instructions_[fixup.insn_index].imm = target;
+  }
+  program_.ReplaceCode(std::move(instructions_));
+  program_.set_entry(entry_);
+  for (const auto& [name, label_id] : symbol_labels_) {
+    program_.AddSymbol(name, label_targets_.at(label_id));
+  }
+  YH_RETURN_IF_ERROR(program_.Validate());
+  return std::move(program_);
+}
+
+}  // namespace yieldhide::isa

@@ -1,0 +1,184 @@
+#include "src/isa/isa.h"
+
+#include <unordered_map>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::isa {
+
+namespace {
+
+constexpr OpcodeInfo kOpcodeTable[kNumOpcodes] = {
+    // name      class               rd     rs1    rs2    imm
+    {"nop",      OpClass::kNop,      false, false, false, false},
+    {"add",      OpClass::kAlu,      true,  true,  true,  false},
+    {"sub",      OpClass::kAlu,      true,  true,  true,  false},
+    {"mul",      OpClass::kAlu,      true,  true,  true,  false},
+    {"and",      OpClass::kAlu,      true,  true,  true,  false},
+    {"or",       OpClass::kAlu,      true,  true,  true,  false},
+    {"xor",      OpClass::kAlu,      true,  true,  true,  false},
+    {"shl",      OpClass::kAlu,      true,  true,  true,  false},
+    {"shr",      OpClass::kAlu,      true,  true,  true,  false},
+    {"addi",     OpClass::kAlu,      true,  true,  false, true},
+    {"andi",     OpClass::kAlu,      true,  true,  false, true},
+    {"shli",     OpClass::kAlu,      true,  true,  false, true},
+    {"shri",     OpClass::kAlu,      true,  true,  false, true},
+    {"muli",     OpClass::kAlu,      true,  true,  false, true},
+    {"movi",     OpClass::kAlu,      true,  false, false, true},
+    {"mov",      OpClass::kAlu,      true,  true,  false, false},
+    {"load",     OpClass::kLoad,     true,  true,  false, true},
+    {"loadx",    OpClass::kLoad,     true,  true,  true,  true},
+    {"store",    OpClass::kStore,    false, true,  true,  true},
+    {"prefetch", OpClass::kPrefetch, false, true,  false, true},
+    {"beq",      OpClass::kBranch,   false, true,  true,  true},
+    {"bne",      OpClass::kBranch,   false, true,  true,  true},
+    {"blt",      OpClass::kBranch,   false, true,  true,  true},
+    {"bge",      OpClass::kBranch,   false, true,  true,  true},
+    {"jmp",      OpClass::kJump,     false, false, false, true},
+    {"call",     OpClass::kCall,     false, false, false, true},
+    {"ret",      OpClass::kRet,      false, false, false, false},
+    {"yield",    OpClass::kYield,    false, false, false, false},
+    {"cyield",   OpClass::kYield,    false, false, false, false},
+    {"halt",     OpClass::kHalt,     false, false, false, false},
+};
+
+const std::unordered_map<std::string_view, Opcode>& MnemonicMap() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      (*m)[kOpcodeTable[i].name] = static_cast<Opcode>(i);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  return kOpcodeTable[static_cast<int>(op)];
+}
+
+Result<Opcode> OpcodeFromName(std::string_view name) {
+  const auto& map = MnemonicMap();
+  auto it = map.find(name);
+  if (it == map.end()) {
+    return NotFoundError("unknown mnemonic: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool IsControlFlow(const Instruction& insn) {
+  switch (ClassOf(insn.op)) {
+    case OpClass::kBranch:
+    case OpClass::kJump:
+    case OpClass::kCall:
+    case OpClass::kRet:
+    case OpClass::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasCodeTarget(const Instruction& insn) {
+  switch (ClassOf(insn.op)) {
+    case OpClass::kBranch:
+    case OpClass::kJump:
+    case OpClass::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CanFallThrough(const Instruction& insn) {
+  switch (ClassOf(insn.op)) {
+    case OpClass::kJump:
+    case OpClass::kRet:
+    case OpClass::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+EncodedInstruction Encode(const Instruction& insn) {
+  EncodedInstruction enc;
+  enc.word0 = static_cast<uint64_t>(insn.op) |
+              (static_cast<uint64_t>(insn.rd) << 8) |
+              (static_cast<uint64_t>(insn.rs1) << 16) |
+              (static_cast<uint64_t>(insn.rs2) << 24);
+  enc.word1 = static_cast<uint64_t>(insn.imm);
+  return enc;
+}
+
+Result<Instruction> Decode(const EncodedInstruction& enc) {
+  Instruction insn;
+  const uint8_t op = static_cast<uint8_t>(enc.word0 & 0xff);
+  if (op >= kNumOpcodes) {
+    return InvalidArgumentError(StrFormat("invalid opcode byte %u", op));
+  }
+  insn.op = static_cast<Opcode>(op);
+  insn.rd = static_cast<Reg>((enc.word0 >> 8) & 0xff);
+  insn.rs1 = static_cast<Reg>((enc.word0 >> 16) & 0xff);
+  insn.rs2 = static_cast<Reg>((enc.word0 >> 24) & 0xff);
+  if (insn.rd >= kNumRegisters || insn.rs1 >= kNumRegisters ||
+      insn.rs2 >= kNumRegisters) {
+    return InvalidArgumentError("register field out of range");
+  }
+  if ((enc.word0 >> 32) != 0) {
+    return InvalidArgumentError("reserved bits set in word0");
+  }
+  insn.imm = static_cast<int64_t>(enc.word1);
+  return insn;
+}
+
+std::string FormatInstruction(const Instruction& insn) {
+  const OpcodeInfo& info = GetOpcodeInfo(insn.op);
+  switch (ClassOf(insn.op)) {
+    case OpClass::kLoad:
+      if (insn.op == Opcode::kLoadx) {
+        return StrFormat("loadx r%d, [r%d+r%d*%lld]", insn.rd, insn.rs1, insn.rs2,
+                         static_cast<long long>(insn.imm));
+      }
+      return StrFormat("load r%d, [r%d%+lld]", insn.rd, insn.rs1,
+                       static_cast<long long>(insn.imm));
+    case OpClass::kStore:
+      return StrFormat("store [r%d%+lld], r%d", insn.rs1,
+                       static_cast<long long>(insn.imm), insn.rs2);
+    case OpClass::kPrefetch:
+      return StrFormat("prefetch [r%d%+lld]", insn.rs1,
+                       static_cast<long long>(insn.imm));
+    case OpClass::kBranch:
+      return StrFormat("%s r%d, r%d, %lld", info.name, insn.rs1, insn.rs2,
+                       static_cast<long long>(insn.imm));
+    case OpClass::kJump:
+    case OpClass::kCall:
+      return StrFormat("%s %lld", info.name, static_cast<long long>(insn.imm));
+    default:
+      break;
+  }
+  std::string out = info.name;
+  bool first = true;
+  auto append = [&](const std::string& operand) {
+    out += first ? " " : ", ";
+    out += operand;
+    first = false;
+  };
+  if (info.has_rd) {
+    append(StrFormat("r%d", insn.rd));
+  }
+  if (info.has_rs1) {
+    append(StrFormat("r%d", insn.rs1));
+  }
+  if (info.has_rs2) {
+    append(StrFormat("r%d", insn.rs2));
+  }
+  if (info.has_imm) {
+    append(StrFormat("%lld", static_cast<long long>(insn.imm)));
+  }
+  return out;
+}
+
+}  // namespace yieldhide::isa

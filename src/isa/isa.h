@@ -1,0 +1,159 @@
+// The yieldhide instruction set.
+//
+// The paper's mechanism operates on post-link binaries: it disassembles them,
+// recovers a CFG, and inserts prefetch/yield sequences at load instructions
+// chosen from profile data. Reproducing that on real x86 requires a full
+// decoder and relocation engine, so we define a small RISC-style ISA with the
+// properties the mechanism actually depends on:
+//
+//   * instructions have stable addresses (one address unit per instruction),
+//   * branches carry absolute targets that a rewriter must fix up,
+//   * loads/stores address a flat byte-addressed memory through registers,
+//   * PREFETCH / YIELD / CYIELD exist as first-class instructions, and
+//   * a binary (not in-memory object) encoding exists, so the instrumenter
+//     provably needs nothing beyond the bytes of the program.
+//
+// Execution semantics live in src/sim; this module is purely representation.
+#ifndef YIELDHIDE_SRC_ISA_ISA_H_
+#define YIELDHIDE_SRC_ISA_ISA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace yieldhide::isa {
+
+// Instruction address: index of the instruction in the program, one unit per
+// instruction (analogous to a fixed 16-byte instruction word).
+using Addr = uint32_t;
+inline constexpr Addr kInvalidAddr = 0xffffffffu;
+
+// 16 general-purpose 64-bit registers. By convention r15 is the stack pointer
+// used by CALL/RET-heavy code, but nothing in the ISA enforces that.
+inline constexpr int kNumRegisters = 16;
+using Reg = uint8_t;
+inline constexpr Reg kRegSp = 15;
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+  // ALU, register-register: rd = rs1 <op> rs2.
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  // ALU, immediate: rd = rs1 <op> imm.
+  kAddi,
+  kAndi,
+  kShli,
+  kShri,
+  kMuli,
+  // Moves: rd = imm / rd = rs1.
+  kMovi,
+  kMov,
+  // Memory. kLoad: rd = mem[rs1 + imm]; kLoadx: rd = mem[rs1 + rs2*imm]
+  // (imm = scale); kStore: mem[rs1 + imm] = rs2; kPrefetch: hint-fetch
+  // mem[rs1 + imm] into cache without blocking.
+  kLoad,
+  kLoadx,
+  kStore,
+  kPrefetch,
+  // Control flow. Branches compare rs1 against rs2 and jump to `imm`
+  // (absolute instruction address) when the condition holds.
+  kBeq,
+  kBne,
+  kBlt,   // signed <
+  kBge,   // signed >=
+  kJmp,   // unconditional jump to imm
+  kCall,  // push return address on an implicit call stack, jump to imm
+  kRet,   // pop and jump
+  // Coroutine control. kYield unconditionally suspends the current context.
+  // kCyield suspends only when the context's conditional-yield flag is on —
+  // this is the paper's scavenger-phase conditional yield, togglable at run
+  // time to switch a coroutine between primary and scavenger mode.
+  kYield,
+  kCyield,
+  // Terminates the context.
+  kHalt,
+  kOpcodeCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kOpcodeCount);
+
+// Broad behavioural class of an opcode; analyses dispatch on this.
+enum class OpClass : uint8_t {
+  kNop,
+  kAlu,
+  kLoad,
+  kStore,
+  kPrefetch,
+  kBranch,  // conditional
+  kJump,    // unconditional direct
+  kCall,
+  kRet,
+  kYield,
+  kHalt,
+};
+
+// One decoded instruction. `imm` doubles as the branch/jump/call target
+// (absolute Addr) for control-flow opcodes.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Reg rd = 0;
+  Reg rs1 = 0;
+  Reg rs2 = 0;
+  int64_t imm = 0;
+
+  bool operator==(const Instruction& other) const = default;
+};
+
+// Static metadata about an opcode.
+struct OpcodeInfo {
+  const char* name;      // assembler mnemonic
+  OpClass op_class;
+  bool has_rd;           // writes rd
+  bool has_rs1;
+  bool has_rs2;
+  bool has_imm;
+};
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+inline OpClass ClassOf(Opcode op) { return GetOpcodeInfo(op).op_class; }
+inline const char* NameOf(Opcode op) { return GetOpcodeInfo(op).name; }
+
+// Looks up an opcode by mnemonic; NOT_FOUND for unknown mnemonics.
+Result<Opcode> OpcodeFromName(std::string_view name);
+
+// True if the instruction can transfer control somewhere other than pc+1.
+bool IsControlFlow(const Instruction& insn);
+// True for kBranch/kJump/kCall, i.e. ops whose imm is an instruction address
+// that a binary rewriter must relocate when instructions are inserted.
+bool HasCodeTarget(const Instruction& insn);
+// True if execution can fall through to pc+1 (false for jmp/ret/halt).
+bool CanFallThrough(const Instruction& insn);
+
+// Binary encoding: each instruction is two little-endian 64-bit words.
+//   word0 = op | rd<<8 | rs1<<16 | rs2<<24
+//   word1 = imm (two's complement)
+struct EncodedInstruction {
+  uint64_t word0 = 0;
+  uint64_t word1 = 0;
+
+  bool operator==(const EncodedInstruction& other) const = default;
+};
+
+EncodedInstruction Encode(const Instruction& insn);
+// Validates opcode and register fields.
+Result<Instruction> Decode(const EncodedInstruction& enc);
+
+// One-line textual form, e.g. "load r2, [r1+16]" or "beq r1, r2, 42".
+std::string FormatInstruction(const Instruction& insn);
+
+}  // namespace yieldhide::isa
+
+#endif  // YIELDHIDE_SRC_ISA_ISA_H_

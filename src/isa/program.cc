@@ -1,0 +1,165 @@
+#include "src/isa/program.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::isa {
+
+namespace {
+constexpr uint64_t kMagic = 0x79686269'6e000001ull;  // "yhbin" v1
+}  // namespace
+
+Result<Addr> Program::LookupSymbol(const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    return NotFoundError("no symbol named " + name);
+  }
+  return it->second;
+}
+
+Result<Addr> Program::AppendProgram(const Program& other) {
+  YH_RETURN_IF_ERROR(other.Validate());
+  const Addr offset = static_cast<Addr>(code_.size());
+  for (const Instruction& insn : other.code_) {
+    Instruction shifted = insn;
+    if (HasCodeTarget(shifted)) {
+      shifted.imm += offset;
+    }
+    code_.push_back(shifted);
+  }
+  for (const auto& [name, addr] : other.symbols_) {
+    AddSymbol(other.name_ + "." + name, addr + offset);
+  }
+  return offset + other.entry_;
+}
+
+Status Program::Validate() const {
+  if (code_.empty()) {
+    return FailedPreconditionError("program has no instructions");
+  }
+  if (entry_ >= code_.size()) {
+    return OutOfRangeError(StrFormat("entry %u outside code of size %zu",
+                                     entry_, code_.size()));
+  }
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& insn = code_[i];
+    if (static_cast<int>(insn.op) >= kNumOpcodes) {
+      return InvalidArgumentError(StrFormat("invalid opcode at %zu", i));
+    }
+    if (insn.rd >= kNumRegisters || insn.rs1 >= kNumRegisters ||
+        insn.rs2 >= kNumRegisters) {
+      return InvalidArgumentError(StrFormat("register out of range at %zu", i));
+    }
+    if (HasCodeTarget(insn)) {
+      if (insn.imm < 0 || static_cast<uint64_t>(insn.imm) >= code_.size()) {
+        return OutOfRangeError(
+            StrFormat("instruction %zu targets %lld outside code of size %zu", i,
+                      static_cast<long long>(insn.imm), code_.size()));
+      }
+    }
+  }
+  for (const auto& [name, addr] : symbols_) {
+    if (addr >= code_.size()) {
+      return OutOfRangeError(StrFormat("symbol %s at %u outside code",
+                                       name.c_str(), addr));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> Program::Serialize() const {
+  std::vector<uint64_t> image;
+  image.reserve(4 + code_.size() * 2);
+  image.push_back(kMagic);
+  image.push_back(entry_);
+  image.push_back(code_.size());
+  for (const Instruction& insn : code_) {
+    const EncodedInstruction enc = Encode(insn);
+    image.push_back(enc.word0);
+    image.push_back(enc.word1);
+  }
+  image.push_back(symbols_.size());
+  for (const auto& [name, addr] : symbols_) {
+    image.push_back(addr);
+    image.push_back(name.size());
+    // Pack the name 8 bytes per word, zero padded.
+    for (size_t i = 0; i < name.size(); i += 8) {
+      uint64_t word = 0;
+      for (size_t j = 0; j < 8 && i + j < name.size(); ++j) {
+        word |= static_cast<uint64_t>(static_cast<uint8_t>(name[i + j])) << (8 * j);
+      }
+      image.push_back(word);
+    }
+  }
+  return image;
+}
+
+Result<Program> Program::Deserialize(const std::vector<uint64_t>& image) {
+  size_t pos = 0;
+  auto next = [&]() -> Result<uint64_t> {
+    if (pos >= image.size()) {
+      return OutOfRangeError("truncated program image");
+    }
+    return image[pos++];
+  };
+
+  YH_ASSIGN_OR_RETURN(const uint64_t magic, next());
+  if (magic != kMagic) {
+    return InvalidArgumentError("bad program magic");
+  }
+  Program program;
+  YH_ASSIGN_OR_RETURN(const uint64_t entry, next());
+  YH_ASSIGN_OR_RETURN(const uint64_t count, next());
+  if (count > (1u << 28)) {
+    return OutOfRangeError("implausible instruction count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    EncodedInstruction enc;
+    YH_ASSIGN_OR_RETURN(enc.word0, next());
+    YH_ASSIGN_OR_RETURN(enc.word1, next());
+    YH_ASSIGN_OR_RETURN(const Instruction insn, Decode(enc));
+    program.Append(insn);
+  }
+  program.set_entry(static_cast<Addr>(entry));
+  YH_ASSIGN_OR_RETURN(const uint64_t nsyms, next());
+  for (uint64_t i = 0; i < nsyms; ++i) {
+    YH_ASSIGN_OR_RETURN(const uint64_t addr, next());
+    YH_ASSIGN_OR_RETURN(const uint64_t len, next());
+    if (len > 4096) {
+      return OutOfRangeError("implausible symbol length");
+    }
+    std::string name;
+    name.reserve(len);
+    for (uint64_t off = 0; off < len; off += 8) {
+      YH_ASSIGN_OR_RETURN(const uint64_t word, next());
+      for (uint64_t j = 0; j < 8 && off + j < len; ++j) {
+        name.push_back(static_cast<char>((word >> (8 * j)) & 0xff));
+      }
+    }
+    program.AddSymbol(name, static_cast<Addr>(addr));
+  }
+  YH_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+std::string Program::Disassemble() const {
+  // Invert the symbol table for annotation.
+  std::map<Addr, std::vector<std::string>> by_addr;
+  for (const auto& [name, addr] : symbols_) {
+    by_addr[addr].push_back(name);
+  }
+  std::string out;
+  out += StrFormat("; program '%s', %zu instructions, entry=%u\n", name_.c_str(),
+                   code_.size(), entry_);
+  for (size_t i = 0; i < code_.size(); ++i) {
+    auto it = by_addr.find(static_cast<Addr>(i));
+    if (it != by_addr.end()) {
+      for (const std::string& sym : it->second) {
+        out += sym + ":\n";
+      }
+    }
+    out += StrFormat("%6zu:  %s\n", i, FormatInstruction(code_[i]).c_str());
+  }
+  return out;
+}
+
+}  // namespace yieldhide::isa

@@ -1,0 +1,76 @@
+// Program: the "binary" the rest of the system operates on — a flat sequence
+// of encoded instructions plus an entry point and an optional symbol table.
+// The instrumentation pipeline consumes a serialized Program and produces a
+// new one; it deliberately has no access to higher-level structure, matching
+// the paper's choice of binary-level instrumentation.
+#ifndef YIELDHIDE_SRC_ISA_PROGRAM_H_
+#define YIELDHIDE_SRC_ISA_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/isa/isa.h"
+
+namespace yieldhide::isa {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Addr entry() const { return entry_; }
+  void set_entry(Addr entry) { entry_ = entry; }
+
+  size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  const Instruction& at(Addr addr) const { return code_[addr]; }
+  Instruction& at(Addr addr) { return code_[addr]; }
+  const std::vector<Instruction>& code() const { return code_; }
+
+  Addr Append(const Instruction& insn) {
+    code_.push_back(insn);
+    return static_cast<Addr>(code_.size() - 1);
+  }
+
+  // Links `other` onto the end of this program: appends its instructions
+  // with code targets shifted, and imports its symbols prefixed with
+  // "<other.name>.". Returns the address where `other`'s entry landed.
+  Result<Addr> AppendProgram(const Program& other);
+
+  void ReplaceCode(std::vector<Instruction> code) { code_ = std::move(code); }
+
+  // Symbols name instruction addresses (function entries, labels). Multiple
+  // symbols may share an address; names are unique.
+  void AddSymbol(const std::string& name, Addr addr) { symbols_[name] = addr; }
+  Result<Addr> LookupSymbol(const std::string& name) const;
+  const std::map<std::string, Addr>& symbols() const { return symbols_; }
+
+  // Structural validation: entry and all code targets in range, registers
+  // valid (always true for decoded programs), non-empty.
+  Status Validate() const;
+
+  // Flat binary image: [magic, version, entry, count, count*2 words, symbol
+  // table]. Round-trips through Serialize/Deserialize exactly.
+  std::vector<uint64_t> Serialize() const;
+  static Result<Program> Deserialize(const std::vector<uint64_t>& image);
+
+  // Multi-line listing with addresses and symbol annotations.
+  std::string Disassemble() const;
+
+ private:
+  std::string name_;
+  Addr entry_ = 0;
+  std::vector<Instruction> code_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace yieldhide::isa
+
+#endif  // YIELDHIDE_SRC_ISA_PROGRAM_H_

@@ -1,0 +1,40 @@
+#include "src/isa/program_io.h"
+
+#include <fstream>
+
+namespace yieldhide::isa {
+
+Status SaveProgram(const Program& program, const std::string& path) {
+  YH_RETURN_IF_ERROR(program.Validate());
+  const std::vector<uint64_t> image = program.Serialize();
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  file.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.size() * sizeof(uint64_t)));
+  if (!file.good()) {
+    return InternalError("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Result<Program> LoadProgram(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  const std::streamsize bytes = file.tellg();
+  if (bytes < 0 || bytes % static_cast<std::streamsize>(sizeof(uint64_t)) != 0) {
+    return InvalidArgumentError(path + " is not a whole number of 64-bit words");
+  }
+  std::vector<uint64_t> image(static_cast<size_t>(bytes) / sizeof(uint64_t));
+  file.seekg(0);
+  file.read(reinterpret_cast<char*>(image.data()), bytes);
+  if (!file.good()) {
+    return InternalError("read from " + path + " failed");
+  }
+  return Program::Deserialize(image);
+}
+
+}  // namespace yieldhide::isa

@@ -1,0 +1,17 @@
+// Program file round-trip (the serialized "yhbin" image as a binary file).
+#ifndef YIELDHIDE_SRC_ISA_PROGRAM_IO_H_
+#define YIELDHIDE_SRC_ISA_PROGRAM_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/isa/program.h"
+
+namespace yieldhide::isa {
+
+Status SaveProgram(const Program& program, const std::string& path);
+Result<Program> LoadProgram(const std::string& path);
+
+}  // namespace yieldhide::isa
+
+#endif  // YIELDHIDE_SRC_ISA_PROGRAM_IO_H_

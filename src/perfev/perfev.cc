@@ -1,0 +1,266 @@
+#include "src/perfev/perfev.h"
+
+#include <linux/perf_event.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::perfev {
+
+namespace {
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  return static_cast<int>(syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+void FillAttr(perf_event_attr* attr, CounterKind kind) {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  attr->disabled = 1;
+  attr->exclude_kernel = 1;
+  attr->exclude_hv = 1;
+  switch (kind) {
+    case CounterKind::kCycles:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case CounterKind::kInstructions:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case CounterKind::kCacheMisses:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CACHE_MISSES;
+      break;
+    case CounterKind::kCacheReferences:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CACHE_REFERENCES;
+      break;
+    case CounterKind::kStalledCyclesBackend:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_STALLED_CYCLES_BACKEND;
+      break;
+  }
+}
+
+Status ErrnoStatus(const char* what) {
+  const int err = errno;
+  if (err == EACCES || err == EPERM || err == ENOENT || err == ENOSYS ||
+      err == ENODEV) {
+    return UnavailableError(StrFormat("%s: %s", what, strerror(err)));
+  }
+  return InternalError(StrFormat("%s: %s", what, strerror(err)));
+}
+
+}  // namespace
+
+const char* CounterKindName(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kCycles:
+      return "cycles";
+    case CounterKind::kInstructions:
+      return "instructions";
+    case CounterKind::kCacheMisses:
+      return "cache-misses";
+    case CounterKind::kCacheReferences:
+      return "cache-references";
+    case CounterKind::kStalledCyclesBackend:
+      return "stalled-cycles-backend";
+  }
+  return "?";
+}
+
+bool PerfEventsAvailable() {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_SOFTWARE;
+  attr.config = PERF_COUNT_SW_TASK_CLOCK;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const int fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+  if (fd < 0) {
+    return false;
+  }
+  close(fd);
+  return true;
+}
+
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+Result<PerfCounter> PerfCounter::Open(CounterKind kind) {
+  perf_event_attr attr;
+  FillAttr(&attr, kind);
+  const int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, 0);
+  if (fd < 0) {
+    return ErrnoStatus(CounterKindName(kind));
+  }
+  return PerfCounter(fd);
+}
+
+Status PerfCounter::Start() {
+  if (ioctl(fd_, PERF_EVENT_IOC_RESET, 0) != 0 ||
+      ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0) != 0) {
+    return ErrnoStatus("enable counter");
+  }
+  return Status::Ok();
+}
+
+Status PerfCounter::Stop() {
+  if (ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0) != 0) {
+    return ErrnoStatus("disable counter");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> PerfCounter::Read() const {
+  uint64_t value = 0;
+  if (read(fd_, &value, sizeof(value)) != sizeof(value)) {
+    return ErrnoStatus("read counter");
+  }
+  return value;
+}
+
+PerfSampler::PerfSampler(PerfSampler&& other) noexcept
+    : fd_(other.fd_), ring_(other.ring_), ring_bytes_(other.ring_bytes_) {
+  other.fd_ = -1;
+  other.ring_ = nullptr;
+  other.ring_bytes_ = 0;
+}
+
+PerfSampler& PerfSampler::operator=(PerfSampler&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    ring_ = other.ring_;
+    ring_bytes_ = other.ring_bytes_;
+    other.fd_ = -1;
+    other.ring_ = nullptr;
+    other.ring_bytes_ = 0;
+  }
+  return *this;
+}
+
+PerfSampler::~PerfSampler() { Close(); }
+
+void PerfSampler::Close() {
+  if (ring_ != nullptr) {
+    munmap(ring_, ring_bytes_);
+    ring_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<PerfSampler> PerfSampler::Open(const Config& config) {
+  perf_event_attr attr;
+  FillAttr(&attr, config.kind);
+  attr.sample_period = config.period;
+  attr.sample_type = PERF_SAMPLE_IP | PERF_SAMPLE_TID;
+  attr.wakeup_events = 1;
+  const int fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+  if (fd < 0) {
+    return ErrnoStatus("open sampler");
+  }
+  PerfSampler sampler;
+  sampler.fd_ = fd;
+  const long page = sysconf(_SC_PAGESIZE);
+  sampler.ring_bytes_ = static_cast<size_t>(page) * (config.ring_pages + 1);
+  sampler.ring_ =
+      mmap(nullptr, sampler.ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (sampler.ring_ == MAP_FAILED) {
+    sampler.ring_ = nullptr;
+    return ErrnoStatus("mmap sampler ring");
+  }
+  return sampler;
+}
+
+Status PerfSampler::Start() {
+  if (ioctl(fd_, PERF_EVENT_IOC_RESET, 0) != 0 ||
+      ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0) != 0) {
+    return ErrnoStatus("enable sampler");
+  }
+  return Status::Ok();
+}
+
+Status PerfSampler::Stop() {
+  if (ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0) != 0) {
+    return ErrnoStatus("disable sampler");
+  }
+  return Status::Ok();
+}
+
+std::vector<PerfSampler::Sample> PerfSampler::Drain() {
+  std::vector<Sample> samples;
+  if (ring_ == nullptr) {
+    return samples;
+  }
+  auto* meta = static_cast<perf_event_mmap_page*>(ring_);
+  const long page = sysconf(_SC_PAGESIZE);
+  uint8_t* data = static_cast<uint8_t*>(ring_) + page;
+  const uint64_t data_size = ring_bytes_ - static_cast<size_t>(page);
+
+  uint64_t head = __atomic_load_n(&meta->data_head, __ATOMIC_ACQUIRE);
+  uint64_t tail = meta->data_tail;
+  while (tail < head) {
+    auto* header = reinterpret_cast<perf_event_header*>(data + (tail % data_size));
+    // Records never wrap in practice for our small record size, but guard
+    // against a header straddling the ring edge by copying.
+    perf_event_header hcopy;
+    if (tail % data_size + sizeof(hcopy) <= data_size) {
+      hcopy = *header;
+    } else {
+      for (size_t i = 0; i < sizeof(hcopy); ++i) {
+        reinterpret_cast<uint8_t*>(&hcopy)[i] = data[(tail + i) % data_size];
+      }
+    }
+    if (hcopy.type == PERF_RECORD_SAMPLE && hcopy.size >= sizeof(perf_event_header) + 16) {
+      uint8_t record[64];
+      const size_t body = hcopy.size < sizeof(record) ? hcopy.size : sizeof(record);
+      for (size_t i = 0; i < body; ++i) {
+        record[i] = data[(tail + i) % data_size];
+      }
+      Sample sample;
+      std::memcpy(&sample.ip, record + sizeof(perf_event_header), 8);
+      std::memcpy(&sample.pid, record + sizeof(perf_event_header) + 8, 4);
+      std::memcpy(&sample.tid, record + sizeof(perf_event_header) + 12, 4);
+      samples.push_back(sample);
+    }
+    tail += hcopy.size == 0 ? sizeof(perf_event_header) : hcopy.size;
+  }
+  __atomic_store_n(&meta->data_tail, tail, __ATOMIC_RELEASE);
+  return samples;
+}
+
+}  // namespace yieldhide::perfev

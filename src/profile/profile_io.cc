@@ -1,0 +1,57 @@
+#include "src/profile/profile_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace yieldhide::profile {
+
+namespace {
+constexpr char kSectionSeparator[] = "%%";
+}  // namespace
+
+std::string SerializeProfileData(const ProfileData& data) {
+  std::string out = data.loads.Serialize();
+  out += kSectionSeparator;
+  out += "\n";
+  out += data.blocks.Serialize();
+  return out;
+}
+
+Result<ProfileData> DeserializeProfileData(std::string_view text) {
+  const size_t split = text.find(kSectionSeparator);
+  if (split == std::string_view::npos) {
+    return InvalidArgumentError("profile file missing section separator");
+  }
+  ProfileData data;
+  YH_ASSIGN_OR_RETURN(data.loads, LoadProfile::Deserialize(text.substr(0, split)));
+  std::string_view rest = text.substr(split + sizeof(kSectionSeparator) - 1);
+  while (!rest.empty() && (rest.front() == '\n' || rest.front() == '\r')) {
+    rest.remove_prefix(1);
+  }
+  YH_ASSIGN_OR_RETURN(data.blocks, BlockLatencyProfile::Deserialize(rest));
+  return data;
+}
+
+Status SaveProfileData(const ProfileData& data, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  file << SerializeProfileData(data);
+  if (!file.good()) {
+    return InternalError("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Result<ProfileData> LoadProfileData(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeProfileData(buffer.str());
+}
+
+}  // namespace yieldhide::profile

@@ -1,0 +1,25 @@
+// File round-trip for ProfileData: the production deployment the paper
+// describes collects profiles on live machines and instruments binaries in a
+// separate build step, so profiles must survive serialization. One text file
+// holds both sections (loads, blocks).
+#ifndef YIELDHIDE_SRC_PROFILE_PROFILE_IO_H_
+#define YIELDHIDE_SRC_PROFILE_PROFILE_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/profile/profile.h"
+
+namespace yieldhide::profile {
+
+// Renders the combined profile as text (stable format, versioned headers).
+std::string SerializeProfileData(const ProfileData& data);
+Result<ProfileData> DeserializeProfileData(std::string_view text);
+
+// Convenience file wrappers.
+Status SaveProfileData(const ProfileData& data, const std::string& path);
+Result<ProfileData> LoadProfileData(const std::string& path);
+
+}  // namespace yieldhide::profile
+
+#endif  // YIELDHIDE_SRC_PROFILE_PROFILE_IO_H_

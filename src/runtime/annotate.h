@@ -1,0 +1,20 @@
+// Helper for running binaries that skipped the instrumentation pipeline
+// (baselines, hand-instrumented CoroBase-style programs): wraps a Program
+// into an InstrumentedProgram whose side-table covers the yields already in
+// the binary, so every scheduler input carries yield metadata.
+#ifndef YIELDHIDE_SRC_RUNTIME_ANNOTATE_H_
+#define YIELDHIDE_SRC_RUNTIME_ANNOTATE_H_
+
+#include "src/instrument/types.h"
+#include "src/sim/config.h"
+
+namespace yieldhide::runtime {
+
+// Marks every YIELD/CYIELD in `program` as a manual yield that saves all
+// registers at the machine's default switch cost.
+instrument::InstrumentedProgram AnnotateManualYields(const isa::Program& program,
+                                                     const sim::CostModel& cost);
+
+}  // namespace yieldhide::runtime
+
+#endif  // YIELDHIDE_SRC_RUNTIME_ANNOTATE_H_

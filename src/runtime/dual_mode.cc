@@ -1,0 +1,254 @@
+#include "src/runtime/dual_mode.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::runtime {
+
+namespace {
+constexpr uint32_t kSelfResumeCycles = 2;
+}  // namespace
+
+std::string DualModeReport::Summary() const {
+  return StrFormat(
+      "tasks=%zu primary_latency[%s] efficiency=%.1f%% primary_stall=%s "
+      "scavenger_issue=%s chains=%llu spawned=%llu",
+      run.completions.size(), primary_latency.Summary().c_str(),
+      100.0 * CpuEfficiency(), WithCommas(primary_stall_cycles).c_str(),
+      WithCommas(scavenger_issue_cycles).c_str(),
+      static_cast<unsigned long long>(chains),
+      static_cast<unsigned long long>(scavengers_spawned));
+}
+
+DualModeScheduler::DualModeScheduler(const instrument::InstrumentedProgram* primary_binary,
+                                     const instrument::InstrumentedProgram* scavenger_binary,
+                                     sim::Machine* machine, const DualModeConfig& config)
+    : primary_binary_(primary_binary),
+      scavenger_binary_(scavenger_binary),
+      machine_(machine),
+      config_(config),
+      primary_executor_(&primary_binary->program, machine),
+      scavenger_executor_(&scavenger_binary->program, machine) {}
+
+void DualModeScheduler::AddPrimaryTask(ContextSetup setup) {
+  primary_tasks_.push_back(std::move(setup));
+}
+
+void DualModeScheduler::SetScavengerFactory(ScavengerFactory factory) {
+  factory_ = std::move(factory);
+}
+
+uint32_t DualModeScheduler::SwitchCostAt(const instrument::InstrumentedProgram& binary,
+                                         isa::Addr yield_ip) const {
+  auto it = binary.yields.find(yield_ip);
+  if (it != binary.yields.end() && it->second.switch_cycles > 0) {
+    return it->second.switch_cycles;
+  }
+  return machine_->config().cost.yield_switch_cycles;
+}
+
+bool DualModeScheduler::SpawnScavenger() {
+  if (!factory_ || scavengers_.size() >= config_.max_scavengers) {
+    return false;
+  }
+  std::optional<ContextSetup> setup = factory_();
+  if (!setup.has_value()) {
+    return false;
+  }
+  Scavenger scavenger;
+  scavenger.ctx.id = 1000 + static_cast<int>(scavengers_.size());
+  scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
+  scavenger.ctx.cyield_enabled = true;  // scavenger mode: CYIELDs fire
+  (*setup)(scavenger.ctx);
+  scavengers_.push_back(std::move(scavenger));
+  ++report_.scavengers_spawned;
+  return true;
+}
+
+int DualModeScheduler::AcquireScavenger(const std::vector<bool>* ran_this_burst) {
+  auto skip = [&](size_t idx) {
+    return scavengers_[idx].ctx.halted ||
+           (ran_this_burst != nullptr && idx < ran_this_burst->size() &&
+            (*ran_this_burst)[idx]);
+  };
+  for (size_t i = 0; i < scavengers_.size(); ++i) {
+    const size_t idx = (scavenger_cursor_ + i) % scavengers_.size();
+    if (!skip(idx)) {
+      scavenger_cursor_ = (idx + 1) % scavengers_.size();
+      return static_cast<int>(idx);
+    }
+  }
+  // Every pool member already ran this burst (or halted): scale the pool on
+  // demand so the chain keeps consuming fresh cycles instead of resuming a
+  // scavenger whose own prefetch is still in flight.
+  if (SpawnScavenger()) {
+    return static_cast<int>(scavengers_.size() - 1);
+  }
+  // Pool at its cap: wrap to the least-recently-run live scavenger.
+  for (size_t i = 0; i < scavengers_.size(); ++i) {
+    const size_t idx = (scavenger_cursor_ + i) % scavengers_.size();
+    if (!scavengers_[idx].ctx.halted) {
+      scavenger_cursor_ = (idx + 1) % scavengers_.size();
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+Result<DualModeReport> DualModeScheduler::Run() {
+  report_ = DualModeReport{};
+  const uint64_t run_start = machine_->now();
+
+  for (size_t i = 0; i < config_.initial_scavengers; ++i) {
+    if (!SpawnScavenger()) {
+      break;
+    }
+  }
+
+  // Runs scavenger work until ~window cycles elapse or a scavenger decides to
+  // hand back. Returns an error status only on executor errors.
+  auto run_scavenger_burst = [&]() -> Status {
+    // Which pool members already ran in this burst; a chain prefers unvisited
+    // scavengers so nobody is resumed into its own in-flight prefetch.
+    std::vector<bool> ran(scavengers_.size(), false);
+    int idx = AcquireScavenger(&ran);
+    if (idx < 0) {
+      machine_->AdvanceClock(kSelfResumeCycles);
+      report_.run.switch_cycles += kSelfResumeCycles;
+      return Status::Ok();
+    }
+    const uint64_t burst_start = machine_->now();
+    while (true) {
+      if (report_.run.instructions >= config_.max_total_instructions) {
+        return ResourceExhaustedError("dual-mode run exceeded instruction budget");
+      }
+      Scavenger& scavenger = scavengers_[idx];
+      if (static_cast<size_t>(idx) >= ran.size()) {
+        ran.resize(idx + 1, false);
+      }
+      ran[idx] = true;
+      const isa::Addr ip = scavenger.ctx.pc;
+      const sim::StepResult step =
+          scavenger_executor_.Step(scavenger.ctx, sim::StallPolicy::kBlocking);
+      ++report_.run.instructions;
+      if (step.event == sim::StepEvent::kError) {
+        return step.status;
+      }
+      if (step.event == sim::StepEvent::kExecuted) {
+        continue;
+      }
+
+      const bool window_consumed =
+          machine_->now() - burst_start >= config_.hide_window_cycles;
+
+      if (step.event == sim::StepEvent::kHalted) {
+        // Retire its accounting now; the slot may be reused by a respawn.
+        report_.scavenger_issue_cycles += scavenger.ctx.issue_cycles;
+        report_.run.issue_cycles += scavenger.ctx.issue_cycles;
+        report_.run.stall_cycles += scavenger.ctx.stall_cycles;
+        report_.run.switch_cycles += scavenger.ctx.switch_cycles;
+        scavenger.exhausted = true;
+        if (factory_) {
+          std::optional<ContextSetup> setup = factory_();
+          if (setup.has_value()) {
+            scavenger.ctx = sim::CpuContext{};
+            scavenger.ctx.id = 1000 + idx;
+            scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
+            scavenger.ctx.cyield_enabled = true;
+            (*setup)(scavenger.ctx);
+            scavenger.exhausted = false;
+            ++report_.scavengers_spawned;
+          }
+        }
+        if (window_consumed) {
+          return Status::Ok();
+        }
+        const int halted_next = AcquireScavenger(&ran);
+        if (halted_next < 0) {
+          return Status::Ok();
+        }
+        ++report_.chains;
+        idx = halted_next;
+        continue;
+      }
+
+      // Yielded. Charge the switch out of this scavenger wherever it goes.
+      const uint32_t cost = SwitchCostAt(*scavenger_binary_, ip);
+      machine_->AdvanceClock(cost);
+      scavenger.ctx.switch_cycles += cost;
+      scavenger.ctx.yields_taken += 1;
+      ++report_.run.yields;
+
+      if (step.conditional_yield || window_consumed) {
+        // A scavenger-phase CYIELD: placed exactly so that "long enough to
+        // hide the miss" has elapsed — hand the CPU back to the primary.
+        return Status::Ok();
+      }
+      // A primary-phase yield hit "too early": chain to another scavenger.
+      const int next = AcquireScavenger(&ran);
+      if (next < 0) {
+        return Status::Ok();
+      }
+      ++report_.chains;
+      idx = next;
+    }
+  };
+
+  size_t task_index = 0;
+  while (!primary_tasks_.empty()) {
+    ContextSetup setup = std::move(primary_tasks_.front());
+    primary_tasks_.pop_front();
+
+    sim::CpuContext primary;
+    primary.id = static_cast<int>(task_index++);
+    primary.ResetArchState(primary_binary_->program.entry());
+    primary.cyield_enabled = false;  // primary mode: CYIELDs fall through
+    if (setup) {
+      setup(primary);
+    }
+    const uint64_t task_start = machine_->now();
+
+    while (!primary.halted) {
+      if (report_.run.instructions >= config_.max_total_instructions) {
+        return ResourceExhaustedError("dual-mode run exceeded instruction budget");
+      }
+      const isa::Addr ip = primary.pc;
+      const sim::StepResult step =
+          primary_executor_.Step(primary, sim::StallPolicy::kBlocking);
+      ++report_.run.instructions;
+      if (step.event == sim::StepEvent::kError) {
+        return step.status;
+      }
+      if (step.event == sim::StepEvent::kYielded) {
+        const uint32_t cost = SwitchCostAt(*primary_binary_, ip);
+        machine_->AdvanceClock(cost);
+        primary.switch_cycles += cost;
+        primary.yields_taken += 1;
+        ++report_.run.yields;
+        YH_RETURN_IF_ERROR(run_scavenger_burst());
+      }
+    }
+
+    report_.run.completions.push_back(
+        CompletionRecord{primary.id, task_start, machine_->now()});
+    report_.primary_latency.Record(machine_->now() - task_start);
+    report_.primary_issue_cycles += primary.issue_cycles;
+    report_.primary_stall_cycles += primary.stall_cycles;
+    report_.run.issue_cycles += primary.issue_cycles;
+    report_.run.stall_cycles += primary.stall_cycles;
+    report_.run.switch_cycles += primary.switch_cycles;
+  }
+
+  // Account for scavengers still in flight.
+  for (const Scavenger& scavenger : scavengers_) {
+    if (!scavenger.exhausted) {
+      report_.scavenger_issue_cycles += scavenger.ctx.issue_cycles;
+      report_.run.issue_cycles += scavenger.ctx.issue_cycles;
+      report_.run.stall_cycles += scavenger.ctx.stall_cycles;
+      report_.run.switch_cycles += scavenger.ctx.switch_cycles;
+    }
+  }
+  report_.run.total_cycles = machine_->now() - run_start;
+  return report_;
+}
+
+}  // namespace yieldhide::runtime

@@ -1,0 +1,115 @@
+// DualModeScheduler: the paper's asymmetric-concurrency runtime (§3.3).
+//
+// One latency-sensitive PRIMARY coroutine processes a queue of tasks
+// (requests). A pool of SCAVENGER coroutines — batch work that only exists to
+// soak up cycles the primary would otherwise stall for — runs with
+// conditional yields enabled. Scheduling rules, verbatim from the paper:
+//
+//   (i)  the primary yields to a scavenger in the face of a potential cache
+//        miss (its instrumented prefetch+yield sites);
+//   (ii) a scavenger yields BACK to the primary once it has run long enough
+//        to hide the miss — i.e. when it reaches a scavenger-phase CYIELD;
+//        if it instead reaches a primary-phase yield "too early", it chains
+//        to ANOTHER scavenger to consume more cycles, and the scavenger pool
+//        scales on demand (new scavengers are spawned from the factory when
+//        a chain needs one).
+//
+// The scheduler also exposes the §4.2 integration hook: an external
+// ready-queue supplier can be consulted for runnable scavengers instead of
+// the built-in pool.
+#ifndef YIELDHIDE_SRC_RUNTIME_DUAL_MODE_H_
+#define YIELDHIDE_SRC_RUNTIME_DUAL_MODE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/instrument/types.h"
+#include "src/runtime/report.h"
+#include "src/sim/executor.h"
+
+namespace yieldhide::runtime {
+
+struct DualModeConfig {
+  // Scavenger pool: started eagerly at `initial_scavengers`, grown on demand
+  // up to `max_scavengers` when yield chains need more cycles to consume.
+  size_t initial_scavengers = 1;
+  size_t max_scavengers = 8;
+  // How many cycles of scavenger execution suffice to consider a primary
+  // miss hidden; chains stop even at a primary yield once this much has run.
+  uint32_t hide_window_cycles = 300;
+  uint64_t max_total_instructions = 1'000'000'000;
+};
+
+struct DualModeReport {
+  RunReport run;                      // totals; completions = primary tasks
+  LatencyHistogram primary_latency;   // per-task latency (cycles)
+  uint64_t primary_issue_cycles = 0;
+  uint64_t primary_stall_cycles = 0;
+  uint64_t scavenger_issue_cycles = 0;
+  uint64_t scavengers_spawned = 0;
+  uint64_t chains = 0;  // scavenger-to-scavenger transfers ("too early" case)
+
+  // Core cycles doing useful work for either class.
+  double CpuEfficiency() const { return run.CpuEfficiency(); }
+  std::string Summary() const;
+};
+
+class DualModeScheduler {
+ public:
+  using ContextSetup = std::function<void(sim::CpuContext&)>;
+  // Returns the register setup for the next scavenger coroutine, or nullopt
+  // when the scavenger supply is exhausted.
+  using ScavengerFactory = std::function<std::optional<ContextSetup>()>;
+
+  // Primary tasks and scavengers may run different binaries (a latency-
+  // sensitive service interleaving with an unrelated batch job); both share
+  // the machine (same core, same caches).
+  DualModeScheduler(const instrument::InstrumentedProgram* primary_binary,
+                    const instrument::InstrumentedProgram* scavenger_binary,
+                    sim::Machine* machine, const DualModeConfig& config);
+
+  // Enqueues one primary task (request).
+  void AddPrimaryTask(ContextSetup setup);
+  // Supplies scavenger work. With no factory the scheduler degrades to
+  // running the primary alone (yields fall through).
+  void SetScavengerFactory(ScavengerFactory factory);
+
+  // Runs until every primary task completes. Scavengers left unfinished stay
+  // unfinished (they are best-effort by definition).
+  Result<DualModeReport> Run();
+
+ private:
+  struct Scavenger {
+    sim::CpuContext ctx;
+    bool exhausted = false;  // halted and not replaced
+  };
+
+  uint32_t SwitchCostAt(const instrument::InstrumentedProgram& binary,
+                        isa::Addr yield_ip) const;
+  // Index of a runnable scavenger, or -1. Prefers scavengers that have not
+  // yet run in the current burst (so a chain never resumes a coroutine into
+  // its own in-flight prefetch), spawning a new one on demand when the burst
+  // would otherwise wrap — the paper's on-demand scaling of the pool.
+  int AcquireScavenger(const std::vector<bool>* ran_this_burst = nullptr);
+  bool SpawnScavenger();
+
+  const instrument::InstrumentedProgram* primary_binary_;
+  const instrument::InstrumentedProgram* scavenger_binary_;
+  sim::Machine* machine_;
+  DualModeConfig config_;
+  sim::Executor primary_executor_;
+  sim::Executor scavenger_executor_;
+  std::deque<ContextSetup> primary_tasks_;
+  ScavengerFactory factory_;
+  std::vector<Scavenger> scavengers_;
+  size_t scavenger_cursor_ = 0;
+  DualModeReport report_;
+};
+
+}  // namespace yieldhide::runtime
+
+#endif  // YIELDHIDE_SRC_RUNTIME_DUAL_MODE_H_

@@ -1,0 +1,16 @@
+#include "src/runtime/report.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::runtime {
+
+std::string RunReport::Summary() const {
+  return StrFormat(
+      "cycles=%s insns=%s IPC=%.3f efficiency=%.1f%% stalls=%.1f%% switches=%.1f%% "
+      "yields=%llu completions=%zu",
+      WithCommas(total_cycles).c_str(), WithCommas(instructions).c_str(), Ipc(),
+      100.0 * CpuEfficiency(), 100.0 * StallFraction(), 100.0 * SwitchFraction(),
+      static_cast<unsigned long long>(yields), completions.size());
+}
+
+}  // namespace yieldhide::runtime

@@ -1,0 +1,100 @@
+#include "src/sim/cache.h"
+
+#include <cassert>
+
+namespace yieldhide::sim {
+
+namespace {
+[[maybe_unused]] bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheLevelConfig& config) : config_(config) {
+  num_sets_ = config.num_sets();
+  assert(num_sets_ > 0 && IsPowerOfTwo(num_sets_) &&
+         "cache size must be a power-of-two multiple of line*ways");
+  set_mask_ = num_sets_ - 1;
+  ways_.resize(num_sets_ * config.ways);
+}
+
+Cache::Way* Cache::FindWay(uint64_t line_addr) {
+  Way* base = &ways_[SetIndex(line_addr) * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::FindWay(uint64_t line_addr) const {
+  const Way* base = &ways_[SetIndex(line_addr) * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+bool Cache::Contains(uint64_t line_addr) const { return FindWay(line_addr) != nullptr; }
+
+bool Cache::Lookup(uint64_t line_addr) {
+  ++stats_.lookups;
+  Way* way = FindWay(line_addr);
+  if (way == nullptr) {
+    return false;
+  }
+  way->lru_stamp = ++lru_clock_;
+  ++stats_.hits;
+  return true;
+}
+
+bool Cache::Install(uint64_t line_addr, uint64_t* evicted) {
+  ++stats_.installs;
+  Way* base = &ways_[SetIndex(line_addr) * config_.ways];
+  Way* victim = nullptr;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      base[w].lru_stamp = ++lru_clock_;  // refresh, already present
+      return false;
+    }
+    if (!base[w].valid) {
+      if (victim == nullptr || victim->valid) {
+        victim = &base[w];
+      }
+    } else if (victim == nullptr ||
+               (victim->valid && base[w].lru_stamp < victim->lru_stamp)) {
+      victim = &base[w];
+    }
+  }
+  const bool evicting = victim->valid;
+  if (evicting) {
+    ++stats_.evictions;
+    if (evicted != nullptr) {
+      *evicted = victim->line_addr;
+    }
+  }
+  victim->valid = true;
+  victim->line_addr = line_addr;
+  victim->lru_stamp = ++lru_clock_;
+  return evicting;
+}
+
+bool Cache::Invalidate(uint64_t line_addr) {
+  Way* way = FindWay(line_addr);
+  if (way == nullptr) {
+    return false;
+  }
+  way->valid = false;
+  return true;
+}
+
+void Cache::Reset() {
+  for (Way& way : ways_) {
+    way = Way{};
+  }
+  lru_clock_ = 0;
+  stats_ = Stats{};
+}
+
+}  // namespace yieldhide::sim

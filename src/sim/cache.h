@@ -1,0 +1,63 @@
+// A single set-associative cache level with true-LRU replacement.
+// Addresses handled here are line addresses (byte address >> line bits).
+#ifndef YIELDHIDE_SRC_SIM_CACHE_H_
+#define YIELDHIDE_SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/config.h"
+
+namespace yieldhide::sim {
+
+class Cache {
+ public:
+  explicit Cache(const CacheLevelConfig& config);
+
+  // Tag check without side effects (no LRU update). Used both internally and
+  // to model the paper's §4.1 "is this line cached?" hardware probe.
+  bool Contains(uint64_t line_addr) const;
+
+  // Tag check with LRU update on hit. Does not fill on miss.
+  bool Lookup(uint64_t line_addr);
+
+  // Installs a line, evicting the LRU way if the set is full. Returns true if
+  // an eviction occurred (evicted line in *evicted when non-null).
+  bool Install(uint64_t line_addr, uint64_t* evicted = nullptr);
+
+  // Removes a line if present; returns whether it was present.
+  bool Invalidate(uint64_t line_addr);
+
+  void Reset();
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t installs = 0;
+    uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const CacheLevelConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    uint64_t line_addr = 0;
+    bool valid = false;
+    uint64_t lru_stamp = 0;  // larger = more recently used
+  };
+
+  size_t SetIndex(uint64_t line_addr) const { return line_addr & set_mask_; }
+  Way* FindWay(uint64_t line_addr);
+  const Way* FindWay(uint64_t line_addr) const;
+
+  CacheLevelConfig config_;
+  size_t num_sets_;
+  uint64_t set_mask_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets * ways, row-major by set
+  Stats stats_;
+};
+
+}  // namespace yieldhide::sim
+
+#endif  // YIELDHIDE_SRC_SIM_CACHE_H_

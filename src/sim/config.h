@@ -1,0 +1,91 @@
+// Machine configuration for the yieldhide simulator: cache geometry and
+// latencies, core instruction costs, and coroutine switch costs.
+//
+// Latencies are in core cycles. The "SkylakeLike" preset approximates a
+// Skylake-SP server core at ~3 GHz, the regime the paper targets: L2 misses
+// ~14 cycles (~5 ns), L3 hits ~42 cycles (~14 ns), DRAM ~200+ cycles
+// (~70-100 ns) — i.e. events of 10s to 100s of nanoseconds.
+#ifndef YIELDHIDE_SRC_SIM_CONFIG_H_
+#define YIELDHIDE_SRC_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace yieldhide::sim {
+
+struct CacheLevelConfig {
+  std::string name = "cache";
+  uint64_t size_bytes = 32 * 1024;
+  uint32_t line_bytes = 64;   // must be a power of two, shared by all levels
+  uint32_t ways = 8;
+  uint32_t latency_cycles = 4;  // load-to-use latency on a hit at this level
+
+  uint64_t num_sets() const { return size_bytes / (static_cast<uint64_t>(line_bytes) * ways); }
+};
+
+struct HierarchyConfig {
+  CacheLevelConfig l1;
+  CacheLevelConfig l2;
+  CacheLevelConfig l3;
+  uint32_t dram_latency_cycles = 200;
+  uint32_t mshr_entries = 16;  // max outstanding fills (prefetches + misses)
+  // Simple next-line hardware prefetcher: a demand load of line L+1 right
+  // after line L starts an asynchronous fill of L+2. Off by default so
+  // experiments isolate the software mechanism; the array-scan benches turn
+  // it on to show coexistence.
+  bool enable_nextline_prefetcher = false;
+};
+
+// Issue costs for non-memory instructions, and coroutine switch cost.
+struct CostModel {
+  uint32_t alu_cycles = 1;
+  uint32_t mul_cycles = 3;
+  uint32_t branch_cycles = 1;
+  uint32_t store_cycles = 1;     // posted through a store buffer
+  uint32_t prefetch_cycles = 1;  // issue cost; the fill itself is asynchronous
+  uint32_t call_ret_cycles = 2;
+  uint32_t halt_cycles = 1;
+  // Cost charged when a YIELD actually transfers control; models a
+  // register-save/restore user-space switch. Boost fcontext_t is ~9 ns, i.e.
+  // ~27 cycles at 3 GHz; compiler-minimized switches are cheaper.
+  uint32_t yield_switch_cycles = 24;
+  // Cost of executing a conditional yield whose condition is off (reading the
+  // mode flag and falling through) — the paper's "condition checking adds some
+  // overhead".
+  uint32_t cyield_untaken_cycles = 1;
+};
+
+struct MachineConfig {
+  HierarchyConfig hierarchy;
+  CostModel cost;
+  double cycles_per_ns = 3.0;  // 3 GHz; used only for reporting in ns
+
+  // Server-class preset (Skylake-SP-like).
+  static MachineConfig SkylakeLike();
+  // Tiny caches for unit tests, so misses are easy to provoke.
+  static MachineConfig SmallTest();
+};
+
+inline MachineConfig MachineConfig::SkylakeLike() {
+  MachineConfig config;
+  config.hierarchy.l1 = {"L1", 32 * 1024, 64, 8, 4};
+  config.hierarchy.l2 = {"L2", 1024 * 1024, 64, 16, 14};
+  config.hierarchy.l3 = {"L3", 8 * 1024 * 1024, 64, 16, 42};
+  config.hierarchy.dram_latency_cycles = 220;
+  config.hierarchy.mshr_entries = 16;
+  return config;
+}
+
+inline MachineConfig MachineConfig::SmallTest() {
+  MachineConfig config;
+  config.hierarchy.l1 = {"L1", 1024, 64, 2, 4};
+  config.hierarchy.l2 = {"L2", 4096, 64, 4, 14};
+  config.hierarchy.l3 = {"L3", 16384, 64, 4, 42};
+  config.hierarchy.dram_latency_cycles = 200;
+  config.hierarchy.mshr_entries = 16;
+  return config;
+}
+
+}  // namespace yieldhide::sim
+
+#endif  // YIELDHIDE_SRC_SIM_CONFIG_H_

@@ -1,0 +1,89 @@
+// Hardware-event listener interface. The executor publishes micro-
+// architectural events through this interface; the simulated PMU (src/pmu)
+// subscribes to build PEBS-style samples and LBR records, and the exact-stats
+// collector subscribes to build the ground truth that profiles are evaluated
+// against.
+#ifndef YIELDHIDE_SRC_SIM_EVENTS_H_
+#define YIELDHIDE_SRC_SIM_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/hierarchy.h"
+
+namespace yieldhide::sim {
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  // Every retired instruction.
+  virtual void OnRetired(int ctx_id, isa::Addr ip, isa::Opcode op, uint64_t cycle) {}
+
+  // Every retired load: where it hit and how many cycles the context was
+  // exposed to beyond an L1 hit (0 for L1 hits).
+  virtual void OnLoad(int ctx_id, isa::Addr ip, uint64_t vaddr, HitLevel level,
+                      bool hit_inflight, uint32_t stall_cycles, uint64_t cycle) {}
+
+  // Execution-stall cycles attributed to instruction `ip` (memory waits).
+  virtual void OnStall(int ctx_id, isa::Addr ip, uint32_t cycles, uint64_t cycle) {}
+
+  // Every taken or not-taken conditional branch and unconditional transfer.
+  // `cycle` is the retirement time; LBR derives block latencies from deltas.
+  virtual void OnBranch(int ctx_id, isa::Addr from, isa::Addr to, bool taken,
+                        uint64_t cycle) {}
+
+  virtual void OnPrefetch(int ctx_id, isa::Addr ip, uint64_t vaddr, uint64_t cycle) {}
+
+  // A YIELD/CYIELD that actually suspended the context.
+  virtual void OnYield(int ctx_id, isa::Addr ip, bool conditional, uint64_t cycle) {}
+};
+
+// Fans events out to multiple listeners. Listeners are not owned.
+class MulticastListener : public EventListener {
+ public:
+  void Add(EventListener* listener) { listeners_.push_back(listener); }
+  void Clear() { listeners_.clear(); }
+  size_t size() const { return listeners_.size(); }
+
+  void OnRetired(int ctx_id, isa::Addr ip, isa::Opcode op, uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnRetired(ctx_id, ip, op, cycle);
+    }
+  }
+  void OnLoad(int ctx_id, isa::Addr ip, uint64_t vaddr, HitLevel level,
+              bool hit_inflight, uint32_t stall_cycles, uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnLoad(ctx_id, ip, vaddr, level, hit_inflight, stall_cycles, cycle);
+    }
+  }
+  void OnStall(int ctx_id, isa::Addr ip, uint32_t cycles, uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnStall(ctx_id, ip, cycles, cycle);
+    }
+  }
+  void OnBranch(int ctx_id, isa::Addr from, isa::Addr to, bool taken,
+                uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnBranch(ctx_id, from, to, taken, cycle);
+    }
+  }
+  void OnPrefetch(int ctx_id, isa::Addr ip, uint64_t vaddr, uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnPrefetch(ctx_id, ip, vaddr, cycle);
+    }
+  }
+  void OnYield(int ctx_id, isa::Addr ip, bool conditional, uint64_t cycle) override {
+    for (EventListener* l : listeners_) {
+      l->OnYield(ctx_id, ip, conditional, cycle);
+    }
+  }
+
+ private:
+  std::vector<EventListener*> listeners_;
+};
+
+}  // namespace yieldhide::sim
+
+#endif  // YIELDHIDE_SRC_SIM_EVENTS_H_

@@ -1,0 +1,83 @@
+// Sparse byte-addressed memory image. Pages are allocated lazily so workloads
+// can use large, widely spread address ranges without committing host memory
+// for untouched regions. Unwritten bytes read as zero.
+#ifndef YIELDHIDE_SRC_SIM_MEMORY_H_
+#define YIELDHIDE_SRC_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace yieldhide::sim {
+
+class SparseMemory {
+ public:
+  static constexpr uint64_t kPageBits = 12;
+  static constexpr uint64_t kPageSize = 1ull << kPageBits;
+
+  uint64_t Read64(uint64_t addr) const {
+    // Misaligned reads spanning a page boundary are assembled bytewise; the
+    // aligned fast path covers virtually all workload traffic.
+    if ((addr & 7) == 0 || (addr & (kPageSize - 1)) <= kPageSize - 8) {
+      const uint8_t* page = FindPage(addr);
+      if (page == nullptr) {
+        return 0;
+      }
+      uint64_t value;
+      std::memcpy(&value, page + (addr & (kPageSize - 1)), sizeof(value));
+      return value;
+    }
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(ReadByte(addr + i)) << (8 * i);
+    }
+    return value;
+  }
+
+  void Write64(uint64_t addr, uint64_t value) {
+    if ((addr & (kPageSize - 1)) <= kPageSize - 8) {
+      uint8_t* page = EnsurePage(addr);
+      std::memcpy(page + (addr & (kPageSize - 1)), &value, sizeof(value));
+      return;
+    }
+    for (int i = 0; i < 8; ++i) {
+      WriteByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  uint8_t ReadByte(uint64_t addr) const {
+    const uint8_t* page = FindPage(addr);
+    return page == nullptr ? 0 : page[addr & (kPageSize - 1)];
+  }
+
+  void WriteByte(uint64_t addr, uint8_t value) {
+    EnsurePage(addr)[addr & (kPageSize - 1)] = value;
+  }
+
+  size_t resident_pages() const { return pages_.size(); }
+  size_t resident_bytes() const { return pages_.size() * kPageSize; }
+
+  void Clear() { pages_.clear(); }
+
+ private:
+  const uint8_t* FindPage(uint64_t addr) const {
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  uint8_t* EnsurePage(uint64_t addr) {
+    auto& slot = pages_[addr >> kPageBits];
+    if (slot == nullptr) {
+      slot = std::make_unique<uint8_t[]>(kPageSize);
+      std::memset(slot.get(), 0, kPageSize);
+    }
+    return slot.get();
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+}  // namespace yieldhide::sim
+
+#endif  // YIELDHIDE_SRC_SIM_MEMORY_H_

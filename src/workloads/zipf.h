@@ -1,0 +1,57 @@
+// Zipfian key-distribution generator (YCSB-style), used by the key-value
+// workload to create realistic skewed access patterns: hot keys stay cached,
+// cold keys miss — the regime where per-site miss probabilities are neither
+// 0 nor 1 and the instrumentation policy trade-off (bench C7) is visible.
+#ifndef YIELDHIDE_SRC_WORKLOADS_ZIPF_H_
+#define YIELDHIDE_SRC_WORKLOADS_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace yieldhide::workloads {
+
+// Gray et al.'s rejection-free Zipfian generator over [0, n).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace yieldhide::workloads
+
+#endif  // YIELDHIDE_SRC_WORKLOADS_ZIPF_H_

@@ -1,0 +1,440 @@
+// yhc — the yieldhide command-line tool.
+//
+// Drives the whole toolchain from the shell, the way a user would drive
+// perf + BOLT in the deployment the paper describes:
+//
+//   yhc asm chase.s chase.yh                     # assemble
+//   yhc dis chase.yh                             # disassemble
+//   yhc cfg chase.yh > chase.dot                 # CFG as graphviz
+//   yhc interval chase.yh                        # worst-case inter-yield gap
+//   yhc run chase.yh --ring 0x100000,4096,1021 --reg 1=0x100000 --reg 2=1000
+//   yhc profile chase.yh --out chase.prof \
+//       --ring 0x100000,4096,1021 --reg 1=0x100000 --reg 2=1000
+//   yhc instrument chase.yh --profile chase.prof --out chase.instr.yh
+//   yhc run chase.instr.yh --group 16 --ring ... --reg ...   # interleaved
+//
+// Instrumented binaries carry their yield side-table in a "<out>.yields"
+// sidecar; `yhc run` picks it up automatically when present.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/common/strings.h"
+#include "src/core/pipeline.h"
+#include "src/instrument/side_table_io.h"
+#include "src/isa/assembler.h"
+#include "src/isa/program_io.h"
+#include "src/profile/profile_io.h"
+#include "src/runtime/annotate.h"
+#include "src/runtime/round_robin.h"
+
+namespace yieldhide::tools {
+namespace {
+
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;          // --key value / --key=value
+  std::vector<std::pair<int, uint64_t>> regs;        // --reg N=V (repeatable)
+  std::vector<std::string> rings;                    // --ring base,lines,stride
+};
+
+Result<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      options.positional.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string key, value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos && arg.substr(0, eq) != "reg") {
+      key = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      key = std::string(eq != std::string_view::npos ? arg.substr(0, eq) : arg);
+      if (key == "reg" && eq != std::string_view::npos) {
+        value = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return InvalidArgumentError("flag --" + key + " needs a value");
+      }
+    }
+    if (key == "reg") {
+      const size_t split = value.find('=');
+      if (split == std::string::npos) {
+        return InvalidArgumentError("--reg expects N=VALUE");
+      }
+      YH_ASSIGN_OR_RETURN(const int64_t reg, ParseInt64(value.substr(0, split)));
+      YH_ASSIGN_OR_RETURN(const uint64_t v, ParseUint64(value.substr(split + 1)));
+      if (reg < 0 || reg >= isa::kNumRegisters) {
+        return OutOfRangeError("--reg register out of range");
+      }
+      options.regs.emplace_back(static_cast<int>(reg), v);
+    } else if (key == "ring") {
+      options.rings.push_back(value);
+    } else {
+      options.flags[key] = value;
+    }
+  }
+  return options;
+}
+
+Result<uint64_t> FlagU64(const Options& options, const std::string& key,
+                         uint64_t fallback) {
+  auto it = options.flags.find(key);
+  if (it == options.flags.end()) {
+    return fallback;
+  }
+  return ParseUint64(it->second);
+}
+
+Status ApplyRings(const Options& options, sim::Machine& machine) {
+  for (const std::string& spec : options.rings) {
+    auto parts = SplitString(spec, ',');
+    if (parts.size() != 3) {
+      return InvalidArgumentError("--ring expects base,lines,stride");
+    }
+    YH_ASSIGN_OR_RETURN(const uint64_t base, ParseUint64(parts[0]));
+    YH_ASSIGN_OR_RETURN(const uint64_t lines, ParseUint64(parts[1]));
+    YH_ASSIGN_OR_RETURN(const uint64_t stride, ParseUint64(parts[2]));
+    if (lines == 0) {
+      return InvalidArgumentError("--ring needs lines > 0");
+    }
+    for (uint64_t i = 0; i < lines; ++i) {
+      machine.memory().Write64(base + i * 64, base + ((i + stride) % lines) * 64);
+    }
+  }
+  return Status::Ok();
+}
+
+std::function<void(sim::CpuContext&)> MakeSetup(const Options& options, int task) {
+  return [&options, task](sim::CpuContext& ctx) {
+    for (const auto& [reg, value] : options.regs) {
+      ctx.regs[reg] = value;
+    }
+    // Spread multi-coroutine runs: r1 advanced by task*64 lines if a ring is
+    // in use (callers can instead pass distinct --reg via separate runs).
+    if (task > 0 && !options.rings.empty()) {
+      ctx.regs[1] += static_cast<uint64_t>(task) * 64 * 257;
+    }
+  };
+}
+
+int CmdAsm(const Options& options) {
+  if (options.positional.size() != 2) {
+    std::fprintf(stderr, "usage: yhc asm <in.s> <out.yh>\n");
+    return 2;
+  }
+  std::ifstream in(options.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", options.positional[0].c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+  auto program = isa::Assemble(source.str(), options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = isa::SaveProgram(*program, options.positional[1]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("assembled %zu instructions -> %s\n", program->size(),
+              options.positional[1].c_str());
+  return 0;
+}
+
+int CmdDis(const Options& options) {
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr, "usage: yhc dis <in.yh>\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(program->Disassemble().c_str(), stdout);
+  return 0;
+}
+
+int CmdCfg(const Options& options) {
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr, "usage: yhc cfg <in.yh>\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto cfg = analysis::ControlFlowGraph::Build(*program);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "%s\n", cfg.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(cfg->ToDot().c_str(), stdout);
+  return 0;
+}
+
+int CmdInterval(const Options& options) {
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr, "usage: yhc interval <in.yh>\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  const sim::MachineConfig machine = sim::MachineConfig::SkylakeLike();
+  const uint32_t cap = 1 << 20;
+  const uint32_t worst = instrument::WorstCaseInterval(*program, machine.cost, cap);
+  if (worst >= cap) {
+    std::printf("worst-case inter-yield interval: unbounded (yield-free cycle)\n");
+  } else {
+    std::printf("worst-case inter-yield interval: %u cycles (%.1f ns at %.1f GHz)\n",
+                worst, worst / machine.cycles_per_ns, machine.cycles_per_ns);
+  }
+  return 0;
+}
+
+int CmdRun(const Options& options) {
+  if (options.positional.size() != 1) {
+    std::fprintf(stderr, "usage: yhc run <in.yh> [--group N] [--reg N=V] "
+                         "[--ring base,lines,stride] [--max-insns N]\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto group = FlagU64(options, "group", 1);
+  auto max_insns = FlagU64(options, "max-insns", 100'000'000);
+  if (!group.ok() || !max_insns.ok() || *group == 0) {
+    std::fprintf(stderr, "bad --group/--max-insns\n");
+    return 2;
+  }
+
+  sim::Machine machine(sim::MachineConfig::SkylakeLike());
+  const Status rings = ApplyRings(options, machine);
+  if (!rings.ok()) {
+    std::fprintf(stderr, "%s\n", rings.ToString().c_str());
+    return 1;
+  }
+
+  instrument::InstrumentedProgram binary =
+      runtime::AnnotateManualYields(*program, machine.config().cost);
+  auto sidecar = instrument::LoadYieldTable(options.positional[0] + ".yields");
+  if (sidecar.ok()) {
+    binary.yields = std::move(sidecar).value();
+    std::printf("(loaded yield side-table: %zu entries)\n", binary.yields.size());
+  }
+
+  runtime::RoundRobinScheduler sched(&binary, &machine);
+  for (uint64_t i = 0; i < *group; ++i) {
+    sched.AddCoroutine(MakeSetup(options, static_cast<int>(i)));
+  }
+  auto report = sched.Run(*max_insns);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  for (int r = 0; r < isa::kNumRegisters; ++r) {
+    std::printf("r%-2d=%llu%s", r, (unsigned long long)sched.context(0).regs[r],
+                r % 4 == 3 ? "\n" : "  ");
+  }
+  return 0;
+}
+
+int CmdProfile(const Options& options) {
+  if (options.positional.size() != 1 || options.flags.count("out") == 0) {
+    std::fprintf(stderr, "usage: yhc profile <in.yh> --out <prof> [--period N] "
+                         "[--reg N=V] [--ring ...]\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  sim::Machine machine(sim::MachineConfig::SkylakeLike());
+  const Status rings = ApplyRings(options, machine);
+  if (!rings.ok()) {
+    std::fprintf(stderr, "%s\n", rings.ToString().c_str());
+    return 1;
+  }
+  profile::CollectorConfig config;
+  auto period = FlagU64(options, "period", 29);
+  if (!period.ok() || *period == 0) {
+    std::fprintf(stderr, "bad --period\n");
+    return 2;
+  }
+  config.l2_miss_period = *period;
+  config.stall_cycles_period = *period * 7;
+  config.retired_period = *period * 2 + 1;
+  config.period_jitter = 0.1;
+  auto result = profile::CollectProfile(*program, machine, MakeSetup(options, 0), config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved =
+      profile::SaveProfileData(result->profile, options.flags.at("out"));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("profiled %s cycles (%s instructions), overhead %.2f%% -> %s\n",
+              WithCommas(result->run_cycles).c_str(),
+              WithCommas(result->run_instructions).c_str(),
+              100 * result->sampling_overhead_fraction,
+              options.flags.at("out").c_str());
+  return 0;
+}
+
+int CmdInstrument(const Options& options) {
+  if (options.positional.size() != 1 || options.flags.count("profile") == 0 ||
+      options.flags.count("out") == 0) {
+    std::fprintf(stderr,
+                 "usage: yhc instrument <in.yh> --profile <prof> --out <out.yh> "
+                 "[--interval N] [--threshold X]\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto profile = profile::LoadProfileData(options.flags.at("profile"));
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+
+  core::PipelineConfig config;
+  config.machine = sim::MachineConfig::SkylakeLike();
+  auto interval = FlagU64(options, "interval", 300);
+  if (!interval.ok() || *interval == 0) {
+    std::fprintf(stderr, "bad --interval\n");
+    return 2;
+  }
+  config.scavenger.target_interval_cycles = static_cast<uint32_t>(*interval);
+  if (options.flags.count("threshold") != 0) {
+    auto threshold = ParseDouble(options.flags.at("threshold"));
+    if (!threshold.ok()) {
+      std::fprintf(stderr, "bad --threshold\n");
+      return 2;
+    }
+    config.primary.policy = instrument::PrimaryPolicy::kMissThreshold;
+    config.primary.miss_probability_threshold = *threshold;
+  }
+  config.Finalize();
+
+  auto primary = instrument::RunPrimaryPass(*program, profile->loads, config.primary);
+  if (!primary.ok()) {
+    std::fprintf(stderr, "primary pass failed: %s\n",
+                 primary.status().ToString().c_str());
+    return 1;
+  }
+  const instrument::AddrMap& map = primary->instrumented.addr_map;
+  const profile::BlockLatencyProfile translated = profile->blocks.Translated(
+      [&map](isa::Addr addr) {
+        return addr < map.old_size() ? map.Translate(addr) : addr;
+      });
+  auto scavenger = instrument::RunScavengerPass(primary->instrumented, &translated,
+                                                config.scavenger);
+  if (!scavenger.ok()) {
+    std::fprintf(stderr, "scavenger pass failed: %s\n",
+                 scavenger.status().ToString().c_str());
+    return 1;
+  }
+  instrument::VerifyOptions verify;
+  verify.machine_cost = config.machine.cost;
+  const Status verdict =
+      instrument::VerifyInstrumentation(*program, scavenger->instrumented, verify);
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "VERIFICATION FAILED: %s\n", verdict.ToString().c_str());
+    return 1;
+  }
+
+  const std::string& out = options.flags.at("out");
+  Status saved = isa::SaveProgram(scavenger->instrumented.program, out);
+  if (saved.ok()) {
+    saved = instrument::SaveYieldTable(scavenger->instrumented.yields, out + ".yields");
+  }
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n%s\nverified; wrote %s (+.yields)\n",
+              primary->report.ToString().c_str(),
+              scavenger->report.ToString().c_str(), out.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "yhc — yieldhide toolchain\n"
+               "commands:\n"
+               "  asm <in.s> <out.yh>                 assemble\n"
+               "  dis <in.yh>                         disassemble\n"
+               "  cfg <in.yh>                         CFG as graphviz dot\n"
+               "  interval <in.yh>                    worst-case inter-yield gap\n"
+               "  run <in.yh> [--group N] [...]       execute on the simulator\n"
+               "  profile <in.yh> --out <prof> [...]  sample-based profiling\n"
+               "  instrument <in.yh> --profile <prof> --out <out.yh>\n"
+               "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace yieldhide::tools
+
+int main(int argc, char** argv) {
+  using namespace yieldhide::tools;
+  if (argc < 2) {
+    return Usage();
+  }
+  auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "asm") {
+    return CmdAsm(*options);
+  }
+  if (command == "dis") {
+    return CmdDis(*options);
+  }
+  if (command == "cfg") {
+    return CmdCfg(*options);
+  }
+  if (command == "interval") {
+    return CmdInterval(*options);
+  }
+  if (command == "run") {
+    return CmdRun(*options);
+  }
+  if (command == "profile") {
+    return CmdProfile(*options);
+  }
+  if (command == "instrument") {
+    return CmdInstrument(*options);
+  }
+  return Usage();
+}
