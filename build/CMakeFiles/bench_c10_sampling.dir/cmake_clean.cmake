@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_sampling.dir/bench/bench_c10_sampling.cc.o"
+  "CMakeFiles/bench_c10_sampling.dir/bench/bench_c10_sampling.cc.o.d"
+  "bench/bench_c10_sampling"
+  "bench/bench_c10_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_inline_level.dir/bench/bench_c11_inline_level.cc.o"
+  "CMakeFiles/bench_c11_inline_level.dir/bench/bench_c11_inline_level.cc.o.d"
+  "bench/bench_c11_inline_level"
+  "bench/bench_c11_inline_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_inline_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

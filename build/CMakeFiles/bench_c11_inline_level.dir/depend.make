@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c11_inline_level.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_stall_fraction.dir/bench/bench_c2_stall_fraction.cc.o"
+  "CMakeFiles/bench_c2_stall_fraction.dir/bench/bench_c2_stall_fraction.cc.o.d"
+  "bench/bench_c2_stall_fraction"
+  "bench/bench_c2_stall_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_stall_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

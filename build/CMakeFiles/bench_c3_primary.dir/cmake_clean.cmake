@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_primary.dir/bench/bench_c3_primary.cc.o"
+  "CMakeFiles/bench_c3_primary.dir/bench/bench_c3_primary.cc.o.d"
+  "bench/bench_c3_primary"
+  "bench/bench_c3_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_smt_vs_coro.dir/bench/bench_c4_smt_vs_coro.cc.o"
+  "CMakeFiles/bench_c4_smt_vs_coro.dir/bench/bench_c4_smt_vs_coro.cc.o.d"
+  "bench/bench_c4_smt_vs_coro"
+  "bench/bench_c4_smt_vs_coro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_smt_vs_coro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_c4_smt_vs_coro.
+# This may be replaced when dependencies are built.

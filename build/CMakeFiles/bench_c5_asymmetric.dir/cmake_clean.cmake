@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_asymmetric.dir/bench/bench_c5_asymmetric.cc.o"
+  "CMakeFiles/bench_c5_asymmetric.dir/bench/bench_c5_asymmetric.cc.o.d"
+  "bench/bench_c5_asymmetric"
+  "bench/bench_c5_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_interval_sweep.dir/bench/bench_c8_interval_sweep.cc.o"
+  "CMakeFiles/bench_c8_interval_sweep.dir/bench/bench_c8_interval_sweep.cc.o.d"
+  "bench/bench_c8_interval_sweep"
+  "bench/bench_c8_interval_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_interval_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_hw_visibility.dir/bench/bench_c9_hw_visibility.cc.o"
+  "CMakeFiles/bench_c9_hw_visibility.dir/bench/bench_c9_hw_visibility.cc.o.d"
+  "bench/bench_c9_hw_visibility"
+  "bench/bench_c9_hw_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_hw_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

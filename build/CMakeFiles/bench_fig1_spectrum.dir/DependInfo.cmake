@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_spectrum.cc" "CMakeFiles/bench_fig1_spectrum.dir/bench/bench_fig1_spectrum.cc.o" "gcc" "CMakeFiles/bench_fig1_spectrum.dir/bench/bench_fig1_spectrum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/yh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/yh_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/yh_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/yh_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/yh_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/yh_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/yh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/coro/CMakeFiles/yh_coro.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfev/CMakeFiles/yh_perfev.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_spectrum.dir/bench/bench_fig1_spectrum.cc.o"
+  "CMakeFiles/bench_fig1_spectrum.dir/bench/bench_fig1_spectrum.cc.o.d"
+  "bench/bench_fig1_spectrum"
+  "bench/bench_fig1_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_n1_native_interleave.dir/bench/bench_n1_native_interleave.cc.o"
+  "CMakeFiles/bench_n1_native_interleave.dir/bench/bench_n1_native_interleave.cc.o.d"
+  "bench/bench_n1_native_interleave"
+  "bench/bench_n1_native_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_n1_native_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_index_join.dir/db_index_join.cpp.o"
+  "CMakeFiles/db_index_join.dir/db_index_join.cpp.o.d"
+  "db_index_join"
+  "db_index_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_index_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

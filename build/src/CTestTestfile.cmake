@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("sim")
+subdirs("pmu")
+subdirs("profile")
+subdirs("analysis")
+subdirs("instrument")
+subdirs("runtime")
+subdirs("coro")
+subdirs("perfev")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/yh_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/yh_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/dependence.cc" "src/analysis/CMakeFiles/yh_analysis.dir/dependence.cc.o" "gcc" "src/analysis/CMakeFiles/yh_analysis.dir/dependence.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/yh_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/yh_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/yh_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/yh_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/yield_distance.cc" "src/analysis/CMakeFiles/yh_analysis.dir/yield_distance.cc.o" "gcc" "src/analysis/CMakeFiles/yh_analysis.dir/yield_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_analysis.dir/cfg.cc.o"
+  "CMakeFiles/yh_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/yh_analysis.dir/dependence.cc.o"
+  "CMakeFiles/yh_analysis.dir/dependence.cc.o.d"
+  "CMakeFiles/yh_analysis.dir/dominators.cc.o"
+  "CMakeFiles/yh_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/yh_analysis.dir/liveness.cc.o"
+  "CMakeFiles/yh_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/yh_analysis.dir/yield_distance.cc.o"
+  "CMakeFiles/yh_analysis.dir/yield_distance.cc.o.d"
+  "libyh_analysis.a"
+  "libyh_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

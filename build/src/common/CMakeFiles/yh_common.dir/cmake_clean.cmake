@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_common.dir/log.cc.o"
+  "CMakeFiles/yh_common.dir/log.cc.o.d"
+  "CMakeFiles/yh_common.dir/stats.cc.o"
+  "CMakeFiles/yh_common.dir/stats.cc.o.d"
+  "CMakeFiles/yh_common.dir/status.cc.o"
+  "CMakeFiles/yh_common.dir/status.cc.o.d"
+  "CMakeFiles/yh_common.dir/strings.cc.o"
+  "CMakeFiles/yh_common.dir/strings.cc.o.d"
+  "libyh_common.a"
+  "libyh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

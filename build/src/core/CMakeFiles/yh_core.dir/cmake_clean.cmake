@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_core.dir/pipeline.cc.o"
+  "CMakeFiles/yh_core.dir/pipeline.cc.o.d"
+  "libyh_core.a"
+  "libyh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

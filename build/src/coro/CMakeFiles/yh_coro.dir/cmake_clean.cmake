@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_coro.dir/native_workloads.cc.o"
+  "CMakeFiles/yh_coro.dir/native_workloads.cc.o.d"
+  "libyh_coro.a"
+  "libyh_coro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_coro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/cost_model.cc" "src/instrument/CMakeFiles/yh_instrument.dir/cost_model.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/cost_model.cc.o.d"
+  "/root/repo/src/instrument/primary_pass.cc" "src/instrument/CMakeFiles/yh_instrument.dir/primary_pass.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/primary_pass.cc.o.d"
+  "/root/repo/src/instrument/rewriter.cc" "src/instrument/CMakeFiles/yh_instrument.dir/rewriter.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/rewriter.cc.o.d"
+  "/root/repo/src/instrument/scavenger_pass.cc" "src/instrument/CMakeFiles/yh_instrument.dir/scavenger_pass.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/scavenger_pass.cc.o.d"
+  "/root/repo/src/instrument/side_table_io.cc" "src/instrument/CMakeFiles/yh_instrument.dir/side_table_io.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/side_table_io.cc.o.d"
+  "/root/repo/src/instrument/verifier.cc" "src/instrument/CMakeFiles/yh_instrument.dir/verifier.cc.o" "gcc" "src/instrument/CMakeFiles/yh_instrument.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/yh_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/yh_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/yh_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

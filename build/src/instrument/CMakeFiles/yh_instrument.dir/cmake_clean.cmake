@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_instrument.dir/cost_model.cc.o"
+  "CMakeFiles/yh_instrument.dir/cost_model.cc.o.d"
+  "CMakeFiles/yh_instrument.dir/primary_pass.cc.o"
+  "CMakeFiles/yh_instrument.dir/primary_pass.cc.o.d"
+  "CMakeFiles/yh_instrument.dir/rewriter.cc.o"
+  "CMakeFiles/yh_instrument.dir/rewriter.cc.o.d"
+  "CMakeFiles/yh_instrument.dir/scavenger_pass.cc.o"
+  "CMakeFiles/yh_instrument.dir/scavenger_pass.cc.o.d"
+  "CMakeFiles/yh_instrument.dir/side_table_io.cc.o"
+  "CMakeFiles/yh_instrument.dir/side_table_io.cc.o.d"
+  "CMakeFiles/yh_instrument.dir/verifier.cc.o"
+  "CMakeFiles/yh_instrument.dir/verifier.cc.o.d"
+  "libyh_instrument.a"
+  "libyh_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_isa.dir/assembler.cc.o"
+  "CMakeFiles/yh_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/yh_isa.dir/builder.cc.o"
+  "CMakeFiles/yh_isa.dir/builder.cc.o.d"
+  "CMakeFiles/yh_isa.dir/isa.cc.o"
+  "CMakeFiles/yh_isa.dir/isa.cc.o.d"
+  "CMakeFiles/yh_isa.dir/program.cc.o"
+  "CMakeFiles/yh_isa.dir/program.cc.o.d"
+  "CMakeFiles/yh_isa.dir/program_io.cc.o"
+  "CMakeFiles/yh_isa.dir/program_io.cc.o.d"
+  "libyh_isa.a"
+  "libyh_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

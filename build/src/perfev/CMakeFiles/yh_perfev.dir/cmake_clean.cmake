@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_perfev.dir/perfev.cc.o"
+  "CMakeFiles/yh_perfev.dir/perfev.cc.o.d"
+  "libyh_perfev.a"
+  "libyh_perfev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_perfev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

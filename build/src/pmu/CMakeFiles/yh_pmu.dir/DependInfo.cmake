@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/lbr.cc" "src/pmu/CMakeFiles/yh_pmu.dir/lbr.cc.o" "gcc" "src/pmu/CMakeFiles/yh_pmu.dir/lbr.cc.o.d"
+  "/root/repo/src/pmu/pebs.cc" "src/pmu/CMakeFiles/yh_pmu.dir/pebs.cc.o" "gcc" "src/pmu/CMakeFiles/yh_pmu.dir/pebs.cc.o.d"
+  "/root/repo/src/pmu/session.cc" "src/pmu/CMakeFiles/yh_pmu.dir/session.cc.o" "gcc" "src/pmu/CMakeFiles/yh_pmu.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_pmu.dir/lbr.cc.o"
+  "CMakeFiles/yh_pmu.dir/lbr.cc.o.d"
+  "CMakeFiles/yh_pmu.dir/pebs.cc.o"
+  "CMakeFiles/yh_pmu.dir/pebs.cc.o.d"
+  "CMakeFiles/yh_pmu.dir/session.cc.o"
+  "CMakeFiles/yh_pmu.dir/session.cc.o.d"
+  "libyh_pmu.a"
+  "libyh_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

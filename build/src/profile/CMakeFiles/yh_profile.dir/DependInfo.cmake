@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/collector.cc" "src/profile/CMakeFiles/yh_profile.dir/collector.cc.o" "gcc" "src/profile/CMakeFiles/yh_profile.dir/collector.cc.o.d"
+  "/root/repo/src/profile/profile.cc" "src/profile/CMakeFiles/yh_profile.dir/profile.cc.o" "gcc" "src/profile/CMakeFiles/yh_profile.dir/profile.cc.o.d"
+  "/root/repo/src/profile/profile_io.cc" "src/profile/CMakeFiles/yh_profile.dir/profile_io.cc.o" "gcc" "src/profile/CMakeFiles/yh_profile.dir/profile_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/yh_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_profile.dir/collector.cc.o"
+  "CMakeFiles/yh_profile.dir/collector.cc.o.d"
+  "CMakeFiles/yh_profile.dir/profile.cc.o"
+  "CMakeFiles/yh_profile.dir/profile.cc.o.d"
+  "CMakeFiles/yh_profile.dir/profile_io.cc.o"
+  "CMakeFiles/yh_profile.dir/profile_io.cc.o.d"
+  "libyh_profile.a"
+  "libyh_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

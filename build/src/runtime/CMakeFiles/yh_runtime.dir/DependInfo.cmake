@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/annotate.cc" "src/runtime/CMakeFiles/yh_runtime.dir/annotate.cc.o" "gcc" "src/runtime/CMakeFiles/yh_runtime.dir/annotate.cc.o.d"
+  "/root/repo/src/runtime/dual_mode.cc" "src/runtime/CMakeFiles/yh_runtime.dir/dual_mode.cc.o" "gcc" "src/runtime/CMakeFiles/yh_runtime.dir/dual_mode.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/runtime/CMakeFiles/yh_runtime.dir/report.cc.o" "gcc" "src/runtime/CMakeFiles/yh_runtime.dir/report.cc.o.d"
+  "/root/repo/src/runtime/round_robin.cc" "src/runtime/CMakeFiles/yh_runtime.dir/round_robin.cc.o" "gcc" "src/runtime/CMakeFiles/yh_runtime.dir/round_robin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/yh_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/yh_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/yh_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/yh_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

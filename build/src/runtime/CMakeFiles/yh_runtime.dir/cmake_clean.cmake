@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_runtime.dir/annotate.cc.o"
+  "CMakeFiles/yh_runtime.dir/annotate.cc.o.d"
+  "CMakeFiles/yh_runtime.dir/dual_mode.cc.o"
+  "CMakeFiles/yh_runtime.dir/dual_mode.cc.o.d"
+  "CMakeFiles/yh_runtime.dir/report.cc.o"
+  "CMakeFiles/yh_runtime.dir/report.cc.o.d"
+  "CMakeFiles/yh_runtime.dir/round_robin.cc.o"
+  "CMakeFiles/yh_runtime.dir/round_robin.cc.o.d"
+  "libyh_runtime.a"
+  "libyh_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/yh_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/yh_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/exact_stats.cc" "src/sim/CMakeFiles/yh_sim.dir/exact_stats.cc.o" "gcc" "src/sim/CMakeFiles/yh_sim.dir/exact_stats.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/yh_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/yh_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/yh_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/yh_sim.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sim/smt_core.cc" "src/sim/CMakeFiles/yh_sim.dir/smt_core.cc.o" "gcc" "src/sim/CMakeFiles/yh_sim.dir/smt_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_sim.dir/cache.cc.o"
+  "CMakeFiles/yh_sim.dir/cache.cc.o.d"
+  "CMakeFiles/yh_sim.dir/exact_stats.cc.o"
+  "CMakeFiles/yh_sim.dir/exact_stats.cc.o.d"
+  "CMakeFiles/yh_sim.dir/executor.cc.o"
+  "CMakeFiles/yh_sim.dir/executor.cc.o.d"
+  "CMakeFiles/yh_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/yh_sim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/yh_sim.dir/smt_core.cc.o"
+  "CMakeFiles/yh_sim.dir/smt_core.cc.o.d"
+  "libyh_sim.a"
+  "libyh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

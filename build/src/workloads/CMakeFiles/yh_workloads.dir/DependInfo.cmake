@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/array_scan.cc" "src/workloads/CMakeFiles/yh_workloads.dir/array_scan.cc.o" "gcc" "src/workloads/CMakeFiles/yh_workloads.dir/array_scan.cc.o.d"
+  "/root/repo/src/workloads/btree_lookup.cc" "src/workloads/CMakeFiles/yh_workloads.dir/btree_lookup.cc.o" "gcc" "src/workloads/CMakeFiles/yh_workloads.dir/btree_lookup.cc.o.d"
+  "/root/repo/src/workloads/hash_probe.cc" "src/workloads/CMakeFiles/yh_workloads.dir/hash_probe.cc.o" "gcc" "src/workloads/CMakeFiles/yh_workloads.dir/hash_probe.cc.o.d"
+  "/root/repo/src/workloads/pointer_chase.cc" "src/workloads/CMakeFiles/yh_workloads.dir/pointer_chase.cc.o" "gcc" "src/workloads/CMakeFiles/yh_workloads.dir/pointer_chase.cc.o.d"
+  "/root/repo/src/workloads/skiplist_lookup.cc" "src/workloads/CMakeFiles/yh_workloads.dir/skiplist_lookup.cc.o" "gcc" "src/workloads/CMakeFiles/yh_workloads.dir/skiplist_lookup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/yh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

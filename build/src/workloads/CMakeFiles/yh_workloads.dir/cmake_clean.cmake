@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yh_workloads.dir/array_scan.cc.o"
+  "CMakeFiles/yh_workloads.dir/array_scan.cc.o.d"
+  "CMakeFiles/yh_workloads.dir/btree_lookup.cc.o"
+  "CMakeFiles/yh_workloads.dir/btree_lookup.cc.o.d"
+  "CMakeFiles/yh_workloads.dir/hash_probe.cc.o"
+  "CMakeFiles/yh_workloads.dir/hash_probe.cc.o.d"
+  "CMakeFiles/yh_workloads.dir/pointer_chase.cc.o"
+  "CMakeFiles/yh_workloads.dir/pointer_chase.cc.o.d"
+  "CMakeFiles/yh_workloads.dir/skiplist_lookup.cc.o"
+  "CMakeFiles/yh_workloads.dir/skiplist_lookup.cc.o.d"
+  "libyh_workloads.a"
+  "libyh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

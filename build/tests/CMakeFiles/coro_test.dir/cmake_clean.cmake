@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coro_test.dir/coro_test.cc.o"
+  "CMakeFiles/coro_test.dir/coro_test.cc.o.d"
+  "coro_test"
+  "coro_test.pdb"
+  "coro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

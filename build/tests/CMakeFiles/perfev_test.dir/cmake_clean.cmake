@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfev_test.dir/perfev_test.cc.o"
+  "CMakeFiles/perfev_test.dir/perfev_test.cc.o.d"
+  "perfev_test"
+  "perfev_test.pdb"
+  "perfev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

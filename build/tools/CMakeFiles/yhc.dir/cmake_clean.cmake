@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yhc.dir/yhc.cc.o"
+  "CMakeFiles/yhc.dir/yhc.cc.o.d"
+  "yhc"
+  "yhc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
