@@ -10,6 +10,12 @@ namespace {
 // explicit-machine and workload entry points.
 Status InstrumentWithProfile(const isa::Program& original, const PipelineConfig& config,
                              PipelineArtifacts& artifacts) {
+  // A stale or corrupted profile can reference addresses this binary does
+  // not have; drop those records (and remember how many) before the passes
+  // ever see them.
+  artifacts.sanitize_report = profile::SanitizeProfileData(
+      artifacts.profile, static_cast<isa::Addr>(original.size()));
+
   YH_ASSIGN_OR_RETURN(instrument::PrimaryResult primary,
                       instrument::RunPrimaryPass(original, artifacts.profile.loads,
                                                  config.primary));
@@ -61,12 +67,16 @@ void PipelineConfig::Finalize() {
 }
 
 std::string PipelineArtifacts::Summary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "profile: %s cycles, %s insns, overhead=%.3f%%\n%s\n%s\nfinal: %zu insns, %zu yields",
       WithCommas(profile_run_cycles).c_str(),
       WithCommas(profile_run_instructions).c_str(),
       100.0 * sampling_overhead_fraction, primary_report.ToString().c_str(),
       scavenger_report.ToString().c_str(), binary.program.size(), binary.yields.size());
+  if (sample_drops.TotalDropped() > 0 || sanitize_report.AnythingDropped()) {
+    out += "\ndegraded: " + sample_drops.ToString() + "; " + sanitize_report.ToString();
+  }
+  return out;
 }
 
 Result<PipelineArtifacts> BuildInstrumented(
@@ -83,6 +93,7 @@ Result<PipelineArtifacts> BuildInstrumented(
   artifacts.profile_run_cycles = collected.run_cycles;
   artifacts.profile_run_instructions = collected.run_instructions;
   artifacts.sampling_overhead_fraction = collected.sampling_overhead_fraction;
+  artifacts.sample_drops = collected.sample_drops;
 
   YH_RETURN_IF_ERROR(InstrumentWithProfile(original, config, artifacts));
   return artifacts;
@@ -109,9 +120,23 @@ Result<PipelineArtifacts> BuildInstrumentedForWorkload(
     artifacts.profile_run_instructions += collected.run_instructions;
     artifacts.sampling_overhead_fraction +=
         collected.sampling_overhead_fraction / tasks;
+    artifacts.sample_drops.accepted += collected.sample_drops.accepted;
+    artifacts.sample_drops.dropped_out_of_range +=
+        collected.sample_drops.dropped_out_of_range;
+    artifacts.sample_drops.dropped_unknown_event +=
+        collected.sample_drops.dropped_unknown_event;
   }
 
   YH_RETURN_IF_ERROR(InstrumentWithProfile(workload.program(), config, artifacts));
+  return artifacts;
+}
+
+Result<PipelineArtifacts> InstrumentFromProfile(const isa::Program& original,
+                                                profile::ProfileData profile,
+                                                const PipelineConfig& config) {
+  PipelineArtifacts artifacts;
+  artifacts.profile = std::move(profile);
+  YH_RETURN_IF_ERROR(InstrumentWithProfile(original, config, artifacts));
   return artifacts;
 }
 

@@ -47,6 +47,13 @@ struct PipelineArtifacts {
   uint64_t profile_run_cycles = 0;
   uint64_t profile_run_instructions = 0;
   double sampling_overhead_fraction = 0.0;
+  // Degradation telemetry: samples the collector refused and profile records
+  // dropped because they referenced addresses outside the binary. All-zero
+  // for a fresh, matching profile; non-zero means the profile disagreed with
+  // the binary and the pipeline degraded gracefully instead of
+  // mis-instrumenting.
+  profile::SampleDropStats sample_drops;
+  profile::ProfileSanitizeReport sanitize_report;
   instrument::PrimaryReport primary_report;
   instrument::ScavengerReport scavenger_report;
   // The final instrumented binary (after both passes).
@@ -67,6 +74,14 @@ Result<PipelineArtifacts> BuildInstrumented(
 // workload image, profiles tasks [0, config.profile_tasks), and instruments.
 Result<PipelineArtifacts> BuildInstrumentedForWorkload(
     const workloads::SimWorkload& workload, const PipelineConfig& config);
+
+// Step (ii) only: instrument `original` against an already-collected profile.
+// The profile may be stale or corrupted — it is sanitized against the binary
+// first and the drop counters land in the returned artifacts. Used by the
+// fault-injection tooling and by callers that persist profiles across runs.
+Result<PipelineArtifacts> InstrumentFromProfile(const isa::Program& original,
+                                                profile::ProfileData profile,
+                                                const PipelineConfig& config);
 
 }  // namespace yieldhide::core
 

@@ -1,0 +1,67 @@
+#include "src/faultinject/fault.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::faultinject {
+
+const char* FaultClassName(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kIpAlias:
+      return "ip_alias";
+    case FaultClass::kSkidStorm:
+      return "skid";
+    case FaultClass::kBufferDrop:
+      return "drop";
+    case FaultClass::kPeriodAlias:
+      return "period_alias";
+    case FaultClass::kStaleBinary:
+      return "stale";
+  }
+  return "unknown";
+}
+
+Result<FaultSpec> ParseFaultSpec(std::string_view spec) {
+  spec = TrimString(spec);
+  if (spec.empty()) {
+    return InvalidArgumentError("empty fault spec");
+  }
+  FaultSpec out;
+  std::string_view name = spec;
+  const size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    YH_ASSIGN_OR_RETURN(out.severity, ParseDouble(spec.substr(colon + 1)));
+    out.severity = std::clamp(out.severity, 0.0, 1.0);
+  }
+  bool found = false;
+  for (int i = 0; i < kNumFaultClasses; ++i) {
+    const FaultClass fault = static_cast<FaultClass>(i);
+    if (name == FaultClassName(fault)) {
+      out.fault = fault;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return InvalidArgumentError(
+        "unknown fault class '" + std::string(name) +
+        "' (want ip_alias, skid, drop, period_alias, or stale)");
+  }
+  return out;
+}
+
+Result<std::vector<FaultSpec>> ParseFaultList(std::string_view specs) {
+  std::vector<FaultSpec> out;
+  for (std::string_view piece : SplitString(specs, ',')) {
+    YH_ASSIGN_OR_RETURN(const FaultSpec spec, ParseFaultSpec(piece));
+    out.push_back(spec);
+  }
+  if (out.empty()) {
+    return InvalidArgumentError("fault list names no faults");
+  }
+  return out;
+}
+
+}  // namespace yieldhide::faultinject

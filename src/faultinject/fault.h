@@ -1,0 +1,63 @@
+// Deterministic fault-injection taxonomy for the profile→instrument→run
+// pipeline. The paper's deployment story assumes profiles collected
+// continuously in production keep matching the binary they drive; in reality
+// PEBS data arrives skewed (skid, IP aliasing, dropped buffers, period
+// resonance) and binaries drift between collection and instrumentation
+// (recompiles move code). Each FaultClass models one of those failure modes
+// so benches and tests can measure how gracefully every pipeline stage
+// degrades. All faults are seeded and reproducible.
+#ifndef YIELDHIDE_SRC_FAULTINJECT_FAULT_H_
+#define YIELDHIDE_SRC_FAULTINJECT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace yieldhide::faultinject {
+
+enum class FaultClass : uint8_t {
+  // Sample IPs reattributed to unrelated addresses (PEBS linear-IP aliasing,
+  // wrong-context attribution). Some aliased IPs land outside the program
+  // image, exercising the consumers' out-of-range handling.
+  kIpAlias,
+  // Amplified skid: sample IPs trail the causing instruction by many slots,
+  // smearing miss evidence onto neighbouring (often non-load) instructions.
+  kSkidStorm,
+  // Contiguous bursts of samples lost to PEBS buffer overflow before the
+  // profiler drained them.
+  kBufferDrop,
+  // Sampling period resonating with a loop period: samples pile up on a few
+  // "lucky" IPs instead of spreading proportionally to event counts.
+  kPeriodAlias,
+  // The binary drifted since the profile was collected (recompile-like
+  // edits: instruction insertion, block moves, address shifts), so profile
+  // IPs no longer name the instructions they were measured on.
+  kStaleBinary,
+};
+
+inline constexpr int kNumFaultClasses = 5;
+
+const char* FaultClassName(FaultClass fault);
+
+// One injected fault: a class plus a severity in [0, 1] (0 = no-op,
+// 1 = worst modelled case) and a seed making the injection deterministic.
+struct FaultSpec {
+  FaultClass fault = FaultClass::kIpAlias;
+  double severity = 0.5;
+  uint64_t seed = 1;
+};
+
+// Parses "class:severity" (e.g. "stale:0.3", "skid:1.0"). Accepted class
+// names: ip_alias, skid, drop, period_alias, stale. Severity is clamped to
+// [0, 1]; a bare class name defaults to severity 0.5.
+Result<FaultSpec> ParseFaultSpec(std::string_view spec);
+
+// Parses a comma-separated list of specs ("stale:0.3,skid:1.0"), applied in
+// order by the chaos drivers.
+Result<std::vector<FaultSpec>> ParseFaultList(std::string_view specs);
+
+}  // namespace yieldhide::faultinject
+
+#endif  // YIELDHIDE_SRC_FAULTINJECT_FAULT_H_

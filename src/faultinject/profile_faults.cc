@@ -1,0 +1,275 @@
+#include "src/faultinject/profile_faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace yieldhide::faultinject {
+namespace {
+
+// IPs aliased by PEBS land anywhere plausible, including past the end of the
+// text segment; give corrupted addresses a 25% overshoot band so consumers
+// are forced through their out-of-range paths.
+isa::Addr AliasLimit(isa::Addr code_size) {
+  return std::max<isa::Addr>(1, code_size + code_size / 4);
+}
+
+// Per-address deterministic stream: corruption decisions must not depend on
+// map iteration order or on how many random draws earlier addresses made.
+Rng AddrRng(uint64_t seed, uint64_t addr) {
+  return Rng(seed ^ ((addr + 0x100) * 0x9e3779b97f4a7c15ull));
+}
+
+// Worst-case modelled skid distance grows with severity (CounterPoint
+// reports skid of a few instructions on real PMUs; a "storm" smears further).
+uint64_t SkidSpan(double severity) {
+  return 1 + static_cast<uint64_t>(severity * 15.0);
+}
+
+// Constant address shift emulating a text segment that moved between
+// profile collection and instrumentation.
+isa::Addr StaleShift(double severity) {
+  return 1 + static_cast<isa::Addr>(std::lround(severity * 7.0));
+}
+
+constexpr size_t kDropBurstLength = 64;  // samples lost per buffer overflow
+
+}  // namespace
+
+std::string SampleFaultStats::ToString() const {
+  return StrFormat(
+      "fault: in=%llu aliased=%llu skidded=%llu dropped=%llu locked=%llu",
+      static_cast<unsigned long long>(samples_in),
+      static_cast<unsigned long long>(samples_aliased),
+      static_cast<unsigned long long>(samples_skidded),
+      static_cast<unsigned long long>(samples_dropped),
+      static_cast<unsigned long long>(samples_locked));
+}
+
+std::vector<pmu::PebsSample> CorruptSamples(std::vector<pmu::PebsSample> samples,
+                                            const FaultSpec& spec,
+                                            isa::Addr code_size,
+                                            SampleFaultStats* stats) {
+  SampleFaultStats local;
+  SampleFaultStats& s = stats != nullptr ? *stats : local;
+  s.samples_in += samples.size();
+  Rng rng(spec.seed);
+  const double sev = spec.severity;
+
+  switch (spec.fault) {
+    case FaultClass::kIpAlias: {
+      const isa::Addr limit = AliasLimit(code_size);
+      for (pmu::PebsSample& sample : samples) {
+        if (rng.NextBool(sev)) {
+          sample.ip = static_cast<isa::Addr>(rng.NextBelow(limit));
+          ++s.samples_aliased;
+        }
+      }
+      break;
+    }
+    case FaultClass::kSkidStorm: {
+      const uint64_t span = SkidSpan(sev);
+      for (pmu::PebsSample& sample : samples) {
+        if (rng.NextBool(sev)) {
+          sample.ip += static_cast<isa::Addr>(1 + rng.NextBelow(span));
+          ++s.samples_skidded;
+        }
+      }
+      break;
+    }
+    case FaultClass::kBufferDrop: {
+      // Losses are bursty: whole PEBS buffers vanish when the drain falls
+      // behind, not individual records. Mark enough burst windows to drop
+      // roughly `severity` of the stream.
+      if (samples.empty() || sev <= 0) {
+        break;
+      }
+      const size_t target = static_cast<size_t>(sev * samples.size());
+      const size_t bursts = (target + kDropBurstLength - 1) / kDropBurstLength;
+      std::vector<bool> drop(samples.size(), false);
+      for (size_t b = 0; b < bursts; ++b) {
+        const size_t start = rng.NextBelow(samples.size());
+        for (size_t i = start;
+             i < std::min(samples.size(), start + kDropBurstLength); ++i) {
+          drop[i] = true;
+        }
+      }
+      std::vector<pmu::PebsSample> kept;
+      kept.reserve(samples.size());
+      for (size_t i = 0; i < samples.size(); ++i) {
+        if (drop[i]) {
+          ++s.samples_dropped;
+        } else {
+          kept.push_back(samples[i]);
+        }
+      }
+      samples = std::move(kept);
+      break;
+    }
+    case FaultClass::kPeriodAlias: {
+      // Period resonance: the sampler keeps firing at the same loop phase,
+      // so one "lucky" IP per event absorbs samples that should have spread
+      // proportionally. Lock onto the first-seen IP of each event.
+      isa::Addr resonant[8];
+      bool seen[8] = {false};
+      for (pmu::PebsSample& sample : samples) {
+        const size_t ev = static_cast<size_t>(sample.event) % 8;
+        if (!seen[ev]) {
+          seen[ev] = true;
+          resonant[ev] = sample.ip;
+          continue;
+        }
+        if (rng.NextBool(sev)) {
+          sample.ip = resonant[ev];
+          ++s.samples_locked;
+        }
+      }
+      break;
+    }
+    case FaultClass::kStaleBinary: {
+      const isa::Addr shift = StaleShift(sev);
+      for (pmu::PebsSample& sample : samples) {
+        sample.ip += shift;
+      }
+      break;
+    }
+  }
+  return samples;
+}
+
+namespace {
+
+profile::LoadProfile CorruptLoads(const profile::LoadProfile& loads,
+                                  const FaultSpec& spec, isa::Addr code_size) {
+  profile::LoadProfile out;
+  const double sev = spec.severity;
+  switch (spec.fault) {
+    case FaultClass::kIpAlias: {
+      const isa::Addr limit = AliasLimit(code_size);
+      for (const auto& [ip, site] : loads.sites()) {
+        Rng r = AddrRng(spec.seed, ip);
+        const isa::Addr where =
+            r.NextBool(sev) ? static_cast<isa::Addr>(r.NextBelow(limit)) : ip;
+        out.AccumulateSite(where, site);
+      }
+      break;
+    }
+    case FaultClass::kSkidStorm: {
+      // Precise-event skid: miss and stall evidence smears forward onto
+      // neighbouring instructions while execution counts (imprecise event,
+      // already smeared) stay put — manufacturing sites whose miss count
+      // exceeds their execution count, the exact pathology the confidence
+      // gate must catch.
+      const uint64_t span = SkidSpan(sev);
+      for (const auto& [ip, site] : loads.sites()) {
+        Rng r = AddrRng(spec.seed, ip);
+        const isa::Addr skid_to =
+            ip + static_cast<isa::Addr>(1 + r.NextBelow(span));
+        profile::SiteProfile stay = site;
+        profile::SiteProfile moved;
+        moved.est_l1_misses = site.est_l1_misses * sev;
+        moved.est_l2_misses = site.est_l2_misses * sev;
+        moved.est_l3_misses = site.est_l3_misses * sev;
+        moved.est_stall_cycles = site.est_stall_cycles * sev;
+        stay.est_l1_misses -= moved.est_l1_misses;
+        stay.est_l2_misses -= moved.est_l2_misses;
+        stay.est_l3_misses -= moved.est_l3_misses;
+        stay.est_stall_cycles -= moved.est_stall_cycles;
+        out.AccumulateSite(ip, stay);
+        out.AccumulateSite(skid_to, moved);
+      }
+      break;
+    }
+    case FaultClass::kBufferDrop: {
+      // Bursty loss shows up in an aggregated profile as whole neighbouring
+      // address ranges going dark; drop 8-instruction chunks.
+      for (const auto& [ip, site] : loads.sites()) {
+        Rng r = AddrRng(spec.seed, ip / 8);
+        if (!r.NextBool(sev)) {
+          out.AccumulateSite(ip, site);
+        }
+      }
+      break;
+    }
+    case FaultClass::kPeriodAlias: {
+      if (loads.sites().empty()) {
+        break;
+      }
+      // One deterministic "lucky" site absorbs `severity` of everyone's
+      // evidence.
+      Rng r(spec.seed);
+      size_t lucky_index = r.NextBelow(loads.sites().size());
+      isa::Addr lucky = loads.sites().begin()->first;
+      for (const auto& [ip, site] : loads.sites()) {
+        if (lucky_index-- == 0) {
+          lucky = ip;
+          break;
+        }
+      }
+      for (const auto& [ip, site] : loads.sites()) {
+        profile::SiteProfile stay = site;
+        profile::SiteProfile moved;
+        moved.est_executions = site.est_executions * sev;
+        moved.est_l1_misses = site.est_l1_misses * sev;
+        moved.est_l2_misses = site.est_l2_misses * sev;
+        moved.est_l3_misses = site.est_l3_misses * sev;
+        moved.est_stall_cycles = site.est_stall_cycles * sev;
+        stay.est_executions -= moved.est_executions;
+        stay.est_l1_misses -= moved.est_l1_misses;
+        stay.est_l2_misses -= moved.est_l2_misses;
+        stay.est_l3_misses -= moved.est_l3_misses;
+        stay.est_stall_cycles -= moved.est_stall_cycles;
+        out.AccumulateSite(ip, stay);
+        out.AccumulateSite(lucky, moved);
+      }
+      break;
+    }
+    case FaultClass::kStaleBinary: {
+      const isa::Addr shift = StaleShift(sev);
+      for (const auto& [ip, site] : loads.sites()) {
+        out.AccumulateSite(ip + shift, site);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+profile::ProfileData CorruptProfile(const profile::ProfileData& data,
+                                    const FaultSpec& spec, isa::Addr code_size) {
+  profile::ProfileData out;
+  out.loads = CorruptLoads(data.loads, spec, code_size);
+
+  switch (spec.fault) {
+    case FaultClass::kIpAlias: {
+      const isa::Addr limit = AliasLimit(code_size);
+      out.blocks = data.blocks.Translated([&](isa::Addr addr) {
+        Rng r = AddrRng(spec.seed, addr);
+        return r.NextBool(spec.severity)
+                   ? static_cast<isa::Addr>(r.NextBelow(limit))
+                   : addr;
+      });
+      break;
+    }
+    case FaultClass::kStaleBinary: {
+      const isa::Addr shift = StaleShift(spec.severity);
+      out.blocks =
+          data.blocks.Translated([&](isa::Addr addr) { return addr + shift; });
+      break;
+    }
+    case FaultClass::kSkidStorm:
+    case FaultClass::kBufferDrop:
+    case FaultClass::kPeriodAlias:
+      // LBR records branch addresses precisely and rides its own buffer;
+      // these classes corrupt only the PEBS load/stall side.
+      out.blocks = data.blocks;
+      break;
+  }
+  return out;
+}
+
+}  // namespace yieldhide::faultinject

@@ -28,9 +28,29 @@ int FindDeadRegister(analysis::RegMask live_in) {
 std::string PrimaryReport::ToString() const {
   return StrFormat(
       "primary: candidates=%zu instrumented=%zu yields=%zu prefetches=%zu "
-      "coalesced_groups=%zu",
+      "coalesced_groups=%zu quarantined=%zu skid_rejected=%zu",
       candidate_loads.size(), instrumented_loads.size(), yields_inserted,
-      prefetches_inserted, coalesced_groups);
+      prefetches_inserted, coalesced_groups, quarantined_loads.size(),
+      skid_rejected);
+}
+
+double SiteConfidence(const profile::SiteProfile& site) {
+  if (site.est_l2_misses <= 0 || site.est_executions <= 0) {
+    return 0.0;
+  }
+  double confidence = 1.0;
+  // A load cannot miss more often than it executes; an excess means the miss
+  // evidence was attributed here from somewhere else.
+  const double miss_ratio = site.est_l2_misses / site.est_executions;
+  if (miss_ratio > 1.0) {
+    confidence /= miss_ratio;
+  }
+  // Misses that caused no observed stalls are either prefetch-covered
+  // already or mis-attributed; either way a yield buys nothing.
+  if (site.est_stall_cycles <= 0) {
+    confidence *= 0.5;
+  }
+  return confidence;
 }
 
 Result<PrimaryResult> RunPrimaryPass(const isa::Program& program,
@@ -48,6 +68,7 @@ Result<PrimaryResult> RunPrimaryPass(const isa::Program& program,
   // that do not land on load instructions (PEBS skid can shift attribution).
   std::vector<isa::Addr> candidates =
       profile.LikelyStallLoads(config.min_miss_probability, config.min_stall_share);
+  const size_t correlated = candidates.size();
   candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                   [&](isa::Addr addr) {
                                     return addr >= program.size() ||
@@ -55,6 +76,22 @@ Result<PrimaryResult> RunPrimaryPass(const isa::Program& program,
                                                isa::OpClass::kLoad;
                                   }),
                    candidates.end());
+  report.skid_rejected = correlated - candidates.size();
+  // Confidence gate: quarantine sites whose evidence is internally
+  // inconsistent rather than handing them to the selection policy.
+  if (config.min_confidence > 0) {
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](isa::Addr addr) {
+                         if (SiteConfidence(profile.ForIp(addr)) >=
+                             config.min_confidence) {
+                           return false;
+                         }
+                         report.quarantined_loads.push_back(addr);
+                         return true;
+                       }),
+        candidates.end());
+  }
   report.candidate_loads = candidates;
 
   std::vector<isa::Addr> selected;

@@ -45,12 +45,24 @@ struct PrimaryConfig {
   // Enable liveness-minimized save sets; when false, yields save all
   // registers (ablation C6).
   bool minimize_save_set = true;
+  // Confidence gate: candidates whose profile evidence scores below this
+  // (see SiteConfidence) are quarantined instead of instrumented. Corrupted
+  // profiles manufacture sites with internally inconsistent evidence (more
+  // misses than executions, misses without stalls); a yield placed on such a
+  // site is pure overhead. 0 disables the gate.
+  double min_confidence = 0.25;
   YieldCostModel cost_model;
 };
 
 struct PrimaryReport {
   std::vector<isa::Addr> candidate_loads;     // after profile correlation
   std::vector<isa::Addr> instrumented_loads;  // original addresses chosen
+  // Candidates rejected by the confidence gate — profile evidence too
+  // inconsistent to justify a yield.
+  std::vector<isa::Addr> quarantined_loads;
+  // LikelyStallLoads IPs discarded because they do not name a load
+  // instruction in this binary (PEBS skid / aliasing / stale profile).
+  size_t skid_rejected = 0;
   size_t yields_inserted = 0;
   size_t prefetches_inserted = 0;
   size_t coalesced_groups = 0;  // groups with >1 load
@@ -61,6 +73,13 @@ struct PrimaryResult {
   InstrumentedProgram instrumented;
   PrimaryReport report;
 };
+
+// How internally consistent a site's profile evidence is, in [0, 1].
+// 1 = executions, misses, and stalls corroborate each other; 0 = no
+// execution or miss evidence at all. Penalized when the estimated miss count
+// exceeds the estimated execution count (impossible physically — a skid or
+// aliasing artifact) and when miss evidence lacks any stall corroboration.
+double SiteConfidence(const profile::SiteProfile& site);
 
 // Runs the pass. `program` must be the binary the profile was collected on.
 Result<PrimaryResult> RunPrimaryPass(const isa::Program& program,

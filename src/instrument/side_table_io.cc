@@ -31,6 +31,9 @@ Result<std::map<isa::Addr, YieldInfo>> DeserializeYieldTable(std::string_view te
       return InvalidArgumentError(StrFormat("yield-table line %zu malformed", i));
     }
     YH_ASSIGN_OR_RETURN(const uint64_t addr, ParseUint64(fields[0]));
+    if (addr >= isa::kInvalidAddr) {
+      return OutOfRangeError(StrFormat("yield-table line %zu: address out of range", i));
+    }
     YieldInfo info;
     if (fields[1] == "primary") {
       info.kind = YieldKind::kPrimary;
@@ -47,8 +50,14 @@ Result<std::map<isa::Addr, YieldInfo>> DeserializeYieldTable(std::string_view te
     }
     info.save_mask = static_cast<analysis::RegMask>(mask);
     YH_ASSIGN_OR_RETURN(const uint64_t cycles, ParseUint64(fields[3]));
+    if (cycles > 0xffffffffull) {
+      return OutOfRangeError(StrFormat("yield-table line %zu: cycles out of range", i));
+    }
     info.switch_cycles = static_cast<uint32_t>(cycles);
     YH_ASSIGN_OR_RETURN(const uint64_t loads, ParseUint64(fields[4]));
+    if (loads > 0xffffffffull) {
+      return OutOfRangeError(StrFormat("yield-table line %zu: loads out of range", i));
+    }
     info.coalesced_loads = static_cast<uint32_t>(loads);
     yields[static_cast<isa::Addr>(addr)] = info;
   }

@@ -119,10 +119,18 @@ Result<Program> Program::Deserialize(const std::vector<uint64_t>& image) {
     YH_ASSIGN_OR_RETURN(const Instruction insn, Decode(enc));
     program.Append(insn);
   }
+  // Reject rather than truncate: a 64-bit entry that happens to wrap into
+  // range must not be silently accepted.
+  if (entry >= kInvalidAddr) {
+    return OutOfRangeError("program entry out of address range");
+  }
   program.set_entry(static_cast<Addr>(entry));
   YH_ASSIGN_OR_RETURN(const uint64_t nsyms, next());
   for (uint64_t i = 0; i < nsyms; ++i) {
     YH_ASSIGN_OR_RETURN(const uint64_t addr, next());
+    if (addr >= kInvalidAddr) {
+      return OutOfRangeError("symbol address out of range");
+    }
     YH_ASSIGN_OR_RETURN(const uint64_t len, next());
     if (len > 4096) {
       return OutOfRangeError("implausible symbol length");

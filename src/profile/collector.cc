@@ -65,7 +65,9 @@ Result<CollectResult> CollectProfile(const isa::Program& program, sim::Machine& 
   result.run_cycles = run.value();
   result.run_instructions = ctx.instructions;
   result.sampling_overhead_fraction = session.OverheadFraction(result.run_cycles);
-  result.profile.loads.AddSamples(session.DrainAllSamples(), MakeSamplePeriods(config));
+  result.profile.loads.AddSamples(session.DrainAllSamples(), MakeSamplePeriods(config),
+                                  static_cast<isa::Addr>(program.size()),
+                                  &result.sample_drops);
   result.profile.blocks.AddSnapshots(session.DrainLbrSnapshots());
   return result;
 }

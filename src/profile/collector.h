@@ -39,6 +39,10 @@ struct CollectResult {
   uint64_t run_cycles = 0;
   uint64_t run_instructions = 0;
   double sampling_overhead_fraction = 0.0;
+  // Samples the aggregation refused (IP outside the program, corrupt event
+  // encoding). Non-zero out-of-range drops on a fresh binary indicate PMU
+  // skid/aliasing; callers surface these rather than failing the run.
+  SampleDropStats sample_drops;
 };
 
 // Runs `program` single-context (blocking stalls, yields fall through) on

@@ -1,14 +1,38 @@
 #include "src/profile/profile.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/strings.h"
 
 namespace yieldhide::profile {
 
+std::string SampleDropStats::ToString() const {
+  return StrFormat("samples: accepted=%llu out_of_range=%llu unknown_event=%llu",
+                   static_cast<unsigned long long>(accepted),
+                   static_cast<unsigned long long>(dropped_out_of_range),
+                   static_cast<unsigned long long>(dropped_unknown_event));
+}
+
 void LoadProfile::AddSamples(const std::vector<pmu::PebsSample>& samples,
-                             const SamplePeriods& periods) {
+                             const SamplePeriods& periods, isa::Addr code_size,
+                             SampleDropStats* stats) {
   for (const pmu::PebsSample& sample : samples) {
+    if (code_size != isa::kInvalidAddr && sample.ip >= code_size) {
+      if (stats != nullptr) {
+        ++stats->dropped_out_of_range;
+      }
+      continue;
+    }
+    // Validate the event encoding before touching sites_: a bit-flipped
+    // record must not leave an empty tombstone entry behind.
+    if (static_cast<uint8_t>(sample.event) >
+        static_cast<uint8_t>(pmu::HwEvent::kRetiredInstructions)) {
+      if (stats != nullptr) {
+        ++stats->dropped_unknown_event;
+      }
+      continue;
+    }
     SiteProfile& site = sites_[sample.ip];
     switch (sample.event) {
       case pmu::HwEvent::kLoadsL1Miss:
@@ -35,7 +59,33 @@ void LoadProfile::AddSamples(const std::vector<pmu::PebsSample>& samples,
         site.est_executions += static_cast<double>(periods.retired);
         break;
     }
+    if (stats != nullptr) {
+      ++stats->accepted;
+    }
   }
+}
+
+void LoadProfile::AccumulateSite(isa::Addr ip, const SiteProfile& delta) {
+  SiteProfile& site = sites_[ip];
+  site.est_executions += delta.est_executions;
+  site.est_l1_misses += delta.est_l1_misses;
+  site.est_l2_misses += delta.est_l2_misses;
+  site.est_l3_misses += delta.est_l3_misses;
+  site.est_stall_cycles += delta.est_stall_cycles;
+  total_stall_cycles_ += delta.est_stall_cycles;
+}
+
+size_t LoadProfile::DropSitesOutside(isa::Addr code_size) {
+  size_t dropped = 0;
+  for (auto it = sites_.lower_bound(code_size); it != sites_.end();) {
+    total_stall_cycles_ -= it->second.est_stall_cycles;
+    it = sites_.erase(it);
+    ++dropped;
+  }
+  if (total_stall_cycles_ < 0) {
+    total_stall_cycles_ = 0;  // guard against float cancellation drift
+  }
+  return dropped;
 }
 
 const SiteProfile& LoadProfile::ForIp(isa::Addr ip) const {
@@ -105,12 +155,27 @@ Result<LoadProfile> LoadProfile::Deserialize(std::string_view text) {
           StrFormat("load-profile line %zu has %zu fields, want 6", i, fields.size()));
     }
     YH_ASSIGN_OR_RETURN(const uint64_t ip, ParseUint64(fields[0]));
+    if (ip >= isa::kInvalidAddr) {
+      return InvalidArgumentError(
+          StrFormat("load-profile line %zu: ip %llu out of address range", i,
+                    static_cast<unsigned long long>(ip)));
+    }
     SiteProfile site;
     YH_ASSIGN_OR_RETURN(site.est_executions, ParseDouble(fields[1]));
     YH_ASSIGN_OR_RETURN(site.est_l1_misses, ParseDouble(fields[2]));
     YH_ASSIGN_OR_RETURN(site.est_l2_misses, ParseDouble(fields[3]));
     YH_ASSIGN_OR_RETURN(site.est_l3_misses, ParseDouble(fields[4]));
     YH_ASSIGN_OR_RETURN(site.est_stall_cycles, ParseDouble(fields[5]));
+    // ParseDouble accepts whatever strtod does, including "inf" and "nan";
+    // a count estimate must be a finite non-negative number.
+    for (const double v : {site.est_executions, site.est_l1_misses,
+                           site.est_l2_misses, site.est_l3_misses,
+                           site.est_stall_cycles}) {
+      if (!std::isfinite(v) || v < 0) {
+        return InvalidArgumentError(
+            StrFormat("load-profile line %zu: non-finite or negative count", i));
+      }
+    }
     profile.sites_[static_cast<isa::Addr>(ip)] = site;
     profile.total_stall_cycles_ += site.est_stall_cycles;
   }
@@ -195,6 +260,28 @@ void BlockLatencyProfile::Merge(const BlockLatencyProfile& other) {
   }
 }
 
+std::pair<size_t, size_t> BlockLatencyProfile::DropOutside(isa::Addr code_size) {
+  size_t runs_dropped = 0;
+  size_t edges_dropped = 0;
+  for (auto it = runs_.begin(); it != runs_.end();) {
+    if (it->first.first >= code_size || it->first.second >= code_size) {
+      it = runs_.erase(it);
+      ++runs_dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (it->first.first >= code_size || it->first.second >= code_size) {
+      it = edges_.erase(it);
+      ++edges_dropped;
+    } else {
+      ++it;
+    }
+  }
+  return {runs_dropped, edges_dropped};
+}
+
 BlockLatencyProfile BlockLatencyProfile::Translated(
     const std::function<isa::Addr(isa::Addr)>& translate) const {
   BlockLatencyProfile out;
@@ -237,9 +324,17 @@ Result<BlockLatencyProfile> BlockLatencyProfile::Deserialize(std::string_view te
       }
       YH_ASSIGN_OR_RETURN(const uint64_t a, ParseUint64(fields[1]));
       YH_ASSIGN_OR_RETURN(const uint64_t b, ParseUint64(fields[2]));
+      if (a >= isa::kInvalidAddr || b >= isa::kInvalidAddr) {
+        return InvalidArgumentError(
+            StrFormat("run line %zu: address out of range", i));
+      }
       RunStats stats;
       YH_ASSIGN_OR_RETURN(stats.count, ParseUint64(fields[3]));
       YH_ASSIGN_OR_RETURN(stats.total_cycles, ParseDouble(fields[4]));
+      if (!std::isfinite(stats.total_cycles) || stats.total_cycles < 0) {
+        return InvalidArgumentError(
+            StrFormat("run line %zu: non-finite or negative cycles", i));
+      }
       profile.runs_[{static_cast<isa::Addr>(a), static_cast<isa::Addr>(b)}] = stats;
     } else if (fields[0] == "edge") {
       if (fields.size() != 4) {
@@ -247,6 +342,10 @@ Result<BlockLatencyProfile> BlockLatencyProfile::Deserialize(std::string_view te
       }
       YH_ASSIGN_OR_RETURN(const uint64_t a, ParseUint64(fields[1]));
       YH_ASSIGN_OR_RETURN(const uint64_t b, ParseUint64(fields[2]));
+      if (a >= isa::kInvalidAddr || b >= isa::kInvalidAddr) {
+        return InvalidArgumentError(
+            StrFormat("edge line %zu: address out of range", i));
+      }
       YH_ASSIGN_OR_RETURN(const uint64_t count, ParseUint64(fields[3]));
       profile.edges_[{static_cast<isa::Addr>(a), static_cast<isa::Addr>(b)}] = count;
     } else {
@@ -254,6 +353,20 @@ Result<BlockLatencyProfile> BlockLatencyProfile::Deserialize(std::string_view te
     }
   }
   return profile;
+}
+
+std::string ProfileSanitizeReport::ToString() const {
+  return StrFormat("sanitize: sites_dropped=%zu runs_dropped=%zu edges_dropped=%zu",
+                   sites_dropped, runs_dropped, edges_dropped);
+}
+
+ProfileSanitizeReport SanitizeProfileData(ProfileData& data, isa::Addr code_size) {
+  ProfileSanitizeReport report;
+  report.sites_dropped = data.loads.DropSitesOutside(code_size);
+  const auto [runs, edges] = data.blocks.DropOutside(code_size);
+  report.runs_dropped = runs;
+  report.edges_dropped = edges;
+  return report;
 }
 
 }  // namespace yieldhide::profile

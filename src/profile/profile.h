@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -56,11 +57,40 @@ struct SamplePeriods {
   uint64_t retired = 0;
 };
 
+// Per-category counters for samples a consumer refused to aggregate. Real
+// PEBS streams contain garbage (aliased IPs outside the text segment,
+// records with corrupt event encodings); we count-and-drop instead of
+// asserting so one bad record cannot poison a whole collection run.
+struct SampleDropStats {
+  uint64_t accepted = 0;
+  uint64_t dropped_out_of_range = 0;  // ip outside [0, code_size)
+  uint64_t dropped_unknown_event = 0;  // unrecognized HwEvent encoding
+
+  uint64_t TotalDropped() const {
+    return dropped_out_of_range + dropped_unknown_event;
+  }
+  std::string ToString() const;
+};
+
 class LoadProfile {
  public:
-  // Accumulates samples, scaling each by its event's period.
+  // Accumulates samples, scaling each by its event's period. Samples whose
+  // IP is outside [0, code_size) or whose event enum is corrupt are counted
+  // in `stats` (if non-null) and dropped. Pass code_size = isa::kInvalidAddr
+  // to accept any IP (no binary to validate against).
   void AddSamples(const std::vector<pmu::PebsSample>& samples,
-                  const SamplePeriods& periods);
+                  const SamplePeriods& periods,
+                  isa::Addr code_size = isa::kInvalidAddr,
+                  SampleDropStats* stats = nullptr);
+
+  // Adds `delta`'s event estimates to the site at `ip` (creating it if
+  // absent). The mutation hook used by faultinject to re-key aggregated
+  // evidence without reaching into the private maps.
+  void AccumulateSite(isa::Addr ip, const SiteProfile& delta);
+
+  // Removes every site at or beyond `code_size`, returning how many were
+  // dropped. total_stall_cycles() shrinks by the dropped sites' stalls.
+  size_t DropSitesOutside(isa::Addr code_size);
 
   const SiteProfile& ForIp(isa::Addr ip) const;
   bool HasIp(isa::Addr ip) const { return sites_.count(ip) != 0; }
@@ -119,6 +149,10 @@ class BlockLatencyProfile {
   BlockLatencyProfile Translated(
       const std::function<isa::Addr(isa::Addr)>& translate) const;
 
+  // Removes runs and edges touching an address at or beyond `code_size`.
+  // Returns {runs_dropped, edges_dropped}.
+  std::pair<size_t, size_t> DropOutside(isa::Addr code_size);
+
   std::string Serialize() const;
   static Result<BlockLatencyProfile> Deserialize(std::string_view text);
 
@@ -137,6 +171,26 @@ struct ProfileData {
   LoadProfile loads;
   BlockLatencyProfile blocks;
 };
+
+// What SanitizeProfileData removed. Non-zero counters mean the profile
+// disagreed with the binary it was applied to — a staleness or corruption
+// signal consumers surface in their reports.
+struct ProfileSanitizeReport {
+  size_t sites_dropped = 0;
+  size_t runs_dropped = 0;
+  size_t edges_dropped = 0;
+
+  bool AnythingDropped() const {
+    return sites_dropped + runs_dropped + edges_dropped > 0;
+  }
+  std::string ToString() const;
+};
+
+// Drops every profile record that references an address outside
+// [0, code_size). Run before instrumenting: aliased or stale profile IPs
+// must not reach the passes as if they named real instructions.
+ProfileSanitizeReport SanitizeProfileData(ProfileData& data,
+                                          isa::Addr code_size);
 
 }  // namespace yieldhide::profile
 

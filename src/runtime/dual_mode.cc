@@ -11,12 +11,15 @@ constexpr uint32_t kSelfResumeCycles = 2;
 std::string DualModeReport::Summary() const {
   return StrFormat(
       "tasks=%zu primary_latency[%s] efficiency=%.1f%% primary_stall=%s "
-      "scavenger_issue=%s chains=%llu spawned=%llu",
+      "scavenger_issue=%s chains=%llu spawned=%llu quarantined=%llu/%zu "
+      "skips=%llu",
       run.completions.size(), primary_latency.Summary().c_str(),
       100.0 * CpuEfficiency(), WithCommas(primary_stall_cycles).c_str(),
       WithCommas(scavenger_issue_cycles).c_str(),
       static_cast<unsigned long long>(chains),
-      static_cast<unsigned long long>(scavengers_spawned));
+      static_cast<unsigned long long>(scavengers_spawned),
+      static_cast<unsigned long long>(sites_quarantined), site_stats.size(),
+      static_cast<unsigned long long>(quarantined_skips));
 }
 
 DualModeScheduler::DualModeScheduler(const instrument::InstrumentedProgram* primary_binary,
@@ -44,6 +47,34 @@ uint32_t DualModeScheduler::SwitchCostAt(const instrument::InstrumentedProgram& 
     return it->second.switch_cycles;
   }
   return machine_->config().cost.yield_switch_cycles;
+}
+
+bool DualModeScheduler::YieldLooksUseful(const sim::CpuContext& primary,
+                                         isa::Addr yield_ip,
+                                         uint32_t switch_cost) const {
+  // The primary pass emits [prefetch | muli+add+prefetch]... yield; walk
+  // backwards over that sequence recomputing each prefetch's target from the
+  // still-live registers and probe the hierarchy without side effects.
+  const isa::Program& program = primary_binary_->program;
+  bool any_prefetch = false;
+  isa::Addr addr = yield_ip;
+  for (int back = 0; back < 16 && addr > 0; ++back) {
+    --addr;
+    const isa::Instruction& insn = program.at(addr);
+    if (insn.op == isa::Opcode::kPrefetch) {
+      any_prefetch = true;
+      const uint64_t vaddr =
+          primary.regs[insn.rs1] + static_cast<uint64_t>(insn.imm);
+      if (!machine_->hierarchy().WouldHitFast(vaddr, machine_->now(),
+                                              switch_cost)) {
+        return true;  // hiding a real miss
+      }
+    } else if (insn.op != isa::Opcode::kMuli && insn.op != isa::Opcode::kAdd) {
+      break;  // left the inserted sequence
+    }
+  }
+  // No prefetch in sight (e.g. a manually placed yield): assume useful.
+  return !any_prefetch;
 }
 
 bool DualModeScheduler::SpawnScavenger() {
@@ -220,6 +251,34 @@ Result<DualModeReport> DualModeScheduler::Run() {
       }
       if (step.event == sim::StepEvent::kYielded) {
         const uint32_t cost = SwitchCostAt(*primary_binary_, ip);
+        if (config_.site_quarantine) {
+          auto annotation = primary_binary_->yields.find(ip);
+          const bool gated_site =
+              annotation != primary_binary_->yields.end() &&
+              annotation->second.kind == instrument::YieldKind::kPrimary;
+          if (gated_site) {
+            YieldSiteStats& stats = report_.site_stats[ip];
+            if (stats.quarantined) {
+              // Disabled site: skip the switch and the burst entirely. The
+              // residual cost of a bad profile is the inserted sequence's
+              // issue cycles, nothing more.
+              ++report_.quarantined_skips;
+              continue;
+            }
+            ++stats.visits;
+            stats.switch_cycles_paid += cost;
+            if (YieldLooksUseful(primary, ip, cost)) {
+              ++stats.useful;
+            }
+            if (stats.visits >= config_.quarantine_min_visits &&
+                static_cast<double>(stats.useful) <
+                    config_.quarantine_min_useful_fraction *
+                        static_cast<double>(stats.visits)) {
+              stats.quarantined = true;
+              ++report_.sites_quarantined;
+            }
+          }
+        }
         machine_->AdvanceClock(cost);
         primary.switch_cycles += cost;
         primary.yields_taken += 1;

@@ -22,6 +22,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -42,6 +43,27 @@ struct DualModeConfig {
   // miss hidden; chains stop even at a primary yield once this much has run.
   uint32_t hide_window_cycles = 300;
   uint64_t max_total_instructions = 1'000'000'000;
+  // Online site quarantine: track per-yield-site hide efficiency (was the
+  // prefetched line actually slow, or did we pay a switch for nothing?) and
+  // stop taking yields at sites that keep regressing. This bounds the
+  // worst-case slowdown a corrupted or stale profile can inflict: a yield
+  // placed on an always-hitting load degrades to its issue cost. Only
+  // instrumented kPrimary sites are ever quarantined; developer-written
+  // yields are left alone.
+  bool site_quarantine = true;
+  // A site is quarantined once it has been visited at least
+  // `quarantine_min_visits` times with fewer than
+  // `quarantine_min_useful_fraction` of visits looking useful.
+  uint64_t quarantine_min_visits = 16;
+  double quarantine_min_useful_fraction = 0.25;
+};
+
+// Online per-site accounting backing the quarantine decision.
+struct YieldSiteStats {
+  uint64_t visits = 0;           // times the primary yielded here
+  uint64_t useful = 0;           // visits where the prefetched line was slow
+  uint64_t switch_cycles_paid = 0;
+  bool quarantined = false;
 };
 
 struct DualModeReport {
@@ -52,6 +74,10 @@ struct DualModeReport {
   uint64_t scavenger_issue_cycles = 0;
   uint64_t scavengers_spawned = 0;
   uint64_t chains = 0;  // scavenger-to-scavenger transfers ("too early" case)
+  // Site-quarantine telemetry (keyed by instrumented-program yield address).
+  std::map<isa::Addr, YieldSiteStats> site_stats;
+  uint64_t sites_quarantined = 0;
+  uint64_t quarantined_skips = 0;  // yields not taken at quarantined sites
 
   // Core cycles doing useful work for either class.
   double CpuEfficiency() const { return run.CpuEfficiency(); }
@@ -90,6 +116,13 @@ class DualModeScheduler {
 
   uint32_t SwitchCostAt(const instrument::InstrumentedProgram& binary,
                         isa::Addr yield_ip) const;
+  // Inspects the prefetches emitted just before the primary yield at
+  // `yield_ip`: true if any prefetched line would still be slow to load (the
+  // yield is hiding real latency), false if everything is already fast (the
+  // switch was wasted). Sites with no recognizable prefetch sequence are
+  // treated as useful.
+  bool YieldLooksUseful(const sim::CpuContext& primary, isa::Addr yield_ip,
+                        uint32_t switch_cost) const;
   // Index of a runnable scavenger, or -1. Prefers scavengers that have not
   // yet run in the current burst (so a chain never resumes a coroutine into
   // its own in-flight prefetch), spawning a new one on demand when the burst

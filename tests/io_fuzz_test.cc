@@ -1,0 +1,257 @@
+// Deterministic fuzzing of every external input parser: truncations at every
+// prefix plus seeded random mutations against Program::Deserialize,
+// DeserializeProfileData, DeserializeYieldTable, and the file-level loaders.
+// The contract under test is satellite S2's: malformed input must come back
+// as a Status, never as a crash, hang, or silent garbage acceptance — and
+// anything a parser does accept must be safe to use (Validate / re-serialize
+// without incident). Run under ASan+UBSan via tools/check.sh for full effect.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/instrument/side_table_io.h"
+#include "src/isa/assembler.h"
+#include "src/isa/program.h"
+#include "src/isa/program_io.h"
+#include "src/profile/profile.h"
+#include "src/profile/profile_io.h"
+
+namespace yieldhide {
+namespace {
+
+constexpr uint64_t kFuzzSeed = 0xf00dull;
+constexpr int kMutationRounds = 500;
+
+isa::Program SampleProgram() {
+  auto program = isa::Assemble(R"(
+      .entry main
+    main:
+      movi r1, 64
+      movi r2, 0
+    loop:
+      load r3, [r1+0]
+      add r2, r2, r3
+      addi r1, r1, -8
+      bne r1, r0, loop
+      call helper
+      halt
+    helper:
+      yield
+      ret
+  )");
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+profile::ProfileData SampleProfile() {
+  profile::ProfileData data;
+  for (isa::Addr ip = 0; ip < 8; ++ip) {
+    profile::SiteProfile site;
+    site.est_executions = 100 + ip;
+    site.est_l2_misses = 10.5 * ip;
+    site.est_stall_cycles = 250.25 * ip;
+    data.loads.AccumulateSite(ip, site);
+  }
+  std::vector<pmu::LbrSnapshot> snapshots(1);
+  snapshots[0].entries = {{2, 5, 17}, {5, 2, 90}, {2, 7, 33}};
+  data.blocks.AddSnapshots(snapshots);
+  return data;
+}
+
+// If the parser accepted the bytes, the result must be usable: validation
+// and re-serialization may report errors but must not crash.
+void ExerciseAccepted(const Result<isa::Program>& result) {
+  if (result.ok()) {
+    (void)result->Validate();
+    (void)result->Serialize();
+  }
+}
+
+// --- Program image (binary words) -------------------------------------------------
+
+TEST(ProgramImageFuzzTest, SurvivesTruncationAtEveryPrefix) {
+  const std::vector<uint64_t> image = SampleProgram().Serialize();
+  for (size_t len = 0; len <= image.size(); ++len) {
+    const std::vector<uint64_t> prefix(image.begin(), image.begin() + len);
+    ExerciseAccepted(isa::Program::Deserialize(prefix));
+  }
+}
+
+TEST(ProgramImageFuzzTest, SurvivesRandomWordMutations) {
+  const std::vector<uint64_t> image = SampleProgram().Serialize();
+  Rng rng(kFuzzSeed);
+  for (int round = 0; round < kMutationRounds; ++round) {
+    std::vector<uint64_t> mutated = image;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // bit flip
+          mutated[pos] ^= 1ull << rng.NextBelow(64);
+          break;
+        case 1:  // random word (hits count/length fields with huge values)
+          mutated[pos] = rng.Next();
+          break;
+        default:  // truncate the tail
+          mutated.resize(pos);
+          break;
+      }
+      if (mutated.empty()) {
+        break;
+      }
+    }
+    ExerciseAccepted(isa::Program::Deserialize(mutated));
+  }
+}
+
+TEST(ProgramImageFuzzTest, RejectsOversizedCountsWithoutAllocating) {
+  // A forged header claiming 2^60 instructions must fail fast, not OOM.
+  std::vector<uint64_t> image = SampleProgram().Serialize();
+  image[3] = 1ull << 60;  // count field
+  EXPECT_FALSE(isa::Program::Deserialize(image).ok());
+}
+
+// --- Profile text -----------------------------------------------------------------
+
+TEST(ProfileTextFuzzTest, SurvivesTruncationAtEveryPrefix) {
+  const std::string text = profile::SerializeProfileData(SampleProfile());
+  for (size_t len = 0; len <= text.size(); ++len) {
+    auto result = profile::DeserializeProfileData(text.substr(0, len));
+    if (result.ok()) {
+      (void)profile::SerializeProfileData(*result);
+    }
+  }
+}
+
+TEST(ProfileTextFuzzTest, SurvivesRandomCharacterMutations) {
+  const std::string text = profile::SerializeProfileData(SampleProfile());
+  Rng rng(kFuzzSeed + 1);
+  const char junk[] = "0123456789-+.e \tnaninf%";
+  for (int round = 0; round < kMutationRounds; ++round) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[pos] = junk[rng.NextBelow(sizeof(junk) - 1)];
+          break;
+        case 1:  // splice in an oversized number
+          mutated.insert(pos, "99999999999999999999999");
+          break;
+        default:
+          mutated.erase(pos, 1 + rng.NextBelow(8));
+          break;
+      }
+      if (mutated.empty()) {
+        break;
+      }
+    }
+    auto result = profile::DeserializeProfileData(mutated);
+    if (result.ok()) {
+      // Accepted profiles must hold only finite, in-range records.
+      for (const auto& [ip, site] : result->loads.sites()) {
+        EXPECT_LT(ip, isa::kInvalidAddr);
+        EXPECT_GE(site.est_executions, 0.0);
+        EXPECT_GE(site.est_stall_cycles, 0.0);
+      }
+      (void)profile::SerializeProfileData(*result);
+    }
+  }
+}
+
+// --- Yield side-table text --------------------------------------------------------
+
+std::map<isa::Addr, instrument::YieldInfo> SampleYields() {
+  std::map<isa::Addr, instrument::YieldInfo> yields;
+  instrument::YieldInfo info;
+  info.kind = instrument::YieldKind::kPrimary;
+  info.save_mask = 0b1010;
+  info.switch_cycles = 24;
+  yields[3] = info;
+  info.kind = instrument::YieldKind::kScavenger;
+  yields[9] = info;
+  info.kind = instrument::YieldKind::kManual;
+  yields[17] = info;
+  return yields;
+}
+
+TEST(YieldTableFuzzTest, SurvivesTruncationAndMutations) {
+  const std::string text = instrument::SerializeYieldTable(SampleYields());
+  for (size_t len = 0; len <= text.size(); ++len) {
+    (void)instrument::DeserializeYieldTable(text.substr(0, len));
+  }
+  Rng rng(kFuzzSeed + 2);
+  const char junk[] = "0123456789primaryscavenger manual\t-";
+  for (int round = 0; round < kMutationRounds; ++round) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      if (rng.NextBool(0.3)) {
+        mutated.insert(pos, "184467440737095516150");  // > uint64 max
+      } else {
+        mutated[pos] = junk[rng.NextBelow(sizeof(junk) - 1)];
+      }
+    }
+    auto result = instrument::DeserializeYieldTable(mutated);
+    if (result.ok()) {
+      for (const auto& [addr, info] : *result) {
+        EXPECT_LT(addr, isa::kInvalidAddr);
+        EXPECT_LE(info.save_mask, analysis::kAllRegs);
+      }
+    }
+  }
+}
+
+// --- File-level loaders -----------------------------------------------------------
+
+class FileFuzzTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "io_fuzz_" + name;
+  }
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST_F(FileFuzzTest, LoadProgramHandlesGarbageAndPartialWords) {
+  const std::string path = TempPath("program.yh");
+  // Not a multiple of 8 bytes: a torn write.
+  WriteBytes(path, std::string(13, '\x5a'));
+  EXPECT_FALSE(isa::LoadProgram(path).ok());
+  // Empty file.
+  WriteBytes(path, "");
+  EXPECT_FALSE(isa::LoadProgram(path).ok());
+  // Missing file is an error, not a crash.
+  EXPECT_FALSE(isa::LoadProgram(TempPath("does_not_exist.yh")).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FileFuzzTest, RoundTripsSurviveAfterFuzzing) {
+  // Sanity: after all the mutation rounds above, pristine inputs still parse.
+  const isa::Program program = SampleProgram();
+  const std::string path = TempPath("roundtrip.yh");
+  ASSERT_TRUE(isa::SaveProgram(program, path).ok());
+  auto loaded = isa::LoadProgram(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Serialize(), program.Serialize());
+  std::remove(path.c_str());
+
+  const auto data = SampleProfile();
+  auto profile = profile::DeserializeProfileData(profile::SerializeProfileData(data));
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  auto yields = instrument::DeserializeYieldTable(
+      instrument::SerializeYieldTable(SampleYields()));
+  ASSERT_TRUE(yields.ok()) << yields.status();
+  EXPECT_EQ(yields->size(), 3u);
+}
+
+}  // namespace
+}  // namespace yieldhide

@@ -1,0 +1,172 @@
+// Adversarial tests for VerifyInstrumentation: each of the verifier's checks
+// is defeated by tampering with a genuinely-instrumented binary, and every
+// violation must surface as a FAILED status carrying that property's
+// distinctive message — a silent pass or a shared generic error would let
+// rewriter bugs masquerade as each other.
+#include <gtest/gtest.h>
+
+#include "src/instrument/primary_pass.h"
+#include "src/instrument/verifier.h"
+#include "src/isa/assembler.h"
+#include "src/profile/profile.h"
+
+namespace yieldhide::instrument {
+namespace {
+
+isa::Program Asm(const std::string& source) {
+  auto program = isa::Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+constexpr char kLoop[] = R"(
+    movi r5, 0          ; 0
+  loop:
+    load r2, [r1+0]     ; 1: hot miss, gets prefetch+yield
+    add r5, r5, r2      ; 2
+    addi r4, r4, -1     ; 3
+    bne r4, r0, loop    ; 4
+    halt                ; 5
+)";
+
+// One credible hot-miss site at ip 1.
+profile::LoadProfile HotLoadProfile() {
+  profile::LoadProfile profile;
+  profile::SiteProfile site;
+  site.est_executions = 100;
+  site.est_l2_misses = 90;
+  site.est_stall_cycles = 20000;
+  profile.AccumulateSite(1, site);
+  return profile;
+}
+
+class VerifierTamperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    original_ = Asm(kLoop);
+    PrimaryConfig config;
+    config.policy = PrimaryPolicy::kMissThreshold;
+    config.miss_probability_threshold = 0.5;
+    auto result = RunPrimaryPass(original_, HotLoadProfile(), config);
+    ASSERT_TRUE(result.ok()) << result.status();
+    instrumented_ = std::move(result->instrumented);
+    ASSERT_EQ(instrumented_.yields.size(), 1u);
+    yield_addr_ = instrumented_.yields.begin()->first;
+    ASSERT_TRUE(VerifyInstrumentation(original_, instrumented_).ok());
+  }
+
+  // Runs the verifier and asserts it fails with `expected` in the message.
+  void ExpectFailure(const InstrumentedProgram& tampered, const std::string& expected,
+                     const VerifyOptions& options = {}) {
+    const Status status = VerifyInstrumentation(original_, tampered, options);
+    ASSERT_FALSE(status.ok()) << "tamper went undetected (wanted: " << expected << ")";
+    EXPECT_NE(status.ToString().find(expected), std::string::npos)
+        << "wrong diagnostic: " << status.ToString();
+  }
+
+  isa::Program original_;
+  InstrumentedProgram instrumented_;
+  isa::Addr yield_addr_ = 0;
+};
+
+// Property 1/2: the addr map must cover the original exactly.
+TEST_F(VerifierTamperTest, DetectsAddrMapSizeMismatch) {
+  isa::Program bigger = original_;
+  bigger.Append({isa::Opcode::kNop});
+  const Status status = VerifyInstrumentation(bigger, instrumented_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("addr map covers"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(VerifierTamperTest, DetectsNonMonotonicAddrMap) {
+  InstrumentedProgram tampered = instrumented_;
+  // Rebuild the map with a repeated image address: claims two original
+  // instructions collapsed onto one slot.
+  std::vector<isa::Addr> forward;
+  for (isa::Addr addr = 0; addr < original_.size(); ++addr) {
+    forward.push_back(instrumented_.addr_map.Translate(addr));
+  }
+  forward[1] = forward[0];
+  tampered.addr_map = AddrMap(forward);
+  ExpectFailure(tampered, "addr map not strictly increasing");
+}
+
+// Property 2: every original instruction survives unmodified at its image.
+TEST_F(VerifierTamperTest, DetectsMutatedImageInstruction) {
+  InstrumentedProgram tampered = instrumented_;
+  const isa::Addr image = tampered.addr_map.Translate(0);  // movi r5, 0
+  tampered.program.at(image).imm = 7;  // "optimizes" the constant
+  ExpectFailure(tampered, "instruction at 0 changed");
+}
+
+// Property 3: relocated branch targets must still point at their block image.
+TEST_F(VerifierTamperTest, DetectsBranchRetargetedPastItsImage) {
+  InstrumentedProgram tampered = instrumented_;
+  const isa::Addr branch = tampered.addr_map.Translate(4);  // bne -> loop
+  ASSERT_EQ(tampered.program.at(branch).op, isa::Opcode::kBne);
+  tampered.program.at(branch).imm =
+      static_cast<int64_t>(tampered.addr_map.Translate(1)) + 1;
+  ExpectFailure(tampered, "overshoots its target image");
+}
+
+TEST_F(VerifierTamperTest, DetectsBranchLandingOnForeignInstruction) {
+  InstrumentedProgram tampered = instrumented_;
+  const isa::Addr branch = tampered.addr_map.Translate(4);
+  // Target the image of movi (original 0): a real instruction from a
+  // different block sits between this target and the branch's true image.
+  tampered.program.at(branch).imm = static_cast<int64_t>(tampered.addr_map.Translate(0));
+  ExpectFailure(tampered, "lands before a foreign original instruction");
+}
+
+// Property 4: side table and yield instructions must match exactly, both ways.
+TEST_F(VerifierTamperTest, DetectsSideTableEntryOnNonYield) {
+  InstrumentedProgram tampered = instrumented_;
+  YieldInfo info;
+  info.kind = YieldKind::kPrimary;
+  tampered.yields[tampered.addr_map.Translate(2)] = info;  // the add
+  ExpectFailure(tampered, "is not a yield");
+}
+
+TEST_F(VerifierTamperTest, DetectsYieldMissingFromSideTable) {
+  InstrumentedProgram tampered = instrumented_;
+  tampered.yields.erase(yield_addr_);
+  ExpectFailure(tampered, "has no side-table entry");
+}
+
+// Property 5: an inserted prefetch must be part of a prefetch+yield idiom.
+TEST_F(VerifierTamperTest, DetectsOrphanedPrefetch) {
+  InstrumentedProgram tampered = instrumented_;
+  // Neutralize the yield (and its side-table entry, so property 4 passes):
+  // the prefetch before it is now a lone prefetch with no yield to pair with.
+  ASSERT_EQ(tampered.program.at(yield_addr_).op, isa::Opcode::kYield);
+  tampered.program.at(yield_addr_) = {isa::Opcode::kNop};
+  tampered.yields.erase(yield_addr_);
+  ExpectFailure(tampered, "is not followed by a yield");
+}
+
+// Property 6: the optional scavenger interval bound.
+TEST_F(VerifierTamperTest, DetectsIntervalBoundViolation) {
+  VerifyOptions options;
+  options.max_interval_cycles = 1;  // nothing real satisfies one cycle
+  ExpectFailure(instrumented_, "worst-case inter-yield interval", options);
+}
+
+// Distinctness: the six properties' diagnostics must not collapse into one
+// generic message, or tampering with one property could be misdiagnosed.
+TEST_F(VerifierTamperTest, DiagnosticsAreDistinct) {
+  const char* needles[] = {
+      "addr map covers",        "addr map not strictly increasing",
+      "changed",                "overshoots its target image",
+      "is not a yield",         "has no side-table entry",
+      "is not followed by a yield", "worst-case inter-yield interval"};
+  for (size_t i = 0; i < std::size(needles); ++i) {
+    for (size_t j = i + 1; j < std::size(needles); ++j) {
+      EXPECT_EQ(std::string(needles[i]).find(needles[j]), std::string::npos);
+      EXPECT_EQ(std::string(needles[j]).find(needles[i]), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yieldhide::instrument

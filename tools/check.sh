@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification in both plain and sanitized configurations:
+#   tools/check.sh            # build + ctest, plain then ASan+UBSan
+#   tools/check.sh --fast     # plain config only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== ctest ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_config build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_config build-asan -DYIELDHIDE_SANITIZE=address,undefined
+fi
+
+echo "all checks passed"

@@ -26,11 +26,15 @@
 #include "src/analysis/cfg.h"
 #include "src/common/strings.h"
 #include "src/core/pipeline.h"
+#include "src/faultinject/drift.h"
+#include "src/faultinject/fault.h"
+#include "src/faultinject/profile_faults.h"
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
 #include "src/isa/program_io.h"
 #include "src/profile/profile_io.h"
 #include "src/runtime/annotate.h"
+#include "src/runtime/dual_mode.h"
 #include "src/runtime/round_robin.h"
 
 namespace yieldhide::tools {
@@ -386,6 +390,186 @@ int CmdInstrument(const Options& options) {
   return 0;
 }
 
+// Chaos harness: collect a clean profile, inject the requested faults (stale
+// drifts the binary out from under the profile; the rest corrupt the profile
+// itself), re-instrument, and compare a dual-mode run against the
+// uninstrumented baseline. Demonstrates every graceful-degradation layer from
+// the shell: sanitize drops, confidence-gate quarantine, verification
+// fallback, and the runtime site quarantine.
+int CmdChaos(const Options& options) {
+  if (options.positional.size() != 1 || options.flags.count("fault") == 0) {
+    std::fprintf(stderr,
+                 "usage: yhc chaos <in.yh> --fault=<class:sev>[,...] [--group N] "
+                 "[--period N] [--seed S] [--quarantine 0|1] [--reg N=V] "
+                 "[--ring base,lines,stride]\n"
+                 "fault classes: ip_alias, skid, drop, period_alias, stale\n");
+    return 2;
+  }
+  auto program = isa::LoadProgram(options.positional[0]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  auto faults = faultinject::ParseFaultList(options.flags.at("fault"));
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
+    return 1;
+  }
+  auto group = FlagU64(options, "group", 8);
+  auto period = FlagU64(options, "period", 29);
+  auto seed = FlagU64(options, "seed", 1);
+  auto quarantine = FlagU64(options, "quarantine", 1);
+  if (!group.ok() || !period.ok() || !seed.ok() || !quarantine.ok() ||
+      *group == 0 || *period == 0) {
+    std::fprintf(stderr, "bad --group/--period/--seed/--quarantine\n");
+    return 2;
+  }
+
+  // --- step 1: clean profile of the original binary ------------------------
+  sim::Machine profile_machine(sim::MachineConfig::SkylakeLike());
+  Status rings = ApplyRings(options, profile_machine);
+  if (!rings.ok()) {
+    std::fprintf(stderr, "%s\n", rings.ToString().c_str());
+    return 1;
+  }
+  profile::CollectorConfig collector;
+  collector.l2_miss_period = *period;
+  collector.stall_cycles_period = *period * 7;
+  collector.retired_period = *period * 2 + 1;
+  collector.period_jitter = 0.1;
+  auto collected =
+      profile::CollectProfile(*program, profile_machine, MakeSetup(options, 0), collector);
+  if (!collected.ok()) {
+    std::fprintf(stderr, "profiling failed: %s\n",
+                 collected.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clean profile: %s cycles, %zu load sites\n",
+              WithCommas(collected->run_cycles).c_str(),
+              collected->profile.loads.sites().size());
+
+  // --- step 2: inject the faults -------------------------------------------
+  isa::Program target = *program;  // what "production" will actually run
+  profile::ProfileData profile = std::move(collected->profile);
+  for (const faultinject::FaultSpec& spec : *faults) {
+    faultinject::FaultSpec seeded = spec;
+    seeded.seed = *seed;
+    if (spec.fault == faultinject::FaultClass::kStaleBinary) {
+      faultinject::DriftConfig drift;
+      drift.severity = spec.severity;
+      drift.seed = *seed;
+      auto drifted = faultinject::DriftProgram(target, drift);
+      if (!drifted.ok()) {
+        std::fprintf(stderr, "drift failed: %s\n",
+                     drifted.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("inject stale:%.2f -> %s\n", spec.severity,
+                  drifted->report.ToString().c_str());
+      target = std::move(drifted->program);
+    } else {
+      profile = faultinject::CorruptProfile(
+          profile, seeded, static_cast<isa::Addr>(target.size()));
+      std::printf("inject %s:%.2f on profile\n",
+                  faultinject::FaultClassName(spec.fault), spec.severity);
+    }
+  }
+
+  // --- step 3: sanitize + instrument with graceful fallback ----------------
+  const profile::ProfileSanitizeReport sanitized =
+      profile::SanitizeProfileData(profile, static_cast<isa::Addr>(target.size()));
+  std::printf("%s\n", sanitized.ToString().c_str());
+
+  core::PipelineConfig config;
+  config.machine = sim::MachineConfig::SkylakeLike();
+  config.Finalize();
+  instrument::InstrumentedProgram binary;
+  bool instrumented_ok = false;
+  auto primary = instrument::RunPrimaryPass(target, profile.loads, config.primary);
+  if (!primary.ok()) {
+    std::printf("primary pass failed (%s); running uninstrumented\n",
+                primary.status().ToString().c_str());
+  } else {
+    std::printf("%s\n", primary->report.ToString().c_str());
+    const instrument::AddrMap& map = primary->instrumented.addr_map;
+    const profile::BlockLatencyProfile translated = profile.blocks.Translated(
+        [&map](isa::Addr addr) {
+          return addr < map.old_size() ? map.Translate(addr) : addr;
+        });
+    auto scavenger = instrument::RunScavengerPass(primary->instrumented,
+                                                  &translated, config.scavenger);
+    if (!scavenger.ok()) {
+      std::printf("scavenger pass failed (%s); running uninstrumented\n",
+                  scavenger.status().ToString().c_str());
+    } else {
+      instrument::VerifyOptions verify;
+      verify.machine_cost = config.machine.cost;
+      const Status verdict =
+          instrument::VerifyInstrumentation(target, scavenger->instrumented, verify);
+      if (!verdict.ok()) {
+        std::printf("VERIFICATION FAILED (%s); running uninstrumented\n",
+                    verdict.ToString().c_str());
+      } else {
+        binary = std::move(scavenger->instrumented);
+        instrumented_ok = true;
+      }
+    }
+  }
+  if (!instrumented_ok) {
+    binary = runtime::AnnotateManualYields(target, config.machine.cost);
+  }
+
+  // --- step 4: dual-mode run vs uninstrumented baseline --------------------
+  auto dual_run = [&](const instrument::InstrumentedProgram& bin,
+                      bool enable_quarantine,
+                      bool with_scavengers) -> Result<runtime::DualModeReport> {
+    sim::Machine machine(sim::MachineConfig::SkylakeLike());
+    YH_RETURN_IF_ERROR(ApplyRings(options, machine));
+    runtime::DualModeConfig dm;
+    dm.site_quarantine = enable_quarantine;
+    runtime::DualModeScheduler sched(&bin, &bin, &machine, dm);
+    for (uint64_t i = 0; i < *group; ++i) {
+      sched.AddPrimaryTask(MakeSetup(options, static_cast<int>(i)));
+    }
+    if (with_scavengers) {
+      int task = static_cast<int>(*group);
+      sched.SetScavengerFactory([&options, task]() mutable
+                                    -> std::optional<std::function<void(sim::CpuContext&)>> {
+        return MakeSetup(options, task++);
+      });
+    }
+    return sched.Run();
+  };
+
+  const instrument::InstrumentedProgram baseline_binary =
+      runtime::AnnotateManualYields(target, config.machine.cost);
+  auto baseline = dual_run(baseline_binary, false, false);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline run failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  auto chaos = dual_run(binary, *quarantine != 0, true);
+  if (!chaos.ok()) {
+    std::fprintf(stderr, "chaos run failed: %s\n",
+                 chaos.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("baseline: %s\n", baseline->Summary().c_str());
+  std::printf("faulted : %s\n", chaos->Summary().c_str());
+  const double slowdown =
+      baseline->run.total_cycles == 0
+          ? 0.0
+          : static_cast<double>(chaos->run.total_cycles) /
+                static_cast<double>(baseline->run.total_cycles);
+  std::printf("total cycles: baseline=%s faulted=%s -> %.3fx %s\n",
+              WithCommas(baseline->run.total_cycles).c_str(),
+              WithCommas(chaos->run.total_cycles).c_str(), slowdown,
+              slowdown <= 1.15 ? "(within 1.15x bound)" : "(EXCEEDS 1.15x bound)");
+  return slowdown <= 1.15 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "yhc — yieldhide toolchain\n"
@@ -397,6 +581,8 @@ int Usage() {
                "  run <in.yh> [--group N] [...]       execute on the simulator\n"
                "  profile <in.yh> --out <prof> [...]  sample-based profiling\n"
                "  instrument <in.yh> --profile <prof> --out <out.yh>\n"
+               "  chaos <in.yh> --fault=<class:sev>[,...] [--quarantine 0|1]\n"
+               "        fault-inject the pipeline and bound the damage\n"
                "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
   return 2;
 }
@@ -435,6 +621,9 @@ int main(int argc, char** argv) {
   }
   if (command == "instrument") {
     return CmdInstrument(*options);
+  }
+  if (command == "chaos") {
+    return CmdChaos(*options);
   }
   return Usage();
 }
