@@ -106,11 +106,12 @@ DualOutcome RunDual(const workloads::SimWorkload& workload,
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("R1", "fault matrix: pipeline degradation under profile/binary faults");
+  JsonWriter json("R1", argc, argv);
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
 
   workloads::PointerChase::Config wc;
@@ -140,6 +141,8 @@ int main() {
   table.PrintHeader();
   table.PrintRow({"baseline", "0", "-", "-", "-", "1.00", "1.00", "-",
                   Fmt("%.3f", baseline.efficiency), "-"});
+  json.Add("baseline", {{"cycles", static_cast<double>(baseline.total_cycles)},
+                        {"efficiency", baseline.efficiency}});
 
   bool all_within_bound = true;
 
@@ -176,6 +179,12 @@ int main() {
     const double on_x = static_cast<double>(on.total_cycles) / base_cycles;
     const bool within = on_x <= kSlowdownBound;
     all_within_bound = all_within_bound && within;
+    json.Add(label, {{"off_x", off_x},
+                     {"on_x", on_x},
+                     {"efficiency_on", on.efficiency},
+                     {"yields", static_cast<double>(binary.yields.size())},
+                     {"sites_quarantined", static_cast<double>(on.sites_quarantined)},
+                     {"within_bound", within ? 1.0 : 0.0}});
     table.PrintRow(
         {label, std::to_string(binary.yields.size()),
          std::to_string(primary_report.quarantined_loads.size()),
@@ -247,6 +256,7 @@ int main() {
       "every row must stay within %.2fx of baseline. The clean row keeps its\n"
       "efficiency win: quarantine never fires on yields that hide real misses.\n",
       300u, kSlowdownBound);
+  json.Flush();
   if (!all_within_bound) {
     std::printf("\nR1: BOUND VIOLATED\n");
     return 1;

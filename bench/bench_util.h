@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/strings.h"
@@ -74,6 +75,64 @@ inline runtime::RunReport RunRoundRobin(const workloads::SimWorkload& workload,
   }
   return report.value();
 }
+
+// Machine-readable results. Construct from argv (recognizes "--json <path>"
+// anywhere on the command line), Add() one row of metrics per table row, and
+// Flush() before exit. With no --json flag everything is a no-op, so benches
+// can call unconditionally. Output shape:
+//   {"bench": "<id>", "rows": [{"name": "...", "<metric>": <value>, ...}]}
+class JsonWriter {
+ public:
+  JsonWriter(const std::string& bench_id, int argc, char** argv)
+      : bench_id_(bench_id) {
+    for (int i = 0; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path_ = argv[i + 1];
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& row_name,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    if (!enabled()) {
+      return;
+    }
+    std::string row = "    {\"name\": \"" + row_name + "\"";
+    for (const auto& [key, value] : metrics) {
+      row += StrFormat(", \"%s\": %.6g", key.c_str(), value);
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  // Returns false (and prints to stderr) if the file cannot be written.
+  bool Flush() const {
+    if (!enabled()) {
+      return true;
+    }
+    std::string out = "{\n  \"bench\": \"" + bench_id_ + "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out += "  ]\n}\n";
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+    std::fclose(file);
+    std::printf("json results: %s\n", path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_id_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 // The canonical pipeline configuration for benches: Skylake-like machine,
 // production-ish sampling periods.

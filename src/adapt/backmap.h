@@ -1,0 +1,50 @@
+// IP back-mapping for online profiling (docs/ONLINE.md).
+//
+// The online sampling session watches the INSTRUMENTED binary execute, so
+// every sample IP is an instrumented-image address. Profiles, drift scores,
+// and re-instrumentation all speak original-binary addresses; ReverseAddrMap
+// inverts the rewriter's forward map so live samples land on original sites.
+#ifndef YIELDHIDE_SRC_ADAPT_BACKMAP_H_
+#define YIELDHIDE_SRC_ADAPT_BACKMAP_H_
+
+#include <map>
+#include <vector>
+
+#include "src/instrument/types.h"
+#include "src/isa/isa.h"
+
+namespace yieldhide::adapt {
+
+class ReverseAddrMap {
+ public:
+  ReverseAddrMap() = default;
+  // `forward` is the composed original→instrumented map of the final binary
+  // (InstrumentedProgram::addr_map); `instrumented_size` its instruction
+  // count. Addresses the forward map does not target — the instructions the
+  // passes inserted — attribute to the NEXT surviving original instruction:
+  // the primary pass inserts prefetch+yield immediately BEFORE a load, so a
+  // sample on the inserted sequence names the load it covers.
+  ReverseAddrMap(const instrument::AddrMap& forward, size_t instrumented_size);
+
+  // Original-binary address for `instrumented_addr`; kInvalidAddr when the
+  // address is out of range or past the last original instruction's image.
+  isa::Addr ToOriginal(isa::Addr instrumented_addr) const;
+
+  size_t instrumented_size() const { return reverse_.size(); }
+  size_t original_size() const { return original_size_; }
+
+ private:
+  std::vector<isa::Addr> reverse_;
+  size_t original_size_ = 0;
+};
+
+// Original load site → address of the kPrimary yield covering it, for every
+// primary yield in `binary`. The adaptation loop uses this both as "the set
+// of sites the current instrumentation handles" (drift scoring) and as the
+// translation key when quarantine state is carried across a hot swap.
+std::map<isa::Addr, isa::Addr> PrimaryYieldsByOriginalSite(
+    const instrument::InstrumentedProgram& binary);
+
+}  // namespace yieldhide::adapt
+
+#endif  // YIELDHIDE_SRC_ADAPT_BACKMAP_H_

@@ -1,0 +1,139 @@
+#include "src/adapt/controller.h"
+
+#include <algorithm>
+
+namespace yieldhide::adapt {
+
+namespace {
+double TotalExecutions(const profile::LoadProfile& loads) {
+  double total = 0.0;
+  for (const auto& [ip, site] : loads.sites()) {
+    total += site.est_executions;
+  }
+  return total;
+}
+}  // namespace
+
+AdaptController::AdaptController(const isa::Program* original,
+                                 core::PipelineArtifacts initial,
+                                 const AdaptControllerConfig& config)
+    : original_(original),
+      config_(config),
+      // No swap has happened, so the cool-down must not block the first one.
+      epochs_since_swap_(config.min_epochs_between_swaps) {
+  lineage_.push_back(
+      std::make_unique<core::PipelineArtifacts>(std::move(initial)));
+  reference_loads_ = lineage_.back()->profile.loads;
+  site_index_ = PrimaryYieldsByOriginalSite(lineage_.back()->binary);
+  backmap_ = ReverseAddrMap(lineage_.back()->binary.addr_map,
+                            lineage_.back()->binary.program.size());
+}
+
+const instrument::InstrumentedProgram& AdaptController::binary() const {
+  return lineage_.back()->binary;
+}
+
+const profile::LoadProfile& AdaptController::reference_loads() const {
+  return reference_loads_;
+}
+
+const core::PipelineArtifacts& AdaptController::current_artifacts() const {
+  return *lineage_.back();
+}
+
+AdaptController::Decision AdaptController::Observe(
+    const OnlineProfile& online,
+    const std::map<isa::Addr, runtime::YieldSiteStats>& site_stats) {
+  Decision decision;
+  decision.score = ComputeDriftScore(reference_loads_, online.loads(),
+                                     site_index_, site_stats, config_.drift);
+  ++epochs_since_swap_;
+  decision.should_swap =
+      decision.score.score >= config_.drift_threshold &&
+      epochs_since_swap_ > config_.min_epochs_between_swaps;
+  return decision;
+}
+
+Result<AdaptController::SwapPlan> AdaptController::Rebuild(
+    const OnlineProfile& online,
+    const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats) {
+  // Merge: keep `reference_retain` of the reference's mass and scale the
+  // online evidence to supply the rest, so site selection is driven by what
+  // production looks like NOW while still-instrumented live sites (whose
+  // misses the PMU no longer sees, because they are hidden) keep enough
+  // evidence to stay instrumented.
+  profile::ProfileData merged;
+  merged.loads = reference_loads_;
+  merged.loads.Decay(config_.reference_retain);
+  const double reference_mass = TotalExecutions(reference_loads_);
+  const double online_mass = TotalExecutions(online.loads());
+  profile::LoadProfile online_scaled = online.loads();
+  if (online_mass > 0.0 && reference_mass > 0.0) {
+    online_scaled.Decay((1.0 - config_.reference_retain) * reference_mass /
+                        online_mass);
+  }
+  merged.loads.Merge(online_scaled);
+  // Block structure is a property of the original binary's control flow and
+  // the scavenger pass re-derives placements from it each rebuild; carry the
+  // reference blocks forward (online LBR re-collection is an open item).
+  merged.blocks = lineage_.back()->profile.blocks;
+
+  YH_ASSIGN_OR_RETURN(
+      core::PipelineArtifacts rebuilt,
+      core::InstrumentFromProfile(*original_, std::move(merged),
+                                  config_.pipeline));
+
+  // Translate quarantine state: old yield address → original site → new
+  // yield address. Sites the new binary no longer instruments drop out.
+  const std::map<isa::Addr, isa::Addr> new_index =
+      PrimaryYieldsByOriginalSite(rebuilt.binary);
+  SwapPlan plan;
+  for (const auto& [original_site, old_yield] : site_index_) {
+    auto stats = old_site_stats.find(old_yield);
+    if (stats == old_site_stats.end()) {
+      continue;
+    }
+    auto new_yield = new_index.find(original_site);
+    if (new_yield != new_index.end()) {
+      plan.carried_site_stats[new_yield->second] = stats->second;
+    }
+  }
+
+  lineage_.push_back(
+      std::make_unique<core::PipelineArtifacts>(std::move(rebuilt)));
+  reference_loads_ = lineage_.back()->profile.loads;
+  site_index_ = new_index;
+  backmap_ = ReverseAddrMap(lineage_.back()->binary.addr_map,
+                            lineage_.back()->binary.program.size());
+  epochs_since_swap_ = 0;
+  ++swaps_;
+  plan.binary = &lineage_.back()->binary;
+  return plan;
+}
+
+size_t AdaptController::RecommendPoolCap(const BurstDeltas& deltas,
+                                         uint32_t hide_window_cycles,
+                                         size_t current_cap) const {
+  size_t cap = std::clamp(current_cap, config_.min_scavengers,
+                          config_.max_scavengers);
+  if (deltas.bursts == 0 || hide_window_cycles == 0) {
+    return cap;
+  }
+  const double starved = static_cast<double>(deltas.bursts_starved) /
+                         static_cast<double>(deltas.bursts);
+  const double occupancy =
+      static_cast<double>(deltas.burst_busy_cycles) /
+      (static_cast<double>(deltas.bursts) * hide_window_cycles);
+  if (starved > config_.grow_starved_fraction) {
+    // Starved bursts leave primary stalls exposed; add headroom fast.
+    cap = std::min(config_.max_scavengers, cap + 1 + cap / 2);
+  } else if (occupancy < config_.shrink_occupancy &&
+             cap > config_.min_scavengers) {
+    // Bursts end early by choice (CYIELD handbacks), not supply: idle
+    // capacity costs memory and cache pressure, so drain it slowly.
+    cap = std::max(config_.min_scavengers, cap - 1);
+  }
+  return cap;
+}
+
+}  // namespace yieldhide::adapt

@@ -1,0 +1,114 @@
+// AdaptController: the decision-maker of the online adaptation loop
+// (docs/ONLINE.md). Owns the lineage of instrumented binaries, decides when
+// measured drift warrants re-instrumentation, rebuilds against the ORIGINAL
+// binary with the merged (reference + online) profile, translates quarantine
+// state across the swap, and runs the hide-window-occupancy feedback loop
+// that sizes the scavenger pool — replacing the static initial/max knobs.
+#ifndef YIELDHIDE_SRC_ADAPT_CONTROLLER_H_
+#define YIELDHIDE_SRC_ADAPT_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/adapt/backmap.h"
+#include "src/adapt/drift_score.h"
+#include "src/adapt/online_profile.h"
+#include "src/core/pipeline.h"
+#include "src/runtime/dual_mode.h"
+
+namespace yieldhide::adapt {
+
+struct AdaptControllerConfig {
+  // Step-(ii) configuration used for every rebuild. Finalize() it first.
+  core::PipelineConfig pipeline;
+  DriftScoreConfig drift;
+  // A swap triggers when the drift score reaches this.
+  double drift_threshold = 0.25;
+  // Cool-down: epochs that must pass after a swap before the next one, so
+  // the loop cannot thrash while fresh evidence is still accumulating.
+  int min_epochs_between_swaps = 2;
+  // Weight kept on the reference profile when merging in online evidence
+  // (the rest of the merged profile's mass comes from the online side).
+  // Retaining some reference keeps still-live sites instrumented even while
+  // the PMU no longer sees their misses (they are being hidden).
+  double reference_retain = 0.35;
+  // Scavenger-pool feedback bounds and thresholds.
+  size_t min_scavengers = 1;
+  size_t max_scavengers = 16;
+  // Grow the cap when more than this fraction of bursts starved (ran out of
+  // runnable scavengers before the hide window was consumed).
+  double grow_starved_fraction = 0.05;
+  // Shrink it when bursts filled less than this fraction of the window.
+  double shrink_occupancy = 0.35;
+};
+
+class AdaptController {
+ public:
+  struct Decision {
+    DriftScore score;
+    bool should_swap = false;
+  };
+
+  // The new binary plus the quarantine table translated to its addresses.
+  // `binary` stays owned by the controller and lives until it is destroyed
+  // (old binaries are kept so an in-flight scheduler can never dangle).
+  struct SwapPlan {
+    const instrument::InstrumentedProgram* binary = nullptr;
+    std::map<isa::Addr, runtime::YieldSiteStats> carried_site_stats;
+  };
+
+  // `original` must outlive the controller. `initial` is the offline
+  // step-(i)+(ii) result currently serving; its profile becomes the first
+  // reference the drift score compares against.
+  AdaptController(const isa::Program* original, core::PipelineArtifacts initial,
+                  const AdaptControllerConfig& config);
+
+  const instrument::InstrumentedProgram& binary() const;
+  // Original load site → covering primary-yield address, current binary.
+  const std::map<isa::Addr, isa::Addr>& site_index() const { return site_index_; }
+  const ReverseAddrMap& backmap() const { return backmap_; }
+  const profile::LoadProfile& reference_loads() const;
+
+  // Scores this epoch's evidence and applies the threshold + cool-down.
+  Decision Observe(const OnlineProfile& online,
+                   const std::map<isa::Addr, runtime::YieldSiteStats>& site_stats);
+
+  // Re-instruments the original binary from the merged reference+online
+  // profile and advances the controller's reference to it. `old_site_stats`
+  // is translated through original-site identity onto the new binary's yield
+  // addresses — quarantine survives for surviving sites.
+  Result<SwapPlan> Rebuild(
+      const OnlineProfile& online,
+      const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats);
+
+  // Hide-window-occupancy feedback: the recommended pool cap given this
+  // epoch's burst deltas. Grows on starvation, shrinks on slack, and always
+  // stays within [min_scavengers, max_scavengers].
+  struct BurstDeltas {
+    uint64_t bursts = 0;
+    uint64_t bursts_starved = 0;
+    uint64_t burst_busy_cycles = 0;
+  };
+  size_t RecommendPoolCap(const BurstDeltas& deltas, uint32_t hide_window_cycles,
+                          size_t current_cap) const;
+
+  int swaps() const { return swaps_; }
+  const core::PipelineArtifacts& current_artifacts() const;
+
+ private:
+  const isa::Program* original_;
+  AdaptControllerConfig config_;
+  // Every binary ever served, oldest first; the last entry is current.
+  std::vector<std::unique_ptr<core::PipelineArtifacts>> lineage_;
+  // The load profile the CURRENT binary was instrumented from.
+  profile::LoadProfile reference_loads_;
+  std::map<isa::Addr, isa::Addr> site_index_;
+  ReverseAddrMap backmap_;
+  int epochs_since_swap_ = 0;
+  int swaps_ = 0;
+};
+
+}  // namespace yieldhide::adapt
+
+#endif  // YIELDHIDE_SRC_ADAPT_CONTROLLER_H_

@@ -1,0 +1,70 @@
+#include "src/adapt/drift_score.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::adapt {
+
+std::string DriftScore::ToString() const {
+  return StrFormat(
+      "drift=%.3f (appearance=%.3f over %zu sites, divergence=%.3f over %zu "
+      "sites)",
+      score, appearance, new_hot_sites, divergence, diverged_sites);
+}
+
+DriftScore ComputeDriftScore(
+    const profile::LoadProfile& reference, const profile::LoadProfile& online,
+    const std::map<isa::Addr, isa::Addr>& instrumented_sites,
+    const std::map<isa::Addr, runtime::YieldSiteStats>& site_stats,
+    const DriftScoreConfig& config) {
+  DriftScore result;
+
+  // Appearance: stall evidence piling up outside the instrumented set.
+  const double total_stall = online.total_stall_cycles();
+  if (total_stall >= config.min_total_stall_cycles) {
+    for (const auto& [ip, site] : online.sites()) {
+      if (instrumented_sites.count(ip) != 0) {
+        continue;
+      }
+      const double share = site.est_stall_cycles / total_stall;
+      if (site.L2MissProbability() >= config.hot_miss_probability &&
+          share >= config.hot_stall_share) {
+        result.appearance += share;
+        ++result.new_hot_sites;
+      }
+    }
+  }
+
+  // Divergence: instrumented sites whose yields stopped being useful,
+  // weighted by how hard the reference profile promised they would miss.
+  uint64_t total_visits = 0;
+  double weighted_shortfall = 0.0;
+  for (const auto& [original, yield_addr] : instrumented_sites) {
+    auto it = site_stats.find(yield_addr);
+    if (it == site_stats.end() || it->second.visits < config.min_site_visits) {
+      continue;
+    }
+    const runtime::YieldSiteStats& stats = it->second;
+    const double observed_useful =
+        static_cast<double>(stats.useful) / static_cast<double>(stats.visits);
+    const double promised =
+        std::min(1.0, reference.ForIp(original).L2MissProbability());
+    const double shortfall = std::max(0.0, promised - observed_useful);
+    weighted_shortfall += shortfall * static_cast<double>(stats.visits);
+    total_visits += stats.visits;
+    if (shortfall > 0.0) {
+      ++result.diverged_sites;
+    }
+  }
+  if (total_visits > 0) {
+    result.divergence = weighted_shortfall / static_cast<double>(total_visits);
+  }
+
+  result.score = std::clamp(config.appearance_weight * result.appearance +
+                                config.divergence_weight * result.divergence,
+                            0.0, 1.0);
+  return result;
+}
+
+}  // namespace yieldhide::adapt

@@ -1,0 +1,36 @@
+#include "src/adapt/online_profile.h"
+
+#include "src/runtime/dual_mode.h"
+
+namespace yieldhide::adapt {
+
+void OnlineProfile::BeginEpoch() {
+  ++epochs_;
+  loads_.Decay(config_.decay, config_.min_site_executions);
+}
+
+void OnlineProfile::ObserveSamples(const std::vector<pmu::PebsSample>& samples,
+                                   const profile::SamplePeriods& periods,
+                                   const ReverseAddrMap& backmap) {
+  std::vector<pmu::PebsSample> translated;
+  translated.reserve(samples.size());
+  for (const pmu::PebsSample& sample : samples) {
+    if (sample.ctx_id >= runtime::kScavengerCtxIdBase) {
+      ++scavenger_samples_;
+      continue;
+    }
+    const isa::Addr original = backmap.ToOriginal(sample.ip);
+    if (original == isa::kInvalidAddr) {
+      ++drop_stats_.dropped_out_of_range;
+      continue;
+    }
+    pmu::PebsSample mapped = sample;
+    mapped.ip = original;
+    translated.push_back(mapped);
+  }
+  loads_.AddSamples(translated, periods,
+                    static_cast<isa::Addr>(backmap.original_size()),
+                    &drop_stats_);
+}
+
+}  // namespace yieldhide::adapt

@@ -1,0 +1,202 @@
+#include "src/adapt/server.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::adapt {
+
+profile::CollectorConfig LowOverheadSamplingConfig() {
+  profile::CollectorConfig config;
+  config.l2_miss_period = 127;
+  config.stall_cycles_period = 2003;
+  config.retired_period = 301;
+  config.period_jitter = 0.05;  // break loop-period resonance
+  config.enable_lbr = false;
+  config.seed = 7;
+  return config;
+}
+
+std::string AdaptReport::Summary() const {
+  return StrFormat(
+      "epochs=%zu swaps=%d(+%d failed) final_drift=%.3f efficiency=%.1f%% "
+      "samples=%llu(+%llu dropped) sampling_overhead=%s cycles\n%s",
+      epochs.size(), swaps, swap_failures, final_drift,
+      100.0 * run.CpuEfficiency(),
+      static_cast<unsigned long long>(samples_accepted),
+      static_cast<unsigned long long>(samples_dropped),
+      WithCommas(sampling_overhead_cycles).c_str(), run.Summary().c_str());
+}
+
+AdaptiveServer::AdaptiveServer(const isa::Program* original,
+                               core::PipelineArtifacts initial,
+                               sim::Machine* machine,
+                               const AdaptiveServerConfig& config)
+    : original_(original),
+      machine_(machine),
+      config_(config),
+      controller_(original, std::move(initial), config.controller),
+      online_(config.online) {}
+
+void AdaptiveServer::AddTask(runtime::DualModeScheduler::ContextSetup setup) {
+  tasks_.push_back(std::move(setup));
+}
+
+void AdaptiveServer::SetScavengerFactory(
+    runtime::DualModeScheduler::ScavengerFactory factory) {
+  factory_ = std::move(factory);
+}
+
+void AdaptiveServer::SetScavengerBinary(
+    const instrument::InstrumentedProgram* binary) {
+  scavenger_binary_ = binary;
+}
+
+Result<AdaptReport> AdaptiveServer::Run() {
+  AdaptReport report;
+
+  runtime::DualModeConfig dual = config_.dual;
+  if (config_.scale_pool) {
+    // The feedback loop owns the pool size: start minimal and let starvation
+    // evidence grow it (the static initial/max knobs stay untouched for
+    // non-adaptive callers).
+    dual.initial_scavengers = config_.controller.min_scavengers;
+    dual.max_scavengers = config_.controller.min_scavengers + 1;
+  }
+
+  const bool shared_binary = scavenger_binary_ == nullptr;
+  runtime::DualModeScheduler scheduler(
+      &controller_.binary(),
+      shared_binary ? &controller_.binary() : scavenger_binary_, machine_,
+      dual);
+  if (factory_) {
+    scheduler.SetScavengerFactory(factory_);
+  }
+  while (!tasks_.empty()) {
+    scheduler.AddPrimaryTask(std::move(tasks_.front()));
+    tasks_.pop_front();
+  }
+
+  pmu::SessionConfig session_config = profile::MakeSessionConfig(config_.sampling);
+  session_config.enable_lbr = false;  // block re-profiling is an open item
+  pmu::SamplingSession session(session_config);
+  const profile::SamplePeriods periods = profile::MakeSamplePeriods(config_.sampling);
+  session.AttachTo(*machine_);
+
+  uint64_t epoch_start = machine_->now();
+  uint64_t charged_overhead = 0;
+  uint64_t last_issue = 0;
+  uint64_t last_bursts = 0, last_starved = 0, last_busy = 0;
+  Status swap_status = Status::Ok();
+
+  // Everything that happens at a scheduler safe point: charge sampling
+  // overhead, fold samples into the online profile, score drift, maybe
+  // rebuild + hot-swap, and run the pool feedback. `adapting` is false for
+  // the telemetry-only tail flush after the run finished.
+  auto epoch_boundary = [&](size_t tasks_done, bool adapting) {
+    const uint64_t overhead_total = session.OverheadCycles();
+    const uint64_t overhead_delta = overhead_total - charged_overhead;
+    charged_overhead = overhead_total;
+    if (config_.charge_sampling_overhead && overhead_delta > 0) {
+      machine_->AdvanceClock(overhead_delta);
+    }
+
+    const runtime::DualModeReport& progress = scheduler.progress();
+    EpochTelemetry epoch;
+    epoch.epoch = report.epochs.size();
+    epoch.tasks_completed = tasks_done;
+    epoch.cycles = machine_->now() - epoch_start;
+    epoch.sampling_overhead_cycles = overhead_delta;
+    epoch.pool_cap = scheduler.scavenger_pool_cap();
+    // Long-lived scavengers only flush into the report at halt/swap/end, so
+    // per-epoch efficiency counts their live (unflushed) issue cycles too.
+    const uint64_t issue_total =
+        progress.run.issue_cycles + scheduler.live_scavenger_cycles().issue_cycles;
+    if (epoch.cycles > 0) {
+      epoch.efficiency = static_cast<double>(issue_total - last_issue) /
+                         static_cast<double>(epoch.cycles);
+    }
+    const AdaptController::BurstDeltas deltas{
+        progress.bursts - last_bursts,
+        progress.bursts_starved - last_starved,
+        progress.burst_busy_cycles - last_busy};
+    if (deltas.bursts > 0 && dual.hide_window_cycles > 0) {
+      epoch.burst_occupancy =
+          static_cast<double>(deltas.burst_busy_cycles) /
+          (static_cast<double>(deltas.bursts) * dual.hide_window_cycles);
+    }
+
+    online_.BeginEpoch();
+    online_.ObserveSamples(session.DrainAllSamples(), periods,
+                           controller_.backmap());
+
+    AdaptController::Decision decision =
+        controller_.Observe(online_, progress.site_stats);
+    epoch.drift = decision.score.score;
+    report.final_drift = decision.score.score;
+
+    if (adapting && config_.adapt_enabled && decision.should_swap) {
+      Result<AdaptController::SwapPlan> plan =
+          controller_.Rebuild(online_, progress.site_stats);
+      if (!plan.ok()) {
+        // Rebuild failed (e.g. the merged profile instrumented nothing the
+        // verifier accepts): keep serving the current binary — degraded, not
+        // down.
+        ++report.swap_failures;
+      } else {
+        const Status swapped = scheduler.SwapBinaries(
+            plan.value().binary, shared_binary ? plan.value().binary : nullptr,
+            std::move(plan.value().carried_site_stats));
+        if (swapped.ok()) {
+          epoch.swapped = true;
+        } else if (swap_status.ok()) {
+          swap_status = swapped;  // structurally impossible at a safe point
+        }
+      }
+    }
+
+    if (adapting && config_.scale_pool) {
+      scheduler.SetScavengerPoolCap(controller_.RecommendPoolCap(
+          deltas, dual.hide_window_cycles, scheduler.scavenger_pool_cap()));
+    }
+
+    // Snapshot AFTER a possible swap: retiring old-binary scavengers moves
+    // their cycles from live to report, so report + live is swap-invariant.
+    const runtime::DualModeReport& after = scheduler.progress();
+    last_issue =
+        after.run.issue_cycles + scheduler.live_scavenger_cycles().issue_cycles;
+    last_bursts = after.bursts;
+    last_starved = after.bursts_starved;
+    last_busy = after.burst_busy_cycles;
+    epoch_start = machine_->now();
+    report.epochs.push_back(epoch);
+  };
+
+  const size_t tasks_per_epoch =
+      config_.tasks_per_epoch < 1 ? 1 : static_cast<size_t>(config_.tasks_per_epoch);
+  scheduler.SetTaskBoundaryHook([&](size_t tasks_done) {
+    if (tasks_done % tasks_per_epoch == 0) {
+      epoch_boundary(tasks_done, /*adapting=*/true);
+    }
+  });
+
+  Result<runtime::DualModeReport> run = scheduler.Run();
+  session.DetachFrom(*machine_);
+  if (!run.ok()) {
+    return run.status();
+  }
+  report.run = std::move(run).value();
+  if (!swap_status.ok()) {
+    return swap_status;
+  }
+  // Telemetry for a trailing partial epoch.
+  if (report.run.run.completions.size() % tasks_per_epoch != 0) {
+    epoch_boundary(report.run.run.completions.size(), /*adapting=*/false);
+  }
+
+  report.swaps = controller_.swaps();
+  report.samples_accepted = online_.samples_accepted();
+  report.samples_dropped = online_.samples_dropped();
+  report.sampling_overhead_cycles = charged_overhead;
+  return report;
+}
+
+}  // namespace yieldhide::adapt

@@ -1,0 +1,110 @@
+// AdaptiveServer: step (iv) of the pipeline — serve work and stay optimal.
+//
+// Wraps a DualModeScheduler run in the online adaptation loop
+// (docs/ONLINE.md):
+//
+//   * a low-period pmu::SamplingSession stays attached while the
+//     INSTRUMENTED binary serves tasks; its samples are back-mapped through
+//     the rewriter's address map into an exponentially-decayed OnlineProfile;
+//   * every `tasks_per_epoch` completed tasks (a scheduler safe point — no
+//     task in flight) the AdaptController scores drift; past the threshold it
+//     re-instruments the ORIGINAL binary from the merged profile and
+//     hot-swaps the result into the running scheduler, carrying quarantine
+//     state across for surviving sites;
+//   * the same boundary runs the hide-window-occupancy feedback loop that
+//     resizes the scavenger pool.
+//
+// Modeled sampling overhead is charged to the machine clock, so reported
+// cycles are honest about the cost of watching.
+#ifndef YIELDHIDE_SRC_ADAPT_SERVER_H_
+#define YIELDHIDE_SRC_ADAPT_SERVER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/adapt/controller.h"
+#include "src/adapt/online_profile.h"
+#include "src/profile/collector.h"
+#include "src/runtime/dual_mode.h"
+
+namespace yieldhide::adapt {
+
+// Production sampling defaults: periods several times the offline
+// collector's, LBR off — cheap enough to leave on forever (~1-2% modeled
+// overhead on miss-heavy phases).
+profile::CollectorConfig LowOverheadSamplingConfig();
+
+struct AdaptiveServerConfig {
+  AdaptControllerConfig controller;
+  OnlineProfileConfig online;
+  profile::CollectorConfig sampling = LowOverheadSamplingConfig();
+  runtime::DualModeConfig dual;
+  // Epoch length; boundaries are the only points where swaps can happen.
+  int tasks_per_epoch = 8;
+  // false = control mode: sample and score drift, never rebuild or swap.
+  bool adapt_enabled = true;
+  // Run the occupancy feedback loop (vs. keeping dual.max_scavengers fixed).
+  bool scale_pool = true;
+  // Charge the modeled PEBS capture cost to the machine clock.
+  bool charge_sampling_overhead = true;
+};
+
+struct EpochTelemetry {
+  size_t epoch = 0;           // 0-based
+  size_t tasks_completed = 0;  // cumulative at epoch end
+  uint64_t cycles = 0;         // machine cycles this epoch (incl. sampling)
+  double efficiency = 0.0;     // issue/total over this epoch (retired work)
+  double drift = 0.0;
+  bool swapped = false;
+  size_t pool_cap = 0;
+  double burst_occupancy = 0.0;
+  uint64_t sampling_overhead_cycles = 0;
+};
+
+struct AdaptReport {
+  runtime::DualModeReport run;  // cumulative, from the scheduler
+  std::vector<EpochTelemetry> epochs;
+  int swaps = 0;
+  int swap_failures = 0;  // rebuilds that failed; serving continued degraded
+  uint64_t samples_accepted = 0;
+  uint64_t samples_dropped = 0;
+  uint64_t sampling_overhead_cycles = 0;
+  double final_drift = 0.0;
+
+  std::string Summary() const;
+};
+
+class AdaptiveServer {
+ public:
+  // `original` and `machine` must outlive the server; `initial` is the
+  // offline BuildInstrumented* result to start serving with. The machine's
+  // data memory must already be initialized.
+  AdaptiveServer(const isa::Program* original, core::PipelineArtifacts initial,
+                 sim::Machine* machine, const AdaptiveServerConfig& config);
+
+  void AddTask(runtime::DualModeScheduler::ContextSetup setup);
+  void SetScavengerFactory(runtime::DualModeScheduler::ScavengerFactory factory);
+  // Separate scavenger binary (an unrelated batch job). Default nullptr:
+  // scavengers run the primary binary and are swapped together with it.
+  void SetScavengerBinary(const instrument::InstrumentedProgram* binary);
+
+  // Serves every queued task to completion, adapting at epoch boundaries.
+  Result<AdaptReport> Run();
+
+  const AdaptController& controller() const { return controller_; }
+
+ private:
+  const isa::Program* original_;
+  sim::Machine* machine_;
+  AdaptiveServerConfig config_;
+  AdaptController controller_;
+  OnlineProfile online_;
+  const instrument::InstrumentedProgram* scavenger_binary_ = nullptr;
+  std::deque<runtime::DualModeScheduler::ContextSetup> tasks_;
+  runtime::DualModeScheduler::ScavengerFactory factory_;
+};
+
+}  // namespace yieldhide::adapt
+
+#endif  // YIELDHIDE_SRC_ADAPT_SERVER_H_

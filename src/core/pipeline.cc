@@ -112,7 +112,8 @@ Result<PipelineArtifacts> BuildInstrumentedForWorkload(
     machine.ResetMicroarchState();
     YH_ASSIGN_OR_RETURN(
         profile::CollectResult collected,
-        profile::CollectProfile(workload.program(), machine, workload.SetupFor(task),
+        profile::CollectProfile(workload.program(), machine,
+                                workload.SetupFor(config.profile_first_task + task),
                                 config.collector));
     artifacts.profile.loads.Merge(collected.profile.loads);
     artifacts.profile.blocks.Merge(collected.profile.blocks);

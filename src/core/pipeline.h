@@ -12,6 +12,13 @@
 // This header covers (i)+(ii); step (iii) is the runtime's job, since how to
 // schedule depends on the deployment (symmetric throughput vs. asymmetric
 // latency). See examples/quickstart.cpp for the full loop.
+//
+// Step (iv), closing the loop, lives in src/adapt: while step (iii) serves
+// work, a low-period sampling session keeps profiling, a drift score compares
+// what it sees against the profile the instrumentation was built from, and
+// when the workload has moved the adapt controller re-runs step (ii) here
+// (InstrumentFromProfile on the ORIGINAL binary with the merged profile) and
+// hot-swaps the result into the running scheduler. See docs/ONLINE.md.
 #ifndef YIELDHIDE_SRC_CORE_PIPELINE_H_
 #define YIELDHIDE_SRC_CORE_PIPELINE_H_
 
@@ -34,8 +41,12 @@ struct PipelineConfig {
   instrument::ScavengerConfig scavenger;
   bool run_scavenger_pass = true;
   bool verify = true;
-  // How many workload tasks to run (and merge) during profiling.
+  // How many workload tasks to run (and merge) during profiling, starting at
+  // task index `profile_first_task`. Experiments that model a workload whose
+  // behaviour shifts over time (src/adapt, bench A1) profile a later slice to
+  // build a "fresh" reference profile for the post-shift distribution.
   int profile_tasks = 4;
+  int profile_first_task = 0;
 
   // Fills derived fields (cost models, machine-dependent parameters) from
   // `machine`; call after editing `machine` or the pass configs' knobs.

@@ -44,6 +44,11 @@ class AddrMap {
   isa::Addr Translate(isa::Addr old_addr) const { return forward_[old_addr]; }
   size_t old_size() const { return forward_.size(); }
 
+  // The raw forward table (index = old address). Exposed so the map can be
+  // serialized and inverted (src/adapt back-maps live PMU sample IPs from the
+  // instrumented binary onto original-binary sites).
+  const std::vector<isa::Addr>& forward() const { return forward_; }
+
   // Composition: first `this`, then `later`.
   AddrMap ComposeWith(const AddrMap& later) const;
 

@@ -20,6 +20,15 @@ void SamplingSession::AttachTo(sim::Machine& machine) {
   }
 }
 
+void SamplingSession::DetachFrom(sim::Machine& machine) {
+  for (auto& sampler : pebs_) {
+    machine.listeners().Remove(sampler.get());
+  }
+  if (lbr_ != nullptr) {
+    machine.listeners().Remove(lbr_.get());
+  }
+}
+
 std::vector<PebsSample> SamplingSession::DrainAllSamples() {
   std::vector<PebsSample> all;
   for (auto& sampler : pebs_) {

@@ -32,6 +32,11 @@ class SamplingSession {
   // must outlive the machine run.
   void AttachTo(sim::Machine& machine);
 
+  // Unregisters all samplers previously attached to `machine`. Safe to call
+  // when not attached. Used by the online adaptation loop, which samples only
+  // during serving epochs.
+  void DetachFrom(sim::Machine& machine);
+
   PebsSampler& pebs(size_t index) { return *pebs_[index]; }
   size_t pebs_count() const { return pebs_.size(); }
   LbrRecorder* lbr() { return lbr_.get(); }

@@ -129,6 +129,27 @@ void LoadProfile::Merge(const LoadProfile& other) {
   total_stall_cycles_ += other.total_stall_cycles_;
 }
 
+size_t LoadProfile::Decay(double factor, double min_executions) {
+  size_t removed = 0;
+  total_stall_cycles_ = 0;
+  for (auto it = sites_.begin(); it != sites_.end();) {
+    SiteProfile& site = it->second;
+    site.est_executions *= factor;
+    site.est_l1_misses *= factor;
+    site.est_l2_misses *= factor;
+    site.est_l3_misses *= factor;
+    site.est_stall_cycles *= factor;
+    if (site.est_executions < min_executions) {
+      it = sites_.erase(it);
+      ++removed;
+      continue;
+    }
+    total_stall_cycles_ += site.est_stall_cycles;
+    ++it;
+  }
+  return removed;
+}
+
 std::string LoadProfile::Serialize() const {
   std::string out = "yh-load-profile v1\n";
   for (const auto& [ip, site] : sites_) {

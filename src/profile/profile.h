@@ -107,6 +107,13 @@ class LoadProfile {
 
   void Merge(const LoadProfile& other);
 
+  // Multiplies every site's estimates (and the stall total) by `factor`,
+  // then removes sites whose execution estimate fell below `min_executions`.
+  // Returns the number of sites removed. This is the exponential-decay
+  // primitive of the online adaptation loop (src/adapt): old evidence fades
+  // each epoch instead of pinning the profile to a dead phase forever.
+  size_t Decay(double factor, double min_executions = 0.0);
+
   // Text serialization (one "ip execs l1 l2 l3 stall" line per site).
   std::string Serialize() const;
   static Result<LoadProfile> Deserialize(std::string_view text);

@@ -40,6 +40,70 @@ void DualModeScheduler::SetScavengerFactory(ScavengerFactory factory) {
   factory_ = std::move(factory);
 }
 
+void DualModeScheduler::SetTaskBoundaryHook(TaskBoundaryHook hook) {
+  boundary_hook_ = std::move(hook);
+}
+
+void DualModeScheduler::SeedSiteStats(std::map<isa::Addr, YieldSiteStats> stats) {
+  seeded_site_stats_ = std::move(stats);
+}
+
+void DualModeScheduler::SetScavengerPoolCap(size_t max_scavengers) {
+  config_.max_scavengers = max_scavengers;
+}
+
+DualModeScheduler::LiveScavengerCycles DualModeScheduler::live_scavenger_cycles()
+    const {
+  LiveScavengerCycles live;
+  for (const Scavenger& scavenger : scavengers_) {
+    if (!scavenger.exhausted) {
+      live.issue_cycles += scavenger.ctx.issue_cycles;
+      live.stall_cycles += scavenger.ctx.stall_cycles;
+      live.switch_cycles += scavenger.ctx.switch_cycles;
+    }
+  }
+  return live;
+}
+
+void DualModeScheduler::RetireScavengers() {
+  for (const Scavenger& scavenger : scavengers_) {
+    if (!scavenger.exhausted) {
+      report_.scavenger_issue_cycles += scavenger.ctx.issue_cycles;
+      report_.run.issue_cycles += scavenger.ctx.issue_cycles;
+      report_.run.stall_cycles += scavenger.ctx.stall_cycles;
+      report_.run.switch_cycles += scavenger.ctx.switch_cycles;
+    }
+  }
+  scavengers_.clear();
+  scavenger_cursor_ = 0;
+}
+
+Status DualModeScheduler::SwapBinaries(
+    const instrument::InstrumentedProgram* primary_binary,
+    const instrument::InstrumentedProgram* scavenger_binary,
+    std::map<isa::Addr, YieldSiteStats> carried_site_stats) {
+  if (in_task_) {
+    return FailedPreconditionError(
+        "binary swap requested with a primary task in flight; swaps are only "
+        "legal at task boundaries");
+  }
+  if (primary_binary == nullptr) {
+    return InvalidArgumentError("swap requires a primary binary");
+  }
+  primary_binary_ = primary_binary;
+  if (scavenger_binary != nullptr) {
+    // Scavengers hold program counters into the old image; retire them and
+    // let the pool respawn from the factory against the new binary.
+    RetireScavengers();
+    scavenger_binary_ = scavenger_binary;
+  }
+  primary_executor_ = sim::Executor(&primary_binary_->program, machine_);
+  scavenger_executor_ = sim::Executor(&scavenger_binary_->program, machine_);
+  report_.site_stats = std::move(carried_site_stats);
+  ++report_.binary_swaps;
+  return Status::Ok();
+}
+
 uint32_t DualModeScheduler::SwitchCostAt(const instrument::InstrumentedProgram& binary,
                                          isa::Addr yield_ip) const {
   auto it = binary.yields.find(yield_ip);
@@ -86,7 +150,7 @@ bool DualModeScheduler::SpawnScavenger() {
     return false;
   }
   Scavenger scavenger;
-  scavenger.ctx.id = 1000 + static_cast<int>(scavengers_.size());
+  scavenger.ctx.id = kScavengerCtxIdBase + static_cast<int>(scavengers_.size());
   scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
   scavenger.ctx.cyield_enabled = true;  // scavenger mode: CYIELDs fire
   (*setup)(scavenger.ctx);
@@ -127,6 +191,8 @@ int DualModeScheduler::AcquireScavenger(const std::vector<bool>* ran_this_burst)
 
 Result<DualModeReport> DualModeScheduler::Run() {
   report_ = DualModeReport{};
+  report_.site_stats = seeded_site_stats_;
+  in_task_ = false;
   const uint64_t run_start = machine_->now();
 
   for (size_t i = 0; i < config_.initial_scavengers; ++i) {
@@ -138,16 +204,27 @@ Result<DualModeReport> DualModeScheduler::Run() {
   // Runs scavenger work until ~window cycles elapse or a scavenger decides to
   // hand back. Returns an error status only on executor errors.
   auto run_scavenger_burst = [&]() -> Status {
+    ++report_.bursts;
     // Which pool members already ran in this burst; a chain prefers unvisited
     // scavengers so nobody is resumed into its own in-flight prefetch.
     std::vector<bool> ran(scavengers_.size(), false);
     int idx = AcquireScavenger(&ran);
     if (idx < 0) {
+      ++report_.bursts_starved;
       machine_->AdvanceClock(kSelfResumeCycles);
       report_.run.switch_cycles += kSelfResumeCycles;
       return Status::Ok();
     }
     const uint64_t burst_start = machine_->now();
+    // Occupancy accounting at every exit from the burst: how much of the
+    // window scavengers filled, and whether the burst ended for lack of a
+    // runnable scavenger (the pool-scaling feedback signal).
+    auto end_burst = [&](bool starved) {
+      report_.burst_busy_cycles += machine_->now() - burst_start;
+      if (starved) {
+        ++report_.bursts_starved;
+      }
+    };
     while (true) {
       if (report_.run.instructions >= config_.max_total_instructions) {
         return ResourceExhaustedError("dual-mode run exceeded instruction budget");
@@ -182,7 +259,7 @@ Result<DualModeReport> DualModeScheduler::Run() {
           std::optional<ContextSetup> setup = factory_();
           if (setup.has_value()) {
             scavenger.ctx = sim::CpuContext{};
-            scavenger.ctx.id = 1000 + idx;
+            scavenger.ctx.id = kScavengerCtxIdBase + idx;
             scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
             scavenger.ctx.cyield_enabled = true;
             (*setup)(scavenger.ctx);
@@ -191,10 +268,12 @@ Result<DualModeReport> DualModeScheduler::Run() {
           }
         }
         if (window_consumed) {
+          end_burst(false);
           return Status::Ok();
         }
         const int halted_next = AcquireScavenger(&ran);
         if (halted_next < 0) {
+          end_burst(true);
           return Status::Ok();
         }
         ++report_.chains;
@@ -212,11 +291,13 @@ Result<DualModeReport> DualModeScheduler::Run() {
       if (step.conditional_yield || window_consumed) {
         // A scavenger-phase CYIELD: placed exactly so that "long enough to
         // hide the miss" has elapsed — hand the CPU back to the primary.
+        end_burst(false);
         return Status::Ok();
       }
       // A primary-phase yield hit "too early": chain to another scavenger.
       const int next = AcquireScavenger(&ran);
       if (next < 0) {
+        end_burst(true);
         return Status::Ok();
       }
       ++report_.chains;
@@ -236,6 +317,7 @@ Result<DualModeReport> DualModeScheduler::Run() {
     if (setup) {
       setup(primary);
     }
+    in_task_ = true;
     const uint64_t task_start = machine_->now();
 
     while (!primary.halted) {
@@ -295,6 +377,11 @@ Result<DualModeReport> DualModeScheduler::Run() {
     report_.run.issue_cycles += primary.issue_cycles;
     report_.run.stall_cycles += primary.stall_cycles;
     report_.run.switch_cycles += primary.switch_cycles;
+    in_task_ = false;
+    if (boundary_hook_) {
+      // Safe point: no primary in flight. The hook may swap binaries.
+      boundary_hook_(report_.run.completions.size());
+    }
   }
 
   // Account for scavengers still in flight.

@@ -34,6 +34,11 @@
 
 namespace yieldhide::runtime {
 
+// Scavenger contexts get ids starting here; primary tasks use 0, 1, 2, ....
+// Consumers of machine events (e.g. the online profiler in src/adapt) use
+// this to tell the two classes apart.
+inline constexpr int kScavengerCtxIdBase = 1000;
+
 struct DualModeConfig {
   // Scavenger pool: started eagerly at `initial_scavengers`, grown on demand
   // up to `max_scavengers` when yield chains need more cycles to consume.
@@ -76,8 +81,25 @@ struct DualModeReport {
   uint64_t chains = 0;  // scavenger-to-scavenger transfers ("too early" case)
   // Site-quarantine telemetry (keyed by instrumented-program yield address).
   std::map<isa::Addr, YieldSiteStats> site_stats;
-  uint64_t sites_quarantined = 0;
+  uint64_t sites_quarantined = 0;   // quarantined during this run (seeded
+                                    // carry-overs are not re-counted)
   uint64_t quarantined_skips = 0;  // yields not taken at quarantined sites
+  // Hide-window occupancy telemetry: how full the scavenger bursts actually
+  // ran. The adapt controller's pool-scaling feedback loop reads these.
+  uint64_t bursts = 0;              // primary yields that requested a burst
+  uint64_t burst_busy_cycles = 0;   // cycles scavengers ran inside bursts
+  uint64_t bursts_starved = 0;      // bursts cut short: no runnable scavenger
+  // Binaries hot-swapped mid-run (online adaptation safe-point swaps).
+  uint64_t binary_swaps = 0;
+
+  // Mean fraction of the hide window that bursts actually filled.
+  double BurstOccupancy(uint32_t hide_window_cycles) const {
+    if (bursts == 0 || hide_window_cycles == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(burst_busy_cycles) /
+           (static_cast<double>(bursts) * hide_window_cycles);
+  }
 
   // Core cycles doing useful work for either class.
   double CpuEfficiency() const { return run.CpuEfficiency(); }
@@ -90,6 +112,11 @@ class DualModeScheduler {
   // Returns the register setup for the next scavenger coroutine, or nullopt
   // when the scavenger supply is exhausted.
   using ScavengerFactory = std::function<std::optional<ContextSetup>()>;
+  // Invoked after each primary task completes, with the number of tasks
+  // finished so far. The scheduler is at a safe point while the hook runs —
+  // no task in flight — so the hook may call SwapBinaries() and
+  // SetScavengerPoolCap(). This is where the online adaptation loop lives.
+  using TaskBoundaryHook = std::function<void(size_t tasks_completed)>;
 
   // Primary tasks and scavengers may run different binaries (a latency-
   // sensitive service interleaving with an unrelated batch job); both share
@@ -103,6 +130,46 @@ class DualModeScheduler {
   // Supplies scavenger work. With no factory the scheduler degrades to
   // running the primary alone (yields fall through).
   void SetScavengerFactory(ScavengerFactory factory);
+  // Installs the between-tasks safe-point callback (see TaskBoundaryHook).
+  void SetTaskBoundaryHook(TaskBoundaryHook hook);
+
+  // Pre-seeds per-site quarantine state for the next Run(), keyed by yield
+  // address in the primary binary. Lets adaptation carry quarantine decisions
+  // across a re-instrumentation instead of paying min_visits to re-learn them.
+  void SeedSiteStats(std::map<isa::Addr, YieldSiteStats> stats);
+
+  // Hot-swaps the binaries mid-run. Only legal at a safe point (before Run()
+  // or inside a TaskBoundaryHook): fails with FAILED_PRECONDITION if a
+  // primary task is in flight, so no task can ever observe a mix of old and
+  // new code. Live scavengers are retired (their accounting is flushed) and
+  // the pool respawns from the factory against the new binary.
+  // `scavenger_binary == nullptr` keeps the current scavenger binary.
+  // `carried_site_stats` replaces the quarantine table (keyed by yield
+  // address in the NEW primary binary). Both binaries must outlive the run.
+  Status SwapBinaries(const instrument::InstrumentedProgram* primary_binary,
+                      const instrument::InstrumentedProgram* scavenger_binary,
+                      std::map<isa::Addr, YieldSiteStats> carried_site_stats);
+
+  // Adjusts the on-demand pool cap (config max_scavengers) at runtime; safe
+  // from a boundary hook. Shrinking does not kill live scavengers — they
+  // drain; the pool just stops growing past the new cap.
+  void SetScavengerPoolCap(size_t max_scavengers);
+  size_t scavenger_pool_cap() const { return config_.max_scavengers; }
+
+  // The report accumulated so far. Valid inside a TaskBoundaryHook; the
+  // adaptation loop reads per-epoch deltas (cycle totals are on the machine
+  // clock, so run.total_cycles is only filled in at the end of Run()).
+  const DualModeReport& progress() const { return report_; }
+
+  // Cycle counters of live scavengers not yet flushed into the report (they
+  // flush at halt, swap, or end of run). progress() plus these is a complete
+  // account mid-run; the sum is invariant across a swap.
+  struct LiveScavengerCycles {
+    uint64_t issue_cycles = 0;
+    uint64_t stall_cycles = 0;
+    uint64_t switch_cycles = 0;
+  };
+  LiveScavengerCycles live_scavenger_cycles() const;
 
   // Runs until every primary task completes. Scavengers left unfinished stay
   // unfinished (they are best-effort by definition).
@@ -129,6 +196,9 @@ class DualModeScheduler {
   // would otherwise wrap — the paper's on-demand scaling of the pool.
   int AcquireScavenger(const std::vector<bool>* ran_this_burst = nullptr);
   bool SpawnScavenger();
+  // Flushes accounting of live scavengers into the report and empties the
+  // pool (used when the scavenger binary is swapped out from under them).
+  void RetireScavengers();
 
   const instrument::InstrumentedProgram* primary_binary_;
   const instrument::InstrumentedProgram* scavenger_binary_;
@@ -138,8 +208,11 @@ class DualModeScheduler {
   sim::Executor scavenger_executor_;
   std::deque<ContextSetup> primary_tasks_;
   ScavengerFactory factory_;
+  TaskBoundaryHook boundary_hook_;
   std::vector<Scavenger> scavengers_;
   size_t scavenger_cursor_ = 0;
+  std::map<isa::Addr, YieldSiteStats> seeded_site_stats_;
+  bool in_task_ = false;
   DualModeReport report_;
 };
 

@@ -44,6 +44,12 @@ class EventListener {
 class MulticastListener : public EventListener {
  public:
   void Add(EventListener* listener) { listeners_.push_back(listener); }
+  // Removes every registration of `listener`; unknown listeners are a no-op.
+  // Lets a sampling session detach itself mid-run (online re-profiling
+  // attaches and detaches around serving epochs).
+  void Remove(const EventListener* listener) {
+    std::erase(listeners_, listener);
+  }
   void Clear() { listeners_.clear(); }
   size_t size() const { return listeners_.size(); }
 

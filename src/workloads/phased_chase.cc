@@ -1,0 +1,134 @@
+#include "src/workloads/phased_chase.h"
+
+#include "src/common/rng.h"
+#include "src/isa/builder.h"
+
+namespace yieldhide::workloads {
+
+namespace {
+// Register conventions for the phased chase program.
+constexpr isa::Reg kRegNodeA = 1;   // current node address, phase A ring
+constexpr isa::Reg kRegSteps = 2;   // remaining steps
+constexpr isa::Reg kRegAcc = 3;     // checksum accumulator
+constexpr isa::Reg kRegTmp = 4;     // payload scratch
+constexpr isa::Reg kRegResult = 5;  // result slot address
+constexpr isa::Reg kRegPhase = 6;   // 0 = phase A, nonzero = phase B
+constexpr isa::Reg kRegNodeB = 7;   // current node address, phase B ring
+
+// Builds a single cycle through all nodes (Sattolo) plus small payloads.
+void MakeRing(Rng& rng, uint64_t num_nodes, std::vector<uint32_t>& next,
+              std::vector<uint64_t>& payload) {
+  next.resize(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    next[i] = static_cast<uint32_t>(i);
+  }
+  for (uint64_t i = num_nodes - 1; i > 0; --i) {
+    const uint64_t j = rng.NextBelow(i);
+    std::swap(next[i], next[j]);
+  }
+  payload.resize(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    payload[i] = rng.Next() & 0xffff;  // keep sums away from overflow
+  }
+}
+}  // namespace
+
+Result<PhasedChase> PhasedChase::Make(const Config& config) {
+  if (config.num_nodes < 2) {
+    return InvalidArgumentError("phased chase needs at least 2 nodes per ring");
+  }
+  if (config.severity < 0.0 || config.severity > 1.0) {
+    return InvalidArgumentError("phased chase severity must be in [0, 1]");
+  }
+  PhasedChase workload;
+  workload.config_ = config;
+
+  Rng rng(config.seed);
+  MakeRing(rng, config.num_nodes, workload.next_a_, workload.payload_a_);
+  MakeRing(rng, config.num_nodes, workload.next_b_, workload.payload_b_);
+
+  // node layout (64 B): [next_addr:8][payload:8][pad:48] — same as
+  // PointerChase; the two loops are structurally identical but load through
+  // different registers from different rings, so their load IPs differ.
+  isa::ProgramBuilder builder("phased_chase");
+  auto loop_b = builder.NewLabel();
+  auto done = builder.NewLabel();
+  builder.Bne(kRegPhase, 0, loop_b);
+  auto loop_a = builder.Here("loop_a");
+  workload.miss_load_a_ = builder.next_address();
+  builder.Load(kRegTmp, kRegNodeA, 8);                // payload (first touch)
+  builder.Add(kRegAcc, kRegAcc, kRegTmp);
+  builder.Load(kRegNodeA, kRegNodeA, 0);              // next (dependent load)
+  builder.Addi(kRegSteps, kRegSteps, -1);
+  builder.Bne(kRegSteps, 0, loop_a);
+  builder.Jmp(done);
+  builder.Bind(loop_b);
+  workload.miss_load_b_ = builder.next_address();
+  builder.Load(kRegTmp, kRegNodeB, 8);                // payload (first touch)
+  builder.Add(kRegAcc, kRegAcc, kRegTmp);
+  builder.Load(kRegNodeB, kRegNodeB, 0);              // next (dependent load)
+  builder.Addi(kRegSteps, kRegSteps, -1);
+  builder.Bne(kRegSteps, 0, loop_b);
+  builder.Bind(done);
+  builder.Store(kRegResult, 0, kRegAcc);
+  builder.Halt();
+  YH_ASSIGN_OR_RETURN(workload.program_, std::move(builder).Build());
+  return workload;
+}
+
+void PhasedChase::InitMemory(sim::SparseMemory& memory) const {
+  for (uint64_t i = 0; i < config_.num_nodes; ++i) {
+    memory.Write64(NodeAddrA(i) + 0, NodeAddrA(next_a_[i]));
+    memory.Write64(NodeAddrA(i) + 8, payload_a_[i]);
+    memory.Write64(NodeAddrB(i) + 0, NodeAddrB(next_b_[i]));
+    memory.Write64(NodeAddrB(i) + 8, payload_b_[i]);
+  }
+}
+
+int PhasedChase::PhaseOf(int index) const {
+  if (index < config_.flip_task_index || config_.severity <= 0.0) {
+    return 0;
+  }
+  if (config_.severity >= 1.0) {
+    return 1;
+  }
+  // Deterministic per-index draw: same config, same phase sequence.
+  Rng rng(config_.seed ^ (0xa5a5'0000ull + static_cast<uint64_t>(index)));
+  return rng.NextBool(config_.severity) ? 1 : 0;
+}
+
+uint64_t PhasedChase::StartNode(int index) const {
+  // Spread task start points around the ring.
+  return (static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ull) % config_.num_nodes;
+}
+
+ContextSetup PhasedChase::SetupFor(int index) const {
+  const int phase = PhaseOf(index);
+  const uint64_t start_a = NodeAddrA(StartNode(index));
+  const uint64_t start_b = NodeAddrB(StartNode(index));
+  const uint64_t steps = config_.steps_per_task;
+  const uint64_t result = ResultAddr(index);
+  return [phase, start_a, start_b, steps, result](sim::CpuContext& ctx) {
+    ctx.regs[kRegNodeA] = start_a;
+    ctx.regs[kRegNodeB] = start_b;
+    ctx.regs[kRegSteps] = steps;
+    ctx.regs[kRegAcc] = 0;
+    ctx.regs[kRegResult] = result;
+    ctx.regs[kRegPhase] = static_cast<uint64_t>(phase);
+  };
+}
+
+uint64_t PhasedChase::ExpectedResult(int index) const {
+  const bool phase_b = PhaseOf(index) != 0;
+  const auto& next = phase_b ? next_b_ : next_a_;
+  const auto& payload = phase_b ? payload_b_ : payload_a_;
+  uint64_t node = StartNode(index);
+  uint64_t acc = 0;
+  for (uint64_t step = 0; step < config_.steps_per_task; ++step) {
+    acc += payload[node];
+    node = next[node];
+  }
+  return acc;
+}
+
+}  // namespace yieldhide::workloads

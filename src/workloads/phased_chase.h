@@ -1,0 +1,66 @@
+// A pointer-chase service whose miss profile shifts mid-run — the drifting
+// workload of the online-adaptation experiments (A1, docs/ONLINE.md).
+//
+// The program carries TWO independent dependent-load loops over two disjoint
+// node rings (phase A at kDataRegionBase, phase B at kAuxRegionBase); a
+// per-task register selects which loop runs. Early tasks all run phase A, so
+// an offline profile only ever sees phase A's loads. From `flip_task_index`
+// on, each task switches to phase B with probability `severity`: phase B's
+// loads miss just as hard but carry different IPs, so the existing
+// instrumentation hides nothing — exactly the staleness the online loop must
+// detect (hot uninstrumented sites) and repair (re-instrument + hot-swap).
+#ifndef YIELDHIDE_SRC_WORKLOADS_PHASED_CHASE_H_
+#define YIELDHIDE_SRC_WORKLOADS_PHASED_CHASE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workloads/workload.h"
+
+namespace yieldhide::workloads {
+
+class PhasedChase : public SimWorkload {
+ public:
+  struct Config {
+    uint64_t num_nodes = 1 << 16;  // per ring; 64 B per node
+    uint64_t steps_per_task = 1024;
+    uint64_t seed = 42;
+    // First task index at which phase B becomes possible.
+    int flip_task_index = 8;
+    // P(task >= flip runs phase B); 0 = no drift, 1 = full phase change.
+    // Drawn deterministically per task index, so runs are reproducible.
+    double severity = 1.0;
+  };
+
+  static Result<PhasedChase> Make(const Config& config);
+
+  const isa::Program& program() const override { return program_; }
+  void InitMemory(sim::SparseMemory& memory) const override;
+  ContextSetup SetupFor(int index) const override;
+  uint64_t ExpectedResult(int index) const override;
+
+  const Config& config() const { return config_; }
+  // Which loop task `index` runs: 0 = phase A, 1 = phase B.
+  int PhaseOf(int index) const;
+  // Payload loads (first touch of each node's line = the true miss sites).
+  isa::Addr miss_load_a() const { return miss_load_a_; }
+  isa::Addr miss_load_b() const { return miss_load_b_; }
+
+ private:
+  PhasedChase() = default;
+
+  uint64_t NodeAddrA(uint64_t node) const { return kDataRegionBase + node * 64; }
+  uint64_t NodeAddrB(uint64_t node) const { return kAuxRegionBase + node * 64; }
+  uint64_t StartNode(int index) const;
+
+  Config config_;
+  isa::Program program_;
+  isa::Addr miss_load_a_ = 0;
+  isa::Addr miss_load_b_ = 0;
+  std::vector<uint32_t> next_a_, next_b_;      // ring permutations
+  std::vector<uint64_t> payload_a_, payload_b_;
+};
+
+}  // namespace yieldhide::workloads
+
+#endif  // YIELDHIDE_SRC_WORKLOADS_PHASED_CHASE_H_

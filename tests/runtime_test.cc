@@ -349,5 +349,66 @@ TEST_F(DualModeTest, InstructionBudgetEnforced) {
   EXPECT_EQ(sched.Run().status().code(), StatusCode::kResourceExhausted);
 }
 
+// --- Site quarantine x external ready-queue supplier (§4.2 hook) ------------------
+
+// A primary whose instrumented yield guards a re-read of one line: after the
+// first touch every prefetch targets resident data, so the site keeps paying
+// switches for nothing and must be quarantined — even though the scavengers
+// it yields to come from the external supplier, not the built-in pool.
+TEST_F(DualModeTest, QuarantineFiresWithExternalSupplierScavengers) {
+  auto primary = AnnotateManualYields(Asm(R"(
+    loop:
+      prefetch [r1+0]
+      yield
+      load r2, [r1+0]
+      addi r4, r4, -1
+      bne r4, r0, loop
+      halt
+  )"),
+                                      machine_->config().cost);
+  for (auto& [addr, info] : primary.yields) {
+    info.kind = instrument::YieldKind::kPrimary;
+  }
+  DualModeConfig config;
+  config.quarantine_min_visits = 16;
+  DualModeScheduler sched(&primary, &scavenger_, machine_.get(), config);
+  sched.AddPrimaryTask([](sim::CpuContext& ctx) {
+    ctx.regs[1] = 0x100000;
+    ctx.regs[4] = 64;
+  });
+  sched.SetScavengerFactory(AluScavengers(100));
+  auto report = sched.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->scavengers_spawned, 0u);  // the external supply was used
+  EXPECT_EQ(report->sites_quarantined, 1u);
+  EXPECT_GT(report->quarantined_skips, 0u);
+  ASSERT_EQ(report->site_stats.size(), 1u);
+  EXPECT_TRUE(report->site_stats.begin()->second.quarantined);
+}
+
+// A seeded (carried-over) quarantine decision is honored as-is with an
+// external supplier: no re-learning, no re-counting, stats frozen.
+TEST_F(DualModeTest, SeededQuarantineStaysQuarantinedWithExternalSupplier) {
+  const isa::Addr yield_addr = primary_.yields.begin()->first;
+  DualModeConfig config;
+  DualModeScheduler sched(&primary_, &scavenger_, machine_.get(), config);
+  std::map<isa::Addr, YieldSiteStats> seeded;
+  seeded[yield_addr].visits = 50;
+  seeded[yield_addr].useful = 50;  // even a site that WAS earning stays out:
+  seeded[yield_addr].quarantined = true;  // the decision is carried, not re-derived
+  sched.SeedSiteStats(seeded);
+  for (int i = 0; i < 2; ++i) {
+    sched.AddPrimaryTask(PrimaryTask(i));
+  }
+  sched.SetScavengerFactory(AluScavengers(100));
+  auto report = sched.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  const YieldSiteStats& stats = report->site_stats.at(yield_addr);
+  EXPECT_TRUE(stats.quarantined);
+  EXPECT_EQ(stats.visits, 50u);  // the skip path does not accumulate
+  EXPECT_GT(report->quarantined_skips, 0u);
+  EXPECT_EQ(report->sites_quarantined, 0u);  // carried, not a new event
+}
+
 }  // namespace
 }  // namespace yieldhide::runtime

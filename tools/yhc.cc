@@ -12,9 +12,12 @@
 //       --ring 0x100000,4096,1021 --reg 1=0x100000 --reg 2=1000
 //   yhc instrument chase.yh --profile chase.prof --out chase.instr.yh
 //   yhc run chase.instr.yh --group 16 --ring ... --reg ...   # interleaved
+//   yhc adapt --severity 1.0 --tasks 32          # online adaptation demo
 //
 // Instrumented binaries carry their yield side-table in a "<out>.yields"
-// sidecar; `yhc run` picks it up automatically when present.
+// sidecar and their original<->instrumented address map in "<out>.map" (the
+// input the online adaptation loop needs to back-map production samples);
+// `yhc run` picks the yield table up automatically when present.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adapt/server.h"
 #include "src/analysis/cfg.h"
 #include "src/common/strings.h"
 #include "src/core/pipeline.h"
@@ -36,6 +40,7 @@
 #include "src/runtime/annotate.h"
 #include "src/runtime/dual_mode.h"
 #include "src/runtime/round_robin.h"
+#include "src/workloads/phased_chase.h"
 
 namespace yieldhide::tools {
 namespace {
@@ -380,11 +385,14 @@ int CmdInstrument(const Options& options) {
   if (saved.ok()) {
     saved = instrument::SaveYieldTable(scavenger->instrumented.yields, out + ".yields");
   }
+  if (saved.ok()) {
+    saved = instrument::SaveAddrMap(scavenger->instrumented.addr_map, out + ".map");
+  }
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("%s\n%s\nverified; wrote %s (+.yields)\n",
+  std::printf("%s\n%s\nverified; wrote %s (+.yields, +.map)\n",
               primary->report.ToString().c_str(),
               scavenger->report.ToString().c_str(), out.c_str());
   return 0;
@@ -570,8 +578,136 @@ int CmdChaos(const Options& options) {
   return slowdown <= 1.15 ? 0 : 1;
 }
 
-int Usage() {
-  std::fprintf(stderr,
+// Online adaptation demo (docs/ONLINE.md), end to end from the shell: serve a
+// drifting PhasedChase request stream from a STALE binary and let the adapt
+// subsystem repair it live. Yesterday's instrumentation comes from a
+// severity-0 twin (all traffic phase A, same rings, same program); today's
+// mix draws phase B with P = --severity, whose loads the stale binary never
+// covers. AdaptiveServer keeps a low-period sampling session attached,
+// scores drift each --epoch tasks, and past --threshold re-instruments the
+// original binary and hot-swaps it at a task boundary. --adapt 0 demotes the
+// controller to a monitor-only control run (scores drift, never acts).
+int CmdAdapt(const Options& options) {
+  auto tasks = FlagU64(options, "tasks", 32);
+  auto epoch = FlagU64(options, "epoch", 8);
+  auto flip = FlagU64(options, "flip", 0);
+  auto nodes = FlagU64(options, "nodes", 1 << 18);
+  auto steps = FlagU64(options, "steps", 400);
+  auto adapt_on = FlagU64(options, "adapt", 1);
+  if (!tasks.ok() || !epoch.ok() || !flip.ok() || !nodes.ok() || !steps.ok() ||
+      !adapt_on.ok() || *tasks == 0 || *epoch == 0 || *nodes == 0 || *steps == 0) {
+    std::fprintf(stderr, "bad --tasks/--epoch/--flip/--nodes/--steps/--adapt\n");
+    return 2;
+  }
+  double severity = 1.0;
+  if (options.flags.count("severity") != 0) {
+    auto parsed = ParseDouble(options.flags.at("severity"));
+    if (!parsed.ok() || *parsed < 0.0 || *parsed > 1.0) {
+      std::fprintf(stderr, "bad --severity (want 0..1)\n");
+      return 2;
+    }
+    severity = *parsed;
+  }
+  double threshold = 0.25;
+  if (options.flags.count("threshold") != 0) {
+    auto parsed = ParseDouble(options.flags.at("threshold"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --threshold\n");
+      return 2;
+    }
+    threshold = *parsed;
+  }
+
+  core::PipelineConfig pipeline;
+  pipeline.machine = sim::MachineConfig::SkylakeLike();
+  pipeline.collector.l2_miss_period = 29;
+  pipeline.collector.stall_cycles_period = 199;
+  pipeline.collector.retired_period = 61;
+  pipeline.collector.period_jitter = 0.1;
+  pipeline.Finalize();
+
+  workloads::PhasedChase::Config yesterday;
+  yesterday.num_nodes = *nodes;
+  yesterday.steps_per_task = *steps;
+  yesterday.severity = 0.0;
+  auto twin = workloads::PhasedChase::Make(yesterday);
+  if (!twin.ok()) {
+    std::fprintf(stderr, "%s\n", twin.status().ToString().c_str());
+    return 1;
+  }
+  auto stale = core::BuildInstrumentedForWorkload(*twin, pipeline);
+  if (!stale.ok()) {
+    std::fprintf(stderr, "stale build failed: %s\n", stale.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stale instrumentation (phase-A profile): %s\n", stale->Summary().c_str());
+
+  workloads::PhasedChase::Config today = yesterday;
+  today.severity = severity;
+  today.flip_task_index = static_cast<int>(*flip);
+  auto made = workloads::PhasedChase::Make(today);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const workloads::PhasedChase chase = std::move(made).value();
+
+  sim::Machine machine(pipeline.machine);
+  chase.InitMemory(machine.memory());
+  adapt::AdaptiveServerConfig config;
+  config.controller.pipeline = pipeline;
+  config.controller.drift_threshold = threshold;
+  config.tasks_per_epoch = static_cast<int>(*epoch);
+  config.adapt_enabled = *adapt_on != 0;
+  config.scale_pool = *adapt_on != 0;
+  config.dual.max_scavengers = 4;
+  config.dual.hide_window_cycles = 300;
+  adapt::AdaptiveServer server(&chase.program(), *stale, &machine, config);
+  const int n = static_cast<int>(*tasks);
+  for (int i = 0; i < n; ++i) {
+    server.AddTask(chase.SetupFor(i));
+  }
+  // Shared-binary mode: scavengers serve extra chase requests and get swapped
+  // together with the primary binary.
+  int extra = n;
+  server.SetScavengerFactory(
+      [&chase, extra]() mutable
+          -> std::optional<runtime::DualModeScheduler::ContextSetup> {
+        return chase.SetupFor(extra++);
+      });
+
+  auto report = server.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "adaptive run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-6s %-6s %-11s %-6s %-6s %-4s %-5s %s\n", "epoch", "tasks",
+              "cycles", "eff", "drift", "cap", "occ", "swap");
+  for (const adapt::EpochTelemetry& e : report->epochs) {
+    std::printf("%-6zu %-6zu %-11s %-6.3f %-6.3f %-4zu %-5.2f %s\n", e.epoch,
+                e.tasks_completed, WithCommas(e.cycles).c_str(), e.efficiency,
+                e.drift, e.pool_cap, e.burst_occupancy, e.swapped ? "SWAP" : "-");
+  }
+  std::printf("%s\n", report->Summary().c_str());
+
+  // Correctness across any number of mid-run hot swaps: every request must
+  // still produce the phase-correct chase result.
+  int wrong = 0;
+  for (int i = 0; i < n; ++i) {
+    if (chase.ReadResult(machine.memory(), i) != chase.ExpectedResult(i)) {
+      ++wrong;
+    }
+  }
+  if (wrong != 0) {
+    std::fprintf(stderr, "%d/%d results WRONG after adaptation\n", wrong, n);
+    return 1;
+  }
+  std::printf("%d/%d results correct; swaps=%d\n", n, n, report->swaps);
+  return 0;
+}
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "yhc — yieldhide toolchain\n"
                "commands:\n"
                "  asm <in.s> <out.yh>                 assemble\n"
@@ -583,8 +719,22 @@ int Usage() {
                "  instrument <in.yh> --profile <prof> --out <out.yh>\n"
                "  chaos <in.yh> --fault=<class:sev>[,...] [--quarantine 0|1]\n"
                "        fault-inject the pipeline and bound the damage\n"
+               "  adapt [--severity X] [--tasks N] [--epoch N] [--flip N]\n"
+               "        [--adapt 0|1] [--threshold X]\n"
+               "        serve a drifting workload from a stale binary and\n"
+               "        hot-swap re-instrumentation online (docs/ONLINE.md)\n"
+               "  help                                this text\n"
                "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
+}
+
+int CmdHelp(const Options&) {
+  PrintUsage(stdout);
+  return 0;
 }
 
 }  // namespace
@@ -625,5 +775,12 @@ int main(int argc, char** argv) {
   if (command == "chaos") {
     return CmdChaos(*options);
   }
+  if (command == "adapt") {
+    return CmdAdapt(*options);
+  }
+  if (command == "help" || command == "--help" || command == "-h") {
+    return CmdHelp(*options);
+  }
+  std::fprintf(stderr, "yhc: unknown command '%s'\n", command.c_str());
   return Usage();
 }
