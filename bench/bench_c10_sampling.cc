@@ -60,11 +60,12 @@ SampleQuality ProfileWith(const workloads::PointerChase& workload, uint64_t peri
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C10", "sampling period & skid vs profile quality and overhead");
+  JsonWriter json("C10", argc, argv);
   workloads::PointerChase::Config wc;
   wc.num_nodes = 1 << 18;
   wc.steps_per_task = 20'000;
@@ -78,6 +79,13 @@ int main() {
     table.PrintRow({FmtU(period), Fmt("%.3f", 100 * q.overhead),
                     Fmt("%.3f", q.est_miss_prob), Fmt("%.3f", q.true_miss_prob),
                     StrFormat("%zu", q.candidate_sites), q.top_site_correct ? "yes" : "NO"});
+    json.Add(StrFormat("period:%llu", static_cast<unsigned long long>(period)),
+             {{"period", static_cast<double>(period)},
+              {"overhead_fraction", q.overhead},
+              {"est_miss_prob", q.est_miss_prob},
+              {"true_miss_prob", q.true_miss_prob},
+              {"candidate_sites", static_cast<double>(q.candidate_sites)},
+              {"top_site_correct", q.top_site_correct ? 1.0 : 0.0}});
   }
 
   std::printf("\n-- skid sweep (period 31) --\n");
@@ -89,6 +97,12 @@ int main() {
     skid_table.PrintRow({FmtU(skid), Fmt("%.1f", prob), Fmt("%.3f", q.est_miss_prob),
                          StrFormat("%zu", q.candidate_sites),
                          q.top_site_correct ? "yes" : "NO"});
+    json.Add(StrFormat("skid:%u", skid),
+             {{"max_skid", skid},
+              {"skid_probability", prob},
+              {"est_miss_prob", q.est_miss_prob},
+              {"candidate_sites", static_cast<double>(q.candidate_sites)},
+              {"top_site_correct", q.top_site_correct ? 1.0 : 0.0}});
   }
 
   std::printf(
@@ -98,5 +112,6 @@ int main() {
       "instructions; because instrumentation is binary-level, samples landing\n"
       "on non-loads are provably discardable and the site survives moderate\n"
       "skid.\n");
+  json.Flush();
   return 0;
 }

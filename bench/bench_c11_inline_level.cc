@@ -145,11 +145,12 @@ profile::LoadProfile SourceLevelView(const profile::LoadProfile& binary_profile,
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C11", "instrumentation level: binary-accurate vs source-aggregated (inlining)");
+  JsonWriter json("C11", argc, argv);
   InlinedLookups workload;
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
   const int kGroup = 16;
@@ -190,6 +191,13 @@ int main() {
                     Fmt("%.1f", cpi), Fmt("%.1f", 100 * report.StallFraction()),
                     Fmt("%.1f", 100 * report.SwitchFraction()),
                     Fmt("%.2fx", baseline_cpi / cpi)});
+    json.Add(name,
+             {{"sites",
+               static_cast<double>(primary.report.instrumented_loads.size())},
+              {"cycles_per_iter", cpi},
+              {"stall_fraction", report.StallFraction()},
+              {"switch_fraction", report.SwitchFraction()},
+              {"speedup", baseline_cpi / cpi}});
   };
 
   // Baseline: no instrumentation (threshold impossible to meet).
@@ -209,5 +217,6 @@ int main() {
       "cornered into either paying a useless yield at the cold copy every\n"
       "iteration or leaving the hot copy's misses unhidden — the paper's\n"
       "inlining argument, measured.\n");
+  json.Flush();
   return 0;
 }

@@ -54,7 +54,7 @@ void BM_NativeFunctionCallBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_NativeFunctionCallBaseline);
 
-void PrintSimulatedSwitchModel() {
+void PrintSimulatedSwitchModel(JsonWriter& json) {
   Banner("C1b", "simulated switch-cost model: liveness-minimized save sets");
   const sim::MachineConfig machine = sim::MachineConfig::SkylakeLike();
   const instrument::YieldCostModel model =
@@ -67,6 +67,10 @@ void PrintSimulatedSwitchModel() {
     const uint32_t cycles = model.SwitchCycles(mask);
     table.PrintRow({StrFormat("%d", regs), FmtU(cycles),
                     Fmt("%.1f", cycles / machine.cycles_per_ns)});
+    json.Add(StrFormat("live_regs:%d", regs),
+             {{"live_regs", regs},
+              {"switch_cycles", cycles},
+              {"switch_ns", cycles / machine.cycles_per_ns}});
   }
   std::printf(
       "\nThe all-live cost (%u cycles = %.1f ns at 3 GHz) matches the paper's\n"
@@ -79,9 +83,13 @@ void PrintSimulatedSwitchModel() {
 }  // namespace yieldhide::bench
 
 int main(int argc, char** argv) {
+  // JsonWriter scans argv before benchmark::Initialize strips its own flags;
+  // google-benchmark ignores flags it does not recognize here.
+  yieldhide::bench::JsonWriter json("C1", argc, argv);
   yieldhide::bench::Banner("C1a", "native C++20 coroutine switch latency (ns/resume)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  yieldhide::bench::PrintSimulatedSwitchModel();
+  yieldhide::bench::PrintSimulatedSwitchModel(json);
+  json.Flush();
   return 0;
 }

@@ -65,11 +65,12 @@ RowResult RunBaseline(const workloads::SimWorkload& workload, bool nextline_pref
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C2", "baseline memory-bound stall fractions (paper: >60% for big apps)");
+  JsonWriter json("C2", argc, argv);
   Table table({"workload", "cycles", "stall_frac", "IPC", "l1", "l2", "l3", "dram"});
   table.PrintHeader();
 
@@ -77,6 +78,13 @@ int main() {
     table.PrintRow({name, FmtU(row.cycles), Fmt("%.3f", row.stall_fraction),
                     Fmt("%.3f", row.ipc), Fmt("%.3f", row.l1), Fmt("%.3f", row.l2),
                     Fmt("%.3f", row.l3), Fmt("%.3f", row.dram)});
+    json.Add(name, {{"cycles", static_cast<double>(row.cycles)},
+                    {"stall_fraction", row.stall_fraction},
+                    {"ipc", row.ipc},
+                    {"l1_hit_frac", row.l1},
+                    {"l2_hit_frac", row.l2},
+                    {"l3_hit_frac", row.l3},
+                    {"dram_frac", row.dram}});
   };
 
   {
@@ -127,5 +135,6 @@ int main() {
       "shrink under the next-line hardware prefetcher — the regime where the\n"
       "gain/cost policy declines to instrument (C7), unlike the chase/probe\n"
       "sites whose per-site miss probability is ~1.\n");
+  json.Flush();
   return 0;
 }

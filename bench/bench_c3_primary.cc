@@ -29,8 +29,9 @@ struct Variant {
   const workloads::SimWorkload* workload;
 };
 
-void SweepGroups(const std::string& title, const std::vector<Variant>& variants,
-                 uint64_t ops_per_task) {
+void SweepGroups(const std::string& title, const std::string& kernel,
+                 const std::vector<Variant>& variants, uint64_t ops_per_task,
+                 JsonWriter& json) {
   std::printf("\n-- %s --\n", title.c_str());
   Table table({"group", "variant", "cycles/op", "IPC", "stall%", "switch%", "speedup"});
   table.PrintHeader();
@@ -50,6 +51,13 @@ void SweepGroups(const std::string& title, const std::vector<Variant>& variants,
                       Fmt("%.1f", 100 * report.StallFraction()),
                       Fmt("%.1f", 100 * report.SwitchFraction()),
                       Fmt("%.2fx", baseline_cpo / cpo)});
+      json.Add(kernel + ":" + variant.name + StrFormat(":g%d", group),
+               {{"group", group},
+                {"cycles_per_op", cpo},
+                {"ipc", report.Ipc()},
+                {"stall_fraction", report.StallFraction()},
+                {"switch_fraction", report.SwitchFraction()},
+                {"speedup", baseline_cpo / cpo}});
     }
   }
 }
@@ -57,11 +65,12 @@ void SweepGroups(const std::string& title, const std::vector<Variant>& variants,
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C3", "throughput: baseline vs manual yields vs profile-guided");
+  JsonWriter json("C3", argc, argv);
 
   {
     workloads::PointerChase::Config wc;
@@ -83,12 +92,12 @@ int main() {
         runtime::AnnotateManualYields(manual.program(), config.machine.cost);
     auto expert_binary =
         runtime::AnnotateManualYields(manual_expert.program(), config.machine.cost);
-    SweepGroups("pointer chase (1500 dependent loads/task)",
+    SweepGroups("pointer chase (1500 dependent loads/task)", "chase",
                 {{"baseline", &baseline_binary, &plain},
                  {"manual", &manual_binary, &manual},
                  {"manual-expert", &expert_binary, &manual_expert},
                  {"profile", &artifacts.binary, &plain}},
-                wc.steps_per_task);
+                wc.steps_per_task, json);
   }
 
   {
@@ -102,10 +111,10 @@ int main() {
     std::printf("\npipeline: %s\n", artifacts.primary_report.ToString().c_str());
     auto baseline_binary =
         runtime::AnnotateManualYields(workload.program(), config.machine.cost);
-    SweepGroups("hash probe (1500 probes/task, 16 MiB table)",
+    SweepGroups("hash probe (1500 probes/task, 16 MiB table)", "hash",
                 {{"baseline", &baseline_binary, &workload},
                  {"profile", &artifacts.binary, &workload}},
-                wc.keys_per_task);
+                wc.keys_per_task, json);
   }
 
   std::printf(
@@ -115,5 +124,6 @@ int main() {
       "intuitive-but-wrong load and loses to the baseline — the paper's\n"
       "expert-error case; profile-guided matches the hand-profiled expert\n"
       "with cheaper liveness-minimized switches, automatically.\n");
+  json.Flush();
   return 0;
 }

@@ -29,11 +29,12 @@ workloads::PointerChase MakeChase(bool manual) {
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C4", "SMT (2-8 hardware contexts) vs coroutines (2-64) on a miss-bound chase");
+  JsonWriter json("C4", argc, argv);
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
 
   Table table({"mechanism", "contexts", "utilization", "cycles/op", "task_latency_x"});
@@ -78,6 +79,11 @@ int main() {
     table.PrintRow({"SMT", StrFormat("%d", contexts),
                     Fmt("%.3f", report->Utilization()), Fmt("%.1f", cpo),
                     Fmt("%.2fx", mean_finish / solo_cycles)});
+    json.Add(StrFormat("smt:%d", contexts),
+             {{"contexts", contexts},
+              {"utilization", report->Utilization()},
+              {"cycles_per_op", cpo},
+              {"task_latency_x", mean_finish / solo_cycles}});
   }
 
   // Coroutine sweep (manual yield binary — identical yields for all groups).
@@ -95,6 +101,11 @@ int main() {
     table.PrintRow({"coroutines", StrFormat("%d", group),
                     Fmt("%.3f", report.CpuEfficiency()), Fmt("%.1f", cpo),
                     Fmt("%.2fx", mean_latency / solo_cycles)});
+    json.Add(StrFormat("coro:%d", group),
+             {{"contexts", group},
+              {"utilization", report.CpuEfficiency()},
+              {"cycles_per_op", cpo},
+              {"task_latency_x", mean_latency / solo_cycles}});
   }
 
   // SMT's latency hazard (the paper's second SMT critique) appears under
@@ -129,6 +140,8 @@ int main() {
       alu_solo = finish;
     }
     contention.PrintRow({StrFormat("%d", neighbours), Fmt("%.2fx", finish / alu_solo)});
+    json.Add(StrFormat("smt_contention:%d", neighbours),
+             {{"neighbours", neighbours}, {"task_latency_x", finish / alu_solo}});
   }
 
   std::printf(
@@ -141,5 +154,6 @@ int main() {
       "contention SMT inflates a task's latency by the full multiplexing\n"
       "factor with no recourse — software scheduling can choose who pays\n"
       "(bench C5).\n");
+  json.Flush();
   return 0;
 }

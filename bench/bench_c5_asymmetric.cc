@@ -53,11 +53,12 @@ instrument::InstrumentedProgram MakeScavengedBatch(const sim::MachineConfig& mac
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C5", "asymmetric concurrency: request latency vs CPU efficiency");
+  JsonWriter json("C5", argc, argv);
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
 
   workloads::PointerChase::Config wc;
@@ -106,6 +107,11 @@ int main() {
                     Fmt("%.2fx", p50 / alone_p50),
                     Fmt("%.3f", report->CpuEfficiency()),
                     Fmt("%.2f", report->scavenger_issue_cycles / 1e6)});
+    json.Add(name, {{"p50_us", p50},
+                    {"p99_us", p99},
+                    {"latency_x", p50 / alone_p50},
+                    {"efficiency", report->CpuEfficiency()},
+                    {"batch_mcycles", report->scavenger_issue_cycles / 1e6}});
   };
 
   run_dual("alone", 0, false);
@@ -156,6 +162,10 @@ int main() {
       table.PrintRow({"symmetric(+7)", Fmt("%.1f", p50), Fmt("%.1f", p99),
                       Fmt("%.2fx", p50 / alone_p50),
                       Fmt("%.3f", report->CpuEfficiency()), "-"});
+      json.Add("symmetric(+7)", {{"p50_us", p50},
+                                 {"p99_us", p99},
+                                 {"latency_x", p50 / alone_p50},
+                                 {"efficiency", report->CpuEfficiency()}});
     } else {
       std::fprintf(stderr, "symmetric run failed: %s\n",
                    report.status().ToString().c_str());
@@ -169,5 +179,6 @@ int main() {
       "efficiency rises by an order of magnitude. Symmetric scheduling of 8\n"
       "peers reaches similar efficiency but multiplies request latency by\n"
       "the ring size: there is no one to hand the CPU back promptly.\n");
+  json.Flush();
   return 0;
 }

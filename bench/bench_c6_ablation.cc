@@ -110,11 +110,12 @@ class GatherWorkload : public workloads::SimWorkload {
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C6", "ablation: yield coalescing + liveness-minimized saves (gather kernel)");
+  JsonWriter json("C6", argc, argv);
   GatherWorkload workload;
 
   Table table({"group", "variant", "yields_ins", "cycles/iter", "stall%", "switch%", "speedup"});
@@ -149,6 +150,14 @@ int main() {
                       Fmt("%.1f", cpi), Fmt("%.1f", 100 * report.StallFraction()),
                       Fmt("%.1f", 100 * report.SwitchFraction()),
                       Fmt("%.2fx", base_cpi / cpi)});
+      json.Add(StrFormat("g%d:", group) + name,
+               {{"group", group},
+                {"yields_inserted",
+                 static_cast<double>(artifacts.primary_report.yields_inserted)},
+                {"cycles_per_iter", cpi},
+                {"stall_fraction", report.StallFraction()},
+                {"switch_fraction", report.SwitchFraction()},
+                {"speedup", base_cpi / cpi}});
     }
   }
 
@@ -159,5 +168,6 @@ int main() {
       "coalesced variant's 16x4 outstanding fills exceed the 16 MSHR entries\n"
       "and dropped prefetches reintroduce stalls — optimizations compose with\n"
       "the microarchitecture, not in isolation.\n");
+  json.Flush();
   return 0;
 }

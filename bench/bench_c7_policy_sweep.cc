@@ -27,11 +27,12 @@ workloads::BtreeLookup MakeTree() {
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C7", "yield-placement policy sweep on btree lookups");
+  JsonWriter json("C7", argc, argv);
   auto workload = MakeTree();
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
   const int kGroup = 16;
@@ -60,6 +61,13 @@ int main() {
                     Fmt("%.1f", report.total_cycles / ops),
                     Fmt("%.1f", 100 * report.StallFraction()),
                     Fmt("%.1f", 100 * report.SwitchFraction()), Fmt("%.1f", useless)});
+    json.Add(name,
+             {{"sites", static_cast<double>(
+                            artifacts.primary_report.instrumented_loads.size())},
+              {"cycles_per_op", report.total_cycles / ops},
+              {"stall_fraction", report.StallFraction()},
+              {"switch_fraction", report.SwitchFraction()},
+              {"useless_prefetch_pct", useless}});
   };
 
   // Baseline: no instrumentation at all.
@@ -93,5 +101,6 @@ int main() {
       "conservative: it prices a switch as pure overhead, while at high\n"
       "concurrency part of that cost hides behind peers — a modelling gap\n"
       "the paper's 'different policies' discussion anticipates.\n");
+  json.Flush();
   return 0;
 }

@@ -39,11 +39,12 @@ isa::Program MakeBatchKernel() {
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("C8", "scavenger inter-yield interval sweep (primary latency vs efficiency)");
+  JsonWriter json("C8", argc, argv);
   const sim::MachineConfig machine_config = sim::MachineConfig::SkylakeLike();
 
   // Primary: instrumented pointer-chase requests.
@@ -86,14 +87,23 @@ int main() {
       std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
       continue;
     }
+    const double p50 = report->primary_latency.ValueAtQuantile(0.5) /
+                       machine_config.cycles_per_ns / 1000;
+    const double p99 = report->primary_latency.ValueAtQuantile(0.99) /
+                       machine_config.cycles_per_ns / 1000;
     table.PrintRow(
         {FmtU(interval), StrFormat("%zu", scavenged.report.cyields_inserted),
-         FmtU(scavenged.report.worst_interval_after),
-         Fmt("%.2f", report->primary_latency.ValueAtQuantile(0.5) /
-                         machine_config.cycles_per_ns / 1000),
-         Fmt("%.2f", report->primary_latency.ValueAtQuantile(0.99) /
-                         machine_config.cycles_per_ns / 1000),
-         Fmt("%.3f", report->CpuEfficiency())});
+         FmtU(scavenged.report.worst_interval_after), Fmt("%.2f", p50),
+         Fmt("%.2f", p99), Fmt("%.3f", report->CpuEfficiency())});
+    json.Add(StrFormat("interval:%u", interval),
+             {{"interval_cycles", interval},
+              {"cyields_inserted",
+               static_cast<double>(scavenged.report.cyields_inserted)},
+              {"worst_interval_after",
+               static_cast<double>(scavenged.report.worst_interval_after)},
+              {"p50_us", p50},
+              {"p99_us", p99},
+              {"efficiency", report->CpuEfficiency()}});
   }
 
   std::printf(
@@ -104,5 +114,6 @@ int main() {
       "CPU past the miss and primary latency climbs with the interval — the\n"
       "paper's 'bounded but sufficient to hide L2/L3 misses (e.g., 100 ns)'\n"
       "guidance, made quantitative.\n");
+  json.Flush();
   return 0;
 }

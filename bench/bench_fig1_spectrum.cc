@@ -123,11 +123,12 @@ double RunCoroutines(sim::MachineConfig config, int group, uint32_t switch_cycle
 }  // namespace
 }  // namespace yieldhide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace yieldhide;
   using namespace yieldhide::bench;
 
   Banner("F1", "Figure 1: hiding efficacy vs event duration (CPU efficiency)");
+  JsonWriter json("F1", argc, argv);
   std::printf(
       "kernel: dependent-load chase, %d loads/ctx; efficiency = issue/total cycles\n"
       "coro-16: 16 coroutines, 24-cycle (9 ns) switch; process-16: 4500-cycle\n"
@@ -139,17 +140,28 @@ int main() {
   for (uint32_t cycles : {10u, 30u, 60u, 100u, 200u, 400u, 800u, 1500u, 3000u}) {
     const sim::MachineConfig config = ConfigWithEventLatency(cycles);
     const double ns = cycles / config.cycles_per_ns;
-    table.PrintRow({Fmt("%.0f", ns), FmtU(cycles),
-                    Fmt("%.3f", RunBlocking(config)),
-                    Fmt("%.3f", RunSmt(config, 2)),
-                    Fmt("%.3f", RunSmt(config, 8)),
-                    Fmt("%.3f", RunCoroutines(config, 16, 24)),
-                    Fmt("%.3f", RunCoroutines(config, 16, 4500))});
+    const double blocking = RunBlocking(config);
+    const double smt2 = RunSmt(config, 2);
+    const double smt8 = RunSmt(config, 8);
+    const double coro16 = RunCoroutines(config, 16, 24);
+    const double process16 = RunCoroutines(config, 16, 4500);
+    table.PrintRow({Fmt("%.0f", ns), FmtU(cycles), Fmt("%.3f", blocking),
+                    Fmt("%.3f", smt2), Fmt("%.3f", smt8), Fmt("%.3f", coro16),
+                    Fmt("%.3f", process16)});
+    json.Add(StrFormat("event:%u", cycles),
+             {{"event_ns", ns},
+              {"event_cycles", cycles},
+              {"blocking", blocking},
+              {"smt2", smt2},
+              {"smt8", smt8},
+              {"coro16", coro16},
+              {"process16", process16}});
   }
   std::printf(
       "\nReading: coroutine interleaving holds high efficiency across the\n"
       "10-1000 ns middle band where blocking collapses and SMT saturates at\n"
       "its hardware context count; micro-second-class switches only pay off\n"
       "for events far above the band (the OS-scheduling end of the figure).\n");
+  json.Flush();
   return 0;
 }

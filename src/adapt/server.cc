@@ -1,5 +1,7 @@
 #include "src/adapt/server.h"
 
+#include <memory>
+
 #include "src/common/strings.h"
 
 namespace yieldhide::adapt {
@@ -50,6 +52,12 @@ void AdaptiveServer::SetScavengerBinary(
   scavenger_binary_ = binary;
 }
 
+void AdaptiveServer::SetObservability(obs::TraceRecorder* trace,
+                                      obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+}
+
 Result<AdaptReport> AdaptiveServer::Run() {
   AdaptReport report;
 
@@ -67,6 +75,7 @@ Result<AdaptReport> AdaptiveServer::Run() {
       &controller_.binary(),
       shared_binary ? &controller_.binary() : scavenger_binary_, machine_,
       dual);
+  scheduler.SetObservability(trace_, metrics_);
   if (factory_) {
     scheduler.SetScavengerFactory(factory_);
   }
@@ -75,13 +84,46 @@ Result<AdaptReport> AdaptiveServer::Run() {
     tasks_.pop_front();
   }
 
-  pmu::SessionConfig session_config = profile::MakeSessionConfig(config_.sampling);
-  session_config.enable_lbr = false;  // block re-profiling is an open item
-  pmu::SamplingSession session(session_config);
-  const profile::SamplePeriods periods = profile::MakeSamplePeriods(config_.sampling);
-  session.AttachTo(*machine_);
+  // Sampling periods divided by the current rate scale (1.0 until drift-aware
+  // sampling moves it): >1 samples harder, <1 relaxes below baseline.
+  auto scaled_sampling = [&](double rate_scale) {
+    profile::CollectorConfig scaled = config_.sampling;
+    auto scale_period = [&](uint64_t period) -> uint64_t {
+      if (period == 0 || rate_scale <= 0.0) {
+        return period;  // disabled events stay disabled
+      }
+      const double p = static_cast<double>(period) / rate_scale;
+      return p < 1.0 ? 1 : static_cast<uint64_t>(p + 0.5);
+    };
+    scaled.l1_miss_period = scale_period(scaled.l1_miss_period);
+    scaled.l2_miss_period = scale_period(scaled.l2_miss_period);
+    scaled.l3_miss_period = scale_period(scaled.l3_miss_period);
+    scaled.stall_cycles_period = scale_period(scaled.stall_cycles_period);
+    scaled.retired_period = scale_period(scaled.retired_period);
+    return scaled;
+  };
+  auto make_session = [&](const profile::CollectorConfig& sampling) {
+    pmu::SessionConfig session_config = profile::MakeSessionConfig(sampling);
+    session_config.enable_lbr = false;  // block re-profiling is an open item
+    auto session = std::make_unique<pmu::SamplingSession>(session_config);
+    // Trace only: the server aggregates sampling metrics itself, because a
+    // session's absolute counters restart at zero on every period rescale.
+    session->SetObservability(trace_, nullptr);
+    return session;
+  };
+
+  double rate_scale = 1.0;
+  int quiet_epochs = 0;
+  std::unique_ptr<pmu::SamplingSession> session =
+      make_session(scaled_sampling(rate_scale));
+  profile::SamplePeriods periods =
+      profile::MakeSamplePeriods(scaled_sampling(rate_scale));
+  session->AttachTo(*machine_);
 
   uint64_t epoch_start = machine_->now();
+  // Overhead of sessions already replaced by a period rescale; the live
+  // session's OverheadCycles() adds to this.
+  uint64_t overhead_base = 0;
   uint64_t charged_overhead = 0;
   uint64_t last_issue = 0;
   uint64_t last_bursts = 0, last_starved = 0, last_busy = 0;
@@ -92,7 +134,7 @@ Result<AdaptReport> AdaptiveServer::Run() {
   // rebuild + hot-swap, and run the pool feedback. `adapting` is false for
   // the telemetry-only tail flush after the run finished.
   auto epoch_boundary = [&](size_t tasks_done, bool adapting) {
-    const uint64_t overhead_total = session.OverheadCycles();
+    const uint64_t overhead_total = overhead_base + session->OverheadCycles();
     const uint64_t overhead_delta = overhead_total - charged_overhead;
     charged_overhead = overhead_total;
     if (config_.charge_sampling_overhead && overhead_delta > 0) {
@@ -105,6 +147,7 @@ Result<AdaptReport> AdaptiveServer::Run() {
     epoch.tasks_completed = tasks_done;
     epoch.cycles = machine_->now() - epoch_start;
     epoch.sampling_overhead_cycles = overhead_delta;
+    epoch.sampling_rate_scale = rate_scale;
     epoch.pool_cap = scheduler.scavenger_pool_cap();
     // Long-lived scavengers only flush into the report at halt/swap/end, so
     // per-epoch efficiency counts their live (unflushed) issue cycles too.
@@ -125,15 +168,23 @@ Result<AdaptReport> AdaptiveServer::Run() {
     }
 
     online_.BeginEpoch();
-    online_.ObserveSamples(session.DrainAllSamples(), periods,
+    online_.ObserveSamples(session->DrainAllSamples(), periods,
                            controller_.backmap());
 
     AdaptController::Decision decision =
         controller_.Observe(online_, progress.site_stats);
     epoch.drift = decision.score.score;
     report.final_drift = decision.score.score;
+    if (YH_TRACE_ENABLED(trace_, obs::kTraceDrift)) {
+      trace_->Record(obs::TraceEventType::kDriftUpdate, machine_->now(), -1, 0,
+                     static_cast<uint64_t>(decision.score.score * 1e6 + 0.5));
+    }
 
     if (adapting && config_.adapt_enabled && decision.should_swap) {
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceSwap)) {
+        trace_->Record(obs::TraceEventType::kSwapBegin, machine_->now(), -1, 0,
+                       static_cast<uint64_t>(decision.score.score * 1e6 + 0.5));
+      }
       Result<AdaptController::SwapPlan> plan =
           controller_.Rebuild(online_, progress.site_stats);
       if (!plan.ok()) {
@@ -158,6 +209,71 @@ Result<AdaptReport> AdaptiveServer::Run() {
           deltas, dual.hide_window_cycles, scheduler.scavenger_pool_cap()));
     }
 
+    if (adapting && config_.drift_aware_sampling) {
+      // Pick next epoch's sampling rate from this epoch's drift. Quantized
+      // steps, not a continuous map: period changes rebuild the session, so
+      // they should be rare and deliberate.
+      const double threshold = config_.controller.drift_threshold;
+      double next_scale = 1.0;
+      if (epoch.swapped || threshold <= 0.0) {
+        // Fresh reference after a swap: old drift evidence is stale.
+        quiet_epochs = 0;
+      } else if (epoch.drift >= threshold) {
+        quiet_epochs = 0;
+        next_scale = config_.sampling_max_rate_scale;
+      } else if (epoch.drift >= 0.5 * threshold) {
+        quiet_epochs = 0;
+        next_scale = 0.5 * config_.sampling_max_rate_scale;
+      } else if (epoch.drift < 0.05 * threshold) {
+        ++quiet_epochs;
+        if (quiet_epochs >= config_.sampling_quiet_epochs) {
+          next_scale = config_.sampling_min_rate_scale;
+        }
+      } else {
+        quiet_epochs = 0;
+      }
+      if (next_scale != rate_scale) {
+        // Periods are baked into the samplers at construction: replace the
+        // session. Retire the old session's modeled overhead into the base
+        // (accounting stays monotone) and recompute the per-event weights the
+        // online profile scales samples by.
+        overhead_base += session->OverheadCycles();
+        session->DetachFrom(*machine_);
+        rate_scale = next_scale;
+        session = make_session(scaled_sampling(rate_scale));
+        periods = profile::MakeSamplePeriods(scaled_sampling(rate_scale));
+        session->AttachTo(*machine_);
+      }
+    }
+
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("yh_adapt_epochs_total")->Increment();
+      metrics_->GetCounter("yh_adapt_swaps_total")->Set(controller_.swaps());
+      metrics_->GetCounter("yh_adapt_swap_failures_total")
+          ->Set(report.swap_failures);
+      metrics_->GetCounter("yh_adapt_samples_accepted_total")
+          ->Set(online_.samples_accepted());
+      metrics_->GetCounter("yh_adapt_samples_dropped_total")
+          ->Set(online_.samples_dropped());
+      metrics_->GetCounter("yh_adapt_sampling_overhead_cycles_total")
+          ->Set(charged_overhead);
+      metrics_->GetGauge("yh_adapt_drift_score")->Set(epoch.drift);
+      metrics_->GetGauge("yh_adapt_epoch_efficiency")->Set(epoch.efficiency);
+      metrics_->GetGauge("yh_adapt_burst_occupancy")
+          ->Set(epoch.burst_occupancy);
+      metrics_->GetGauge("yh_adapt_pool_cap")
+          ->Set(static_cast<double>(scheduler.scavenger_pool_cap()));
+      metrics_->GetGauge("yh_adapt_sampling_rate_scale")->Set(rate_scale);
+      const profile::CollectorConfig current = scaled_sampling(rate_scale);
+      metrics_->GetGauge("yh_adapt_sampling_period", {{"event", "l2_miss"}})
+          ->Set(static_cast<double>(current.l2_miss_period));
+      metrics_
+          ->GetGauge("yh_adapt_sampling_period", {{"event", "stall_cycles"}})
+          ->Set(static_cast<double>(current.stall_cycles_period));
+      metrics_->GetGauge("yh_adapt_sampling_period", {{"event", "retired"}})
+          ->Set(static_cast<double>(current.retired_period));
+    }
+
     // Snapshot AFTER a possible swap: retiring old-binary scavengers moves
     // their cycles from live to report, so report + live is swap-invariant.
     const runtime::DualModeReport& after = scheduler.progress();
@@ -179,7 +295,7 @@ Result<AdaptReport> AdaptiveServer::Run() {
   });
 
   Result<runtime::DualModeReport> run = scheduler.Run();
-  session.DetachFrom(*machine_);
+  session->DetachFrom(*machine_);
   if (!run.ok()) {
     return run.status();
   }

@@ -25,6 +25,8 @@
 
 #include "src/adapt/controller.h"
 #include "src/adapt/online_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/profile/collector.h"
 #include "src/runtime/dual_mode.h"
 
@@ -48,6 +50,22 @@ struct AdaptiveServerConfig {
   bool scale_pool = true;
   // Charge the modeled PEBS capture cost to the machine clock.
   bool charge_sampling_overhead = true;
+  // Drift-aware sampling: scale the sampling RATE with measured drift —
+  // sample harder while the workload is moving (fresher evidence, faster
+  // reaction), relax below the baseline after consecutive quiet epochs to
+  // shave steady-state overhead. Periods are the configured periods divided
+  // by the epoch's rate scale, which steps through {min_rate_scale, 1,
+  // max_rate_scale/2, max_rate_scale} as drift crosses fractions of the swap
+  // threshold, and resets to 1 after a swap (the reference is fresh, so old
+  // drift evidence is stale). Off by default: the fixed-period configuration
+  // is the control the A1 gates were calibrated against.
+  bool drift_aware_sampling = false;
+  // Rate-scale bounds: <1 = slower than baseline (quiet), >1 = faster (drifting).
+  double sampling_min_rate_scale = 0.5;
+  double sampling_max_rate_scale = 4.0;
+  // Consecutive epochs below 5% of the drift threshold before relaxing to
+  // sampling_min_rate_scale.
+  int sampling_quiet_epochs = 2;
 };
 
 struct EpochTelemetry {
@@ -60,6 +78,9 @@ struct EpochTelemetry {
   size_t pool_cap = 0;
   double burst_occupancy = 0.0;
   uint64_t sampling_overhead_cycles = 0;
+  // Sampling rate multiplier in force DURING this epoch (1.0 = configured
+  // periods; see AdaptiveServerConfig::drift_aware_sampling).
+  double sampling_rate_scale = 1.0;
 };
 
 struct AdaptReport {
@@ -84,6 +105,12 @@ class AdaptiveServer {
                  sim::Machine* machine, const AdaptiveServerConfig& config);
 
   void AddTask(runtime::DualModeScheduler::ContextSetup setup);
+  // Attaches a flight recorder and/or metrics registry (either may be null):
+  // the scheduler, the sampling session (trace only — the server aggregates
+  // sampling metrics across period rescales), and the controller's rebuilds
+  // all publish through them. Call before Run().
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics);
   void SetScavengerFactory(runtime::DualModeScheduler::ScavengerFactory factory);
   // Separate scavenger binary (an unrelated batch job). Default nullptr:
   // scavengers run the primary binary and are swapped together with it.
@@ -103,6 +130,8 @@ class AdaptiveServer {
   const instrument::InstrumentedProgram* scavenger_binary_ = nullptr;
   std::deque<runtime::DualModeScheduler::ContextSetup> tasks_;
   runtime::DualModeScheduler::ScavengerFactory factory_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace yieldhide::adapt

@@ -6,6 +6,49 @@ namespace yieldhide::core {
 
 namespace {
 
+// Publishes one build's artifact telemetry. Counters accumulate with Add so a
+// registry shared across rebuilds (the online adaptation loop) shows totals;
+// gauges describe the most recent build.
+void PublishBuildMetrics(const PipelineConfig& config,
+                         const PipelineArtifacts& artifacts) {
+  obs::MetricsRegistry* metrics = config.metrics;
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->GetCounter("yh_pipeline_builds_total")->Increment();
+  metrics->GetCounter("yh_pipeline_samples_accepted_total")
+      ->Add(artifacts.sample_drops.accepted);
+  metrics
+      ->GetCounter("yh_pipeline_samples_dropped_total",
+                   {{"reason", "out_of_range"}})
+      ->Add(artifacts.sample_drops.dropped_out_of_range);
+  metrics
+      ->GetCounter("yh_pipeline_samples_dropped_total",
+                   {{"reason", "unknown_event"}})
+      ->Add(artifacts.sample_drops.dropped_unknown_event);
+  metrics->GetCounter("yh_pipeline_sanitize_dropped_total", {{"kind", "sites"}})
+      ->Add(artifacts.sanitize_report.sites_dropped);
+  metrics->GetCounter("yh_pipeline_sanitize_dropped_total", {{"kind", "runs"}})
+      ->Add(artifacts.sanitize_report.runs_dropped);
+  metrics->GetCounter("yh_pipeline_sanitize_dropped_total", {{"kind", "edges"}})
+      ->Add(artifacts.sanitize_report.edges_dropped);
+  metrics->GetCounter("yh_pipeline_yields_inserted_total", {{"kind", "primary"}})
+      ->Add(artifacts.primary_report.yields_inserted);
+  metrics
+      ->GetCounter("yh_pipeline_yields_inserted_total", {{"kind", "scavenger"}})
+      ->Add(artifacts.scavenger_report.cyields_inserted);
+  metrics->GetCounter("yh_pipeline_prefetches_inserted_total")
+      ->Add(artifacts.primary_report.prefetches_inserted);
+  metrics->GetCounter("yh_pipeline_loads_quarantined_total")
+      ->Add(artifacts.primary_report.quarantined_loads.size());
+  metrics->GetCounter("yh_pipeline_skid_rejected_total")
+      ->Add(artifacts.primary_report.skid_rejected);
+  metrics->GetGauge("yh_pipeline_profile_overhead_fraction")
+      ->Set(artifacts.sampling_overhead_fraction);
+  metrics->GetGauge("yh_pipeline_worst_interval_cycles")
+      ->Set(artifacts.scavenger_report.worst_interval_after);
+}
+
 // Step (ii): both instrumentation passes plus verification, shared by the
 // explicit-machine and workload entry points.
 Status InstrumentWithProfile(const isa::Program& original, const PipelineConfig& config,
@@ -50,6 +93,7 @@ Status InstrumentWithProfile(const isa::Program& original, const PipelineConfig&
     YH_RETURN_IF_ERROR(
         instrument::VerifyInstrumentation(original, artifacts.binary, options));
   }
+  PublishBuildMetrics(config, artifacts);
   return Status::Ok();
 }
 

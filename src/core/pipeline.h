@@ -26,6 +26,7 @@
 
 #include "src/common/status.h"
 #include "src/instrument/primary_pass.h"
+#include "src/obs/metrics.h"
 #include "src/instrument/scavenger_pass.h"
 #include "src/instrument/verifier.h"
 #include "src/profile/collector.h"
@@ -47,6 +48,11 @@ struct PipelineConfig {
   // build a "fresh" reference profile for the post-shift distribution.
   int profile_tasks = 4;
   int profile_first_task = 0;
+  // Optional: every build publishes its artifact telemetry (drop counters,
+  // insertion counts, profiling overhead) here, so repeated builds — the
+  // online adaptation loop re-instrumenting — leave a metric trail. Must
+  // outlive the build calls. May be null.
+  obs::MetricsRegistry* metrics = nullptr;
 
   // Fills derived fields (cost models, machine-dependent parameters) from
   // `machine`; call after editing `machine` or the pass configs' knobs.

@@ -1,0 +1,256 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::obs {
+
+namespace {
+
+constexpr char kSep = '\x01';
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+// Splits a serialized key back into (k, v) pairs for rendering.
+std::vector<std::pair<std::string, std::string>> ParseLabelKey(
+    const std::string& serialized) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < serialized.size()) {
+    const size_t k_end = serialized.find(kSep, pos);
+    if (k_end == std::string::npos) {
+      break;
+    }
+    size_t v_end = serialized.find(kSep, k_end + 1);
+    if (v_end == std::string::npos) {
+      v_end = serialized.size();
+    }
+    out.emplace_back(serialized.substr(pos, k_end - pos),
+                     serialized.substr(k_end + 1, v_end - k_end - 1));
+    pos = v_end + 1;
+  }
+  return out;
+}
+
+std::string RenderLabelsJson(const std::string& serialized) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : ParseLabelKey(serialized)) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += StrFormat("\"%s\": \"%s\"", EscapeJson(k).c_str(),
+                     EscapeJson(v).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+// {a="1",b="2"} — empty labels render as the empty string.
+std::string RenderLabelsProm(const std::string& serialized,
+                             const std::string& extra = "") {
+  const auto labels = ParseLabelKey(serialized);
+  if (labels.empty() && extra.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += k + "=\"" + EscapeJson(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) {
+      out += ",";
+    }
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string SanitizePromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Key MetricsRegistry::MakeKey(const std::string& name,
+                                              const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string serialized;
+  for (const auto& [k, v] : sorted) {
+    serialized += k;
+    serialized += kSep;
+    serialized += v;
+    serialized += kSep;
+  }
+  if (!serialized.empty()) {
+    serialized.pop_back();  // drop the trailing separator
+  }
+  return {name, serialized};
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  auto& slot = counters_[MakeKey(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  auto& slot = gauges_[MakeKey(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const Labels& labels) {
+  auto& slot = histograms_[MakeKey(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<LatencyHistogram>();
+  }
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const Labels& labels) const {
+  auto it = counters_.find(MakeKey(name, labels));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const Labels& labels) const {
+  auto it = gauges_.find(MakeKey(name, labels));
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const Labels& labels) const {
+  auto it = histograms_.find(MakeKey(name, labels));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"metrics\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "  " + line;
+  };
+  for (const auto& [key, counter] : counters_) {
+    emit(StrFormat("{\"name\": \"%s\", \"type\": \"counter\", \"labels\": %s, "
+                   "\"value\": %llu}",
+                   EscapeJson(key.first).c_str(),
+                   RenderLabelsJson(key.second).c_str(),
+                   static_cast<unsigned long long>(counter->value())));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    emit(StrFormat("{\"name\": \"%s\", \"type\": \"gauge\", \"labels\": %s, "
+                   "\"value\": %.9g}",
+                   EscapeJson(key.first).c_str(),
+                   RenderLabelsJson(key.second).c_str(), gauge->value()));
+  }
+  for (const auto& [key, hist] : histograms_) {
+    emit(StrFormat(
+        "{\"name\": \"%s\", \"type\": \"histogram\", \"labels\": %s, "
+        "\"count\": %llu, \"sum\": %.9g, \"mean\": %.6g, \"min\": %llu, "
+        "\"max\": %llu, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+        "\"p999\": %llu}",
+        EscapeJson(key.first).c_str(), RenderLabelsJson(key.second).c_str(),
+        static_cast<unsigned long long>(hist->count()),
+        static_cast<double>(hist->count()) * hist->mean(), hist->mean(),
+        static_cast<unsigned long long>(hist->min()),
+        static_cast<unsigned long long>(hist->max()),
+        static_cast<unsigned long long>(hist->ValueAtQuantile(0.50)),
+        static_cast<unsigned long long>(hist->ValueAtQuantile(0.90)),
+        static_cast<unsigned long long>(hist->ValueAtQuantile(0.99)),
+        static_cast<unsigned long long>(hist->ValueAtQuantile(0.999))));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::string out;
+  std::string last_type_header;
+  auto type_header = [&](const std::string& name, const char* type) {
+    const std::string header = "# TYPE " + name + " " + type + "\n";
+    if (header != last_type_header) {
+      out += header;
+      last_type_header = header;
+    }
+  };
+  for (const auto& [key, counter] : counters_) {
+    const std::string name = SanitizePromName(key.first);
+    type_header(name, "counter");
+    out += name + RenderLabelsProm(key.second) +
+           StrFormat(" %llu\n",
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    const std::string name = SanitizePromName(key.first);
+    type_header(name, "gauge");
+    out += name + RenderLabelsProm(key.second) +
+           StrFormat(" %.9g\n", gauge->value());
+  }
+  for (const auto& [key, hist] : histograms_) {
+    const std::string name = SanitizePromName(key.first);
+    type_header(name, "summary");
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      out += name +
+             RenderLabelsProm(key.second,
+                              StrFormat("quantile=\"%g\"", q)) +
+             StrFormat(" %llu\n", static_cast<unsigned long long>(
+                                      hist->ValueAtQuantile(q)));
+    }
+    out += name + "_sum" + RenderLabelsProm(key.second) +
+           StrFormat(" %.9g\n",
+                     static_cast<double>(hist->count()) * hist->mean());
+    out += name + "_count" + RenderLabelsProm(key.second) +
+           StrFormat(" %llu\n",
+                     static_cast<unsigned long long>(hist->count()));
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace yieldhide::obs

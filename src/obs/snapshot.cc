@@ -1,0 +1,346 @@
+#include "src/obs/snapshot.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::obs {
+
+namespace {
+
+// Recursive-descent JSON syntax checker. Tracks position for error messages.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  Status Check() {
+    SkipWs();
+    YH_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing data after JSON value");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return InvalidArgumentError(
+        StrFormat("invalid JSON at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(int depth) {
+    if (depth > 64) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return Object(depth);
+    }
+    if (c == '[') {
+      return Array(depth);
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      return Number();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Status::Ok();
+    }
+    return Fail(StrFormat("unexpected character '%c'", c));
+  }
+
+  Status Object(int depth) {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      YH_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':' after object key");
+      }
+      SkipWs();
+      YH_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat('}')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Status Array(int depth) {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      YH_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat(']')) {
+        return Status::Ok();
+      }
+      if (!Eat(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Status String() {
+    Eat('"');
+    while (pos_ < text_.size()) {
+      const unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return Fail("unterminated escape");
+        }
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+        ++pos_;
+      } else if (c < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        ++pos_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status Number() {
+    Eat('-');
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("expected digit");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected digit after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected exponent digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Extracts the string value of `"field": "..."` inside one metric line.
+Result<std::string> ExtractString(const std::string& line,
+                                  const std::string& field) {
+  const std::string needle = "\"" + field + "\": \"";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) {
+    return InvalidArgumentError("metric line missing field " + field);
+  }
+  const size_t begin = start + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) {
+    return InvalidArgumentError("unterminated field " + field);
+  }
+  return line.substr(begin, end - begin);
+}
+
+// Extracts the numeric value of `"field": <number>`.
+Result<double> ExtractNumber(const std::string& line,
+                             const std::string& field) {
+  const std::string needle = "\"" + field + "\": ";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) {
+    return InvalidArgumentError("metric line missing field " + field);
+  }
+  size_t begin = start + needle.size();
+  size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') {
+    ++end;
+  }
+  return ParseDouble(TrimString(line.substr(begin, end - begin)));
+}
+
+// Renders the labels object of one metric line as "{k=v,k2=v2}".
+std::string ExtractLabels(const std::string& line) {
+  const std::string needle = "\"labels\": {";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) {
+    return "{}";
+  }
+  const size_t begin = start + needle.size();
+  const size_t end = line.find('}', begin);
+  if (end == std::string::npos) {
+    return "{}";
+  }
+  std::string out = "{";
+  const std::string body = line.substr(begin, end - begin);
+  for (std::string_view piece : SplitString(body, ',')) {
+    std::string flat(TrimString(piece));
+    // "k": "v"  ->  k=v
+    std::string cleaned;
+    for (char c : flat) {
+      if (c != '"') {
+        cleaned += c;
+      }
+    }
+    const size_t colon = cleaned.find(':');
+    if (colon != std::string::npos) {
+      cleaned = std::string(TrimString(cleaned.substr(0, colon))) + "=" +
+                std::string(TrimString(cleaned.substr(colon + 1)));
+    }
+    if (out.size() > 1) {
+      out += ",";
+    }
+    out += cleaned;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Status ValidateJson(const std::string& text) {
+  return JsonChecker(text).Check();
+}
+
+Result<std::map<std::string, double>> ParseMetricsSnapshot(
+    const std::string& json) {
+  YH_RETURN_IF_ERROR(ValidateJson(json));
+  std::map<std::string, double> out;
+  for (std::string_view raw : SplitString(json, '\n')) {
+    const std::string_view trimmed = TrimString(raw);
+    if (!StartsWith(trimmed, "{\"name\":")) {
+      continue;
+    }
+    const std::string line(trimmed);
+    YH_ASSIGN_OR_RETURN(const std::string name, ExtractString(line, "name"));
+    YH_ASSIGN_OR_RETURN(const std::string type, ExtractString(line, "type"));
+    const std::string key = name + ExtractLabels(line);
+    if (type == "histogram") {
+      for (const char* field :
+           {"count", "mean", "p50", "p90", "p99", "p999", "max"}) {
+        YH_ASSIGN_OR_RETURN(const double v, ExtractNumber(line, field));
+        out[key + ":" + field] = v;
+      }
+    } else {
+      YH_ASSIGN_OR_RETURN(const double v, ExtractNumber(line, "value"));
+      out[key] = v;
+    }
+  }
+  if (out.empty()) {
+    return InvalidArgumentError("no metric lines found in snapshot");
+  }
+  return out;
+}
+
+std::string DiffSnapshots(const std::map<std::string, double>& a,
+                          const std::map<std::string, double>& b,
+                          bool include_equal) {
+  std::string out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  auto emit = [&](const std::string& key, const std::string& rendered) {
+    out += StrFormat("%-60s %s\n", key.c_str(), rendered.c_str());
+  };
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      emit(ia->first, StrFormat("%.6g -> (gone)", ia->second));
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      emit(ib->first, StrFormat("(new) -> %.6g", ib->second));
+      ++ib;
+    } else {
+      if (ia->second != ib->second) {
+        emit(ia->first, StrFormat("%.6g -> %.6g (%+.6g)", ia->second,
+                                  ib->second, ib->second - ia->second));
+      } else if (include_equal) {
+        emit(ia->first, StrFormat("%.6g (unchanged)", ia->second));
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace yieldhide::obs

@@ -1,0 +1,45 @@
+// Snapshot helpers: JSON syntax validation and flat metric-snapshot parsing.
+//
+// The repo deliberately has no general-purpose JSON dependency; the exporters
+// in trace.cc / metrics.cc emit JSON by construction. ValidateJson() is the
+// refutation side of that claim — a strict RFC 8259 syntax checker the O1
+// gate and the tests run over every exported document, so "it is valid JSON"
+// is a checked property rather than an assertion.
+//
+// ParseMetricsSnapshot() reads the one-metric-per-line JSON that
+// MetricsRegistry::ToJson() emits back into a flat map, which is all
+// `yhc metrics --diff` needs to compare two runs.
+#ifndef YIELDHIDE_SRC_OBS_SNAPSHOT_H_
+#define YIELDHIDE_SRC_OBS_SNAPSHOT_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace yieldhide::obs {
+
+// Strict JSON syntax check of a complete document (objects, arrays, strings
+// with escapes, numbers, true/false/null). Returns OK iff `text` is one
+// valid JSON value with only trailing whitespace after it.
+Status ValidateJson(const std::string& text);
+
+// Flat view of a MetricsRegistry::ToJson() document:
+//   "name{k=v,k2=v2}"        -> value        (counters, gauges)
+//   "name{...}:count" etc.   -> per-field    (histograms: count, mean, p50,
+//                                             p90, p99, p999, max)
+// Fails with INVALID_ARGUMENT when the document does not look like a metrics
+// snapshot.
+Result<std::map<std::string, double>> ParseMetricsSnapshot(
+    const std::string& json);
+
+// Renders the per-key difference (b - a) of two parsed snapshots; keys
+// missing on one side render with "(new)" / "(gone)" markers. Keys whose
+// values are equal are skipped unless `include_equal`.
+std::string DiffSnapshots(const std::map<std::string, double>& a,
+                          const std::map<std::string, double>& b,
+                          bool include_equal = false);
+
+}  // namespace yieldhide::obs
+
+#endif  // YIELDHIDE_SRC_OBS_SNAPSHOT_H_

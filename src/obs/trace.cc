@@ -1,0 +1,193 @@
+#include "src/obs/trace.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case kTraceSched:
+      return "sched";
+    case kTraceYield:
+      return "yield";
+    case kTraceScavenger:
+      return "scavenger";
+    case kTraceQuarantine:
+      return "quarantine";
+    case kTraceDrift:
+      return "drift";
+    case kTraceSwap:
+      return "swap";
+    case kTracePmu:
+      return "pmu";
+    default:
+      return "multi";
+  }
+}
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCoroSwitch:
+      return "coro_switch";
+    case TraceEventType::kYieldHidden:
+      return "yield_hidden";
+    case TraceEventType::kYieldBlown:
+      return "yield_blown";
+    case TraceEventType::kScavengerSpawn:
+      return "scavenger_spawn";
+    case TraceEventType::kScavengerRetire:
+      return "scavenger_retire";
+    case TraceEventType::kQuarantineEnter:
+      return "quarantine_enter";
+    case TraceEventType::kQuarantineExit:
+      return "quarantine_exit";
+    case TraceEventType::kDriftUpdate:
+      return "drift_update";
+    case TraceEventType::kSwapBegin:
+      return "swap_begin";
+    case TraceEventType::kSwapCommit:
+      return "swap_commit";
+    case TraceEventType::kPmuSample:
+      return "pmu_sample";
+  }
+  return "unknown";
+}
+
+TraceCategory TraceEventCategory(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCoroSwitch:
+      return kTraceSched;
+    case TraceEventType::kYieldHidden:
+    case TraceEventType::kYieldBlown:
+      return kTraceYield;
+    case TraceEventType::kScavengerSpawn:
+    case TraceEventType::kScavengerRetire:
+      return kTraceScavenger;
+    case TraceEventType::kQuarantineEnter:
+    case TraceEventType::kQuarantineExit:
+      return kTraceQuarantine;
+    case TraceEventType::kDriftUpdate:
+      return kTraceDrift;
+    case TraceEventType::kSwapBegin:
+    case TraceEventType::kSwapCommit:
+      return kTraceSwap;
+    case TraceEventType::kPmuSample:
+      return kTracePmu;
+  }
+  return kTraceSched;
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig& config)
+    : config_(config), mask_(config.mask) {
+  ring_.resize(RoundUpPow2(config.capacity == 0 ? 1 : config.capacity));
+}
+
+void TraceRecorder::Record(TraceEventType type, uint64_t cycle, int32_t ctx_id,
+                           uint64_t ip, uint64_t arg) {
+  TraceEvent& slot = ring_[recorded_ & (ring_.size() - 1)];
+  slot.cycle = cycle;
+  slot.ip = ip;
+  slot.arg = arg;
+  slot.ctx_id = ctx_id;
+  slot.type = type;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  const uint64_t n = recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(n);
+  const uint64_t first = recorded_ - n;
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) & (ring_.size() - 1)]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::TakeUnchargedOverheadCycles() {
+  const uint64_t delta = (recorded_ - charged_) * config_.record_cost_cycles;
+  charged_ = recorded_;
+  return delta;
+}
+
+void TraceRecorder::Reset() {
+  recorded_ = 0;
+  charged_ = 0;
+  mask_ = config_.mask;
+}
+
+std::string ToChromeTraceJson(const TraceRecorder& recorder,
+                              double cycles_per_ns) {
+  const std::vector<TraceEvent> events = recorder.Events();
+  const double cycles_per_us =
+      (cycles_per_ns > 0.0 ? cycles_per_ns : 1.0) * 1000.0;
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "  " + line;
+  };
+  // Process/thread naming metadata so viewers label the tracks.
+  emit("{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"yieldhide\"}}");
+  for (const TraceEvent& event : events) {
+    const double ts = static_cast<double>(event.cycle) / cycles_per_us;
+    const char* name = TraceEventTypeName(event.type);
+    const char* cat = TraceCategoryName(TraceEventCategory(event.type));
+    switch (event.type) {
+      case TraceEventType::kCoroSwitch:
+      case TraceEventType::kYieldHidden:
+      case TraceEventType::kYieldBlown:
+        // Complete slice: the switch cost is the duration.
+        emit(StrFormat("{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", "
+                       "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %d, "
+                       "\"args\": {\"site\": %llu, \"cycle\": %llu}}",
+                       name, cat, ts,
+                       static_cast<double>(event.arg) / cycles_per_us,
+                       event.ctx_id,
+                       static_cast<unsigned long long>(event.ip),
+                       static_cast<unsigned long long>(event.cycle)));
+        break;
+      case TraceEventType::kDriftUpdate:
+        // Counter track: drift score over time.
+        emit(StrFormat("{\"ph\": \"C\", \"name\": \"drift_score\", "
+                       "\"cat\": \"%s\", \"ts\": %.3f, \"pid\": 0, "
+                       "\"args\": {\"score\": %.6f}}",
+                       cat, ts, static_cast<double>(event.arg) / 1e6));
+        break;
+      default:
+        emit(StrFormat("{\"ph\": \"i\", \"s\": \"t\", \"name\": \"%s\", "
+                       "\"cat\": \"%s\", \"ts\": %.3f, \"pid\": 0, "
+                       "\"tid\": %d, "
+                       "\"args\": {\"site\": %llu, \"arg\": %llu, "
+                       "\"cycle\": %llu}}",
+                       name, cat, ts, event.ctx_id,
+                       static_cast<unsigned long long>(event.ip),
+                       static_cast<unsigned long long>(event.arg),
+                       static_cast<unsigned long long>(event.cycle)));
+        break;
+    }
+  }
+  out += StrFormat("\n], \"otherData\": {\"recorded\": %llu, "
+                   "\"overwritten\": %llu}}\n",
+                   static_cast<unsigned long long>(recorder.recorded()),
+                   static_cast<unsigned long long>(recorder.overwritten()));
+  return out;
+}
+
+}  // namespace yieldhide::obs

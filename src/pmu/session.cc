@@ -29,13 +29,45 @@ void SamplingSession::DetachFrom(sim::Machine& machine) {
   }
 }
 
+void SamplingSession::SetObservability(obs::TraceRecorder* trace,
+                                       obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+}
+
 std::vector<PebsSample> SamplingSession::DrainAllSamples() {
   std::vector<PebsSample> all;
   for (auto& sampler : pebs_) {
     std::vector<PebsSample> drained = sampler->Drain();
     all.insert(all.end(), drained.begin(), drained.end());
   }
+  if (YH_TRACE_ENABLED(trace_, obs::kTracePmu)) {
+    for (const PebsSample& sample : all) {
+      trace_->Record(obs::TraceEventType::kPmuSample, sample.cycle,
+                     sample.ctx_id, sample.ip,
+                     static_cast<uint64_t>(sample.event));
+    }
+  }
+  PublishMetrics();
   return all;
+}
+
+void SamplingSession::PublishMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  for (const auto& sampler : pebs_) {
+    const obs::Labels labels{{"event", HwEventName(sampler->config().event)}};
+    metrics_->GetCounter("yh_pmu_samples_taken_total", labels)
+        ->Set(sampler->samples_taken());
+    metrics_->GetCounter("yh_pmu_samples_dropped_total", labels)
+        ->Set(sampler->samples_dropped());
+    metrics_->GetCounter("yh_pmu_events_total", labels)
+        ->Set(sampler->event_count());
+    metrics_->GetGauge("yh_pmu_sampling_period", labels)
+        ->Set(static_cast<double>(sampler->config().period));
+  }
+  metrics_->GetCounter("yh_pmu_overhead_cycles_total")->Set(OverheadCycles());
 }
 
 std::vector<LbrSnapshot> SamplingSession::DrainLbrSnapshots() {

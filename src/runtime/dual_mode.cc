@@ -1,5 +1,8 @@
 #include "src/runtime/dual_mode.h"
 
+#include <algorithm>
+#include <set>
+
 #include "src/common/strings.h"
 
 namespace yieldhide::runtime {
@@ -30,7 +33,9 @@ DualModeScheduler::DualModeScheduler(const instrument::InstrumentedProgram* prim
       machine_(machine),
       config_(config),
       primary_executor_(&primary_binary->program, machine),
-      scavenger_executor_(&scavenger_binary->program, machine) {}
+      scavenger_executor_(&scavenger_binary->program, machine) {
+  RebuildYieldSiteOrigins();
+}
 
 void DualModeScheduler::AddPrimaryTask(ContextSetup setup) {
   primary_tasks_.push_back(std::move(setup));
@@ -46,6 +51,99 @@ void DualModeScheduler::SetTaskBoundaryHook(TaskBoundaryHook hook) {
 
 void DualModeScheduler::SeedSiteStats(std::map<isa::Addr, YieldSiteStats> stats) {
   seeded_site_stats_ = std::move(stats);
+}
+
+void DualModeScheduler::SetObservability(obs::TraceRecorder* trace,
+                                         obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+}
+
+void DualModeScheduler::RebuildYieldSiteOrigins() {
+  yield_site_origin_.clear();
+  const std::vector<isa::Addr>& fwd = primary_binary_->addr_map.forward();
+  if (fwd.empty()) {
+    return;  // hand-built binary with no rewrite history: identity fallback
+  }
+  for (const auto& [addr, info] : primary_binary_->yields) {
+    if (info.kind != instrument::YieldKind::kPrimary) {
+      continue;
+    }
+    // An inserted yield has no original address of its own; attribute it to
+    // the next surviving original instruction — the load it covers. Same rule
+    // as adapt::ReverseAddrMap, so runtime and adapt agree on site identity.
+    auto it = std::lower_bound(fwd.begin(), fwd.end(), addr);
+    yield_site_origin_[addr] =
+        it == fwd.end() ? addr : static_cast<isa::Addr>(it - fwd.begin());
+  }
+}
+
+isa::Addr DualModeScheduler::OriginalSiteOf(isa::Addr yield_addr) const {
+  auto it = yield_site_origin_.find(yield_addr);
+  return it == yield_site_origin_.end() ? yield_addr : it->second;
+}
+
+void DualModeScheduler::ChargeTraceOverhead() {
+  if (trace_ == nullptr || !config_.charge_trace_overhead) {
+    return;
+  }
+  const uint64_t cost = trace_->TakeUnchargedOverheadCycles();
+  if (cost > 0) {
+    machine_->AdvanceClock(cost);
+  }
+}
+
+void DualModeScheduler::PublishMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  // The report's aggregates are monotone within a run, so publishing absolute
+  // values keeps the counters monotone too.
+  auto set = [&](const char* name, uint64_t v) {
+    metrics_->GetCounter(name)->Set(v);
+  };
+  set("yh_sched_tasks_completed_total", report_.run.completions.size());
+  set("yh_sched_yields_total", report_.run.yields);
+  set("yh_sched_instructions_total", report_.run.instructions);
+  set("yh_sched_switch_cycles_total", report_.run.switch_cycles);
+  set("yh_sched_issue_cycles_total", report_.run.issue_cycles);
+  set("yh_sched_stall_cycles_total", report_.run.stall_cycles);
+  set("yh_sched_scavengers_spawned_total", report_.scavengers_spawned);
+  set("yh_sched_chains_total", report_.chains);
+  set("yh_sched_bursts_total", report_.bursts);
+  set("yh_sched_bursts_starved_total", report_.bursts_starved);
+  set("yh_sched_burst_busy_cycles_total", report_.burst_busy_cycles);
+  set("yh_sched_quarantined_skips_total", report_.quarantined_skips);
+  set("yh_sched_sites_quarantined_total", report_.sites_quarantined);
+  set("yh_sched_binary_swaps_total", report_.binary_swaps);
+  if (trace_ != nullptr) {
+    set("yh_sched_trace_overhead_cycles_total", trace_->TotalOverheadCycles());
+  }
+  metrics_->GetGauge("yh_sched_scavenger_pool_cap")
+      ->Set(static_cast<double>(config_.max_scavengers));
+  size_t live = 0;
+  for (const Scavenger& scavenger : scavengers_) {
+    live += scavenger.exhausted ? 0 : 1;
+  }
+  metrics_->GetGauge("yh_sched_scavengers_live")->Set(static_cast<double>(live));
+  // Per-site stream, keyed by original-binary address so the series survives
+  // hot swaps (the instrumented addresses change; the sites do not).
+  for (const auto& [addr, stats] : report_.site_stats) {
+    const obs::Labels site{{"site", StrFormat("0x%llx",
+        static_cast<unsigned long long>(OriginalSiteOf(addr)))}};
+    obs::Labels hidden = site;
+    hidden.emplace_back("outcome", "hidden");
+    obs::Labels blown = site;
+    blown.emplace_back("outcome", "blown");
+    metrics_->GetCounter("yh_sched_site_yields_total", hidden)
+        ->Set(stats.useful);
+    metrics_->GetCounter("yh_sched_site_yields_total", blown)
+        ->Set(stats.visits - stats.useful);
+    metrics_->GetCounter("yh_sched_site_switch_cycles_total", site)
+        ->Set(stats.switch_cycles_paid);
+    metrics_->GetGauge("yh_sched_site_quarantined", site)
+        ->Set(stats.quarantined ? 1.0 : 0.0);
+  }
 }
 
 void DualModeScheduler::SetScavengerPoolCap(size_t max_scavengers) {
@@ -72,6 +170,10 @@ void DualModeScheduler::RetireScavengers() {
       report_.run.issue_cycles += scavenger.ctx.issue_cycles;
       report_.run.stall_cycles += scavenger.ctx.stall_cycles;
       report_.run.switch_cycles += scavenger.ctx.switch_cycles;
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceScavenger)) {
+        trace_->Record(obs::TraceEventType::kScavengerRetire, machine_->now(),
+                       scavenger.ctx.id, 0, 0);
+      }
     }
   }
   scavengers_.clear();
@@ -90,6 +192,16 @@ Status DualModeScheduler::SwapBinaries(
   if (primary_binary == nullptr) {
     return InvalidArgumentError("swap requires a primary binary");
   }
+  // Original sites quarantined going in, so the trace can show which sites
+  // the rebuilt binary released (carried table cleared them).
+  std::vector<uint64_t> was_quarantined;
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceQuarantine)) {
+    for (const auto& [addr, stats] : report_.site_stats) {
+      if (stats.quarantined) {
+        was_quarantined.push_back(OriginalSiteOf(addr));
+      }
+    }
+  }
   primary_binary_ = primary_binary;
   if (scavenger_binary != nullptr) {
     // Scavengers hold program counters into the old image; retire them and
@@ -99,8 +211,27 @@ Status DualModeScheduler::SwapBinaries(
   }
   primary_executor_ = sim::Executor(&primary_binary_->program, machine_);
   scavenger_executor_ = sim::Executor(&scavenger_binary_->program, machine_);
+  RebuildYieldSiteOrigins();
   report_.site_stats = std::move(carried_site_stats);
   ++report_.binary_swaps;
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceQuarantine)) {
+    std::set<uint64_t> still_quarantined;
+    for (const auto& [addr, stats] : report_.site_stats) {
+      if (stats.quarantined) {
+        still_quarantined.insert(OriginalSiteOf(addr));
+      }
+    }
+    for (const uint64_t orig : was_quarantined) {
+      if (still_quarantined.count(orig) == 0) {
+        trace_->Record(obs::TraceEventType::kQuarantineExit, machine_->now(),
+                       -1, orig, 0);
+      }
+    }
+  }
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceSwap)) {
+    trace_->Record(obs::TraceEventType::kSwapCommit, machine_->now(), -1, 0,
+                   report_.binary_swaps);
+  }
   return Status::Ok();
 }
 
@@ -154,6 +285,10 @@ bool DualModeScheduler::SpawnScavenger() {
   scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
   scavenger.ctx.cyield_enabled = true;  // scavenger mode: CYIELDs fire
   (*setup)(scavenger.ctx);
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceScavenger)) {
+    trace_->Record(obs::TraceEventType::kScavengerSpawn, machine_->now(),
+                   scavenger.ctx.id, 0, 0);
+  }
   scavengers_.push_back(std::move(scavenger));
   ++report_.scavengers_spawned;
   return true;
@@ -255,6 +390,10 @@ Result<DualModeReport> DualModeScheduler::Run() {
         report_.run.stall_cycles += scavenger.ctx.stall_cycles;
         report_.run.switch_cycles += scavenger.ctx.switch_cycles;
         scavenger.exhausted = true;
+        if (YH_TRACE_ENABLED(trace_, obs::kTraceScavenger)) {
+          trace_->Record(obs::TraceEventType::kScavengerRetire,
+                         machine_->now(), scavenger.ctx.id, 0, 0);
+        }
         if (factory_) {
           std::optional<ContextSetup> setup = factory_();
           if (setup.has_value()) {
@@ -265,6 +404,10 @@ Result<DualModeReport> DualModeScheduler::Run() {
             (*setup)(scavenger.ctx);
             scavenger.exhausted = false;
             ++report_.scavengers_spawned;
+            if (YH_TRACE_ENABLED(trace_, obs::kTraceScavenger)) {
+              trace_->Record(obs::TraceEventType::kScavengerSpawn,
+                             machine_->now(), scavenger.ctx.id, 0, 0);
+            }
           }
         }
         if (window_consumed) {
@@ -283,6 +426,10 @@ Result<DualModeReport> DualModeScheduler::Run() {
 
       // Yielded. Charge the switch out of this scavenger wherever it goes.
       const uint32_t cost = SwitchCostAt(*scavenger_binary_, ip);
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceSched)) {
+        trace_->Record(obs::TraceEventType::kCoroSwitch, machine_->now(),
+                       scavenger.ctx.id, ip, cost);
+      }
       machine_->AdvanceClock(cost);
       scavenger.ctx.switch_cycles += cost;
       scavenger.ctx.yields_taken += 1;
@@ -349,8 +496,15 @@ Result<DualModeReport> DualModeScheduler::Run() {
             }
             ++stats.visits;
             stats.switch_cycles_paid += cost;
-            if (YieldLooksUseful(primary, ip, cost)) {
+            const bool useful = YieldLooksUseful(primary, ip, cost);
+            if (useful) {
               ++stats.useful;
+            }
+            if (YH_TRACE_ENABLED(trace_, obs::kTraceYield)) {
+              trace_->Record(useful ? obs::TraceEventType::kYieldHidden
+                                    : obs::TraceEventType::kYieldBlown,
+                             machine_->now(), primary.id, OriginalSiteOf(ip),
+                             cost);
             }
             if (stats.visits >= config_.quarantine_min_visits &&
                 static_cast<double>(stats.useful) <
@@ -358,8 +512,17 @@ Result<DualModeReport> DualModeScheduler::Run() {
                         static_cast<double>(stats.visits)) {
               stats.quarantined = true;
               ++report_.sites_quarantined;
+              if (YH_TRACE_ENABLED(trace_, obs::kTraceQuarantine)) {
+                trace_->Record(obs::TraceEventType::kQuarantineEnter,
+                               machine_->now(), primary.id, OriginalSiteOf(ip),
+                               stats.visits);
+              }
             }
           }
+        }
+        if (YH_TRACE_ENABLED(trace_, obs::kTraceSched)) {
+          trace_->Record(obs::TraceEventType::kCoroSwitch, machine_->now(),
+                         primary.id, ip, cost);
         }
         machine_->AdvanceClock(cost);
         primary.switch_cycles += cost;
@@ -377,7 +540,16 @@ Result<DualModeReport> DualModeScheduler::Run() {
     report_.run.issue_cycles += primary.issue_cycles;
     report_.run.stall_cycles += primary.stall_cycles;
     report_.run.switch_cycles += primary.switch_cycles;
+    if (metrics_ != nullptr) {
+      metrics_->GetHistogram("yh_sched_primary_latency_cycles")
+          ->Record(machine_->now() - task_start);
+    }
     in_task_ = false;
+    // Safe point: charge the flight recorder's modeled capture cost and
+    // refresh the registry before the hook runs, so the adaptation loop (or
+    // a serving endpoint) observes current numbers on an honest clock.
+    ChargeTraceOverhead();
+    PublishMetrics();
     if (boundary_hook_) {
       // Safe point: no primary in flight. The hook may swap binaries.
       boundary_hook_(report_.run.completions.size());
@@ -393,7 +565,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
       report_.run.switch_cycles += scavenger.ctx.switch_cycles;
     }
   }
+  ChargeTraceOverhead();
   report_.run.total_cycles = machine_->now() - run_start;
+  PublishMetrics();
   return report_;
 }
 

@@ -29,6 +29,8 @@
 
 #include "src/common/status.h"
 #include "src/instrument/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/report.h"
 #include "src/sim/executor.h"
 
@@ -61,6 +63,10 @@ struct DualModeConfig {
   // `quarantine_min_useful_fraction` of visits looking useful.
   uint64_t quarantine_min_visits = 16;
   double quarantine_min_useful_fraction = 0.25;
+  // Charge the trace recorder's modeled per-event capture cost to the machine
+  // clock at task boundaries (mirrors how pmu::SamplingSession's overhead is
+  // charged). Off only for experiments that want the counterfactual clock.
+  bool charge_trace_overhead = true;
 };
 
 // Online per-site accounting backing the quarantine decision.
@@ -133,6 +139,16 @@ class DualModeScheduler {
   // Installs the between-tasks safe-point callback (see TaskBoundaryHook).
   void SetTaskBoundaryHook(TaskBoundaryHook hook);
 
+  // Attaches a flight recorder and/or metrics registry (either may be null;
+  // both may outlive or be detached between runs). Trace yield/quarantine
+  // events and per-site metrics are keyed by ORIGINAL-binary site address —
+  // translated through the primary binary's addr_map — so streams from before
+  // and after a hot swap reconcile exactly. The recorder's modeled capture
+  // cost is charged to the machine clock at task boundaries (see
+  // DualModeConfig::charge_trace_overhead).
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics);
+
   // Pre-seeds per-site quarantine state for the next Run(), keyed by yield
   // address in the primary binary. Lets adaptation carry quarantine decisions
   // across a re-instrumentation instead of paying min_visits to re-learn them.
@@ -199,6 +215,17 @@ class DualModeScheduler {
   // Flushes accounting of live scavengers into the report and empties the
   // pool (used when the scavenger binary is swapped out from under them).
   void RetireScavengers();
+  // Rebuilds the yield-address -> original-site table from the primary
+  // binary's addr_map (constructor and every SwapBinaries).
+  void RebuildYieldSiteOrigins();
+  // Original-binary address of the load a kPrimary yield covers; falls back
+  // to the instrumented address for yields with no mapping (manual yields,
+  // hand-built binaries with no addr_map).
+  isa::Addr OriginalSiteOf(isa::Addr yield_addr) const;
+  // Publishes the report's aggregates into the registry (safe points only).
+  void PublishMetrics();
+  // Charges the recorder's accumulated modeled capture cost to the clock.
+  void ChargeTraceOverhead();
 
   const instrument::InstrumentedProgram* primary_binary_;
   const instrument::InstrumentedProgram* scavenger_binary_;
@@ -214,6 +241,11 @@ class DualModeScheduler {
   std::map<isa::Addr, YieldSiteStats> seeded_site_stats_;
   bool in_task_ = false;
   DualModeReport report_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // kPrimary yield address in the current primary binary -> original-binary
+  // site (the swap-invariant key observability uses).
+  std::map<isa::Addr, isa::Addr> yield_site_origin_;
 };
 
 }  // namespace yieldhide::runtime

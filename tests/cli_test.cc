@@ -1,0 +1,130 @@
+// End-to-end tests of the yhc binary: exit-status hygiene (bad flags and
+// unknown topics are distinguishable from crashes by scripts) and the
+// observability exports (`yhc trace` / `yhc metrics`).
+//
+// The binary path comes from the build (YHC_BINARY); tests shell out with
+// stderr captured to a temp file.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/snapshot.h"
+
+namespace yieldhide {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "yhc_cli_test_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+CommandResult RunYhc(const std::string& args, const std::string& tag) {
+  const std::string err_path = TempPath(tag + ".err");
+  const std::string cmd =
+      std::string(YHC_BINARY) + " " + args + " 2> " + err_path;
+  const int raw = std::system(cmd.c_str());
+  CommandResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  result.stderr_text = ReadFile(err_path);
+  return result;
+}
+
+// Small scenario flags shared by the trace/metrics runs to keep tests quick.
+constexpr char kSmallRun[] = "--tasks 8 --epoch 4 --nodes 16384 --steps 200";
+
+// --- exit-status hygiene -----------------------------------------------------
+
+TEST(CliTest, UnknownCommandExitsTwo) {
+  const CommandResult r = RunYhc("frobnicate", "unknown_cmd");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("unknown command 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(CliTest, UnknownHelpTopicExitsTwo) {
+  const CommandResult r = RunYhc("help frobnicate", "unknown_topic");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("unknown help topic 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(CliTest, KnownHelpTopicExitsZero) {
+  const CommandResult r = RunYhc("help trace > /dev/null", "known_topic");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.stderr_text.find("unknown"), std::string::npos);
+}
+
+TEST(CliTest, TraceBadCapacityExitsTwo) {
+  const CommandResult r = RunYhc("trace --capacity nope", "bad_capacity");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --capacity"), std::string::npos);
+}
+
+TEST(CliTest, MetricsBadFormatExitsTwo) {
+  const CommandResult r = RunYhc("metrics --format bogus", "bad_format");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --format"), std::string::npos);
+}
+
+// --- observability exports ---------------------------------------------------
+
+TEST(CliTest, TraceExportsValidChromeJson) {
+  const std::string out = TempPath("trace.json");
+  const CommandResult r = RunYhc(
+      std::string("trace --out ") + out + " " + kSmallRun, "trace_export");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("yield_"), std::string::npos);
+}
+
+TEST(CliTest, MetricsSnapshotParsesAndDiffsAgainstItself) {
+  const std::string out = TempPath("metrics.json");
+  const CommandResult r = RunYhc(
+      std::string("metrics --format json --out ") + out + " " + kSmallRun,
+      "metrics_export");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  auto flat = obs::ParseMetricsSnapshot(json);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_NE(flat->count("yh_sched_yields_total{}"), 0u);
+  EXPECT_NE(flat->count("yh_sched_tasks_completed_total{}"), 0u);
+
+  // Diff mode: a snapshot against itself is empty and exits 0.
+  const CommandResult diff =
+      RunYhc(std::string("metrics ") + out + " " + out + " > /dev/null",
+             "metrics_diff");
+  EXPECT_EQ(diff.exit_code, 0) << diff.stderr_text;
+}
+
+TEST(CliTest, MetricsPromFormatHasTypeHeaders) {
+  const std::string out = TempPath("metrics.prom");
+  const CommandResult r = RunYhc(
+      std::string("metrics --format prom --out ") + out + " " + kSmallRun,
+      "metrics_prom");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("# TYPE yh_sched_yields_total counter"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace yieldhide

@@ -286,6 +286,59 @@ TEST(LatencyHistogramTest, ResetClears) {
   EXPECT_EQ(hist.ValueAtQuantile(0.5), 0u);
 }
 
+TEST(RunningStatsTest, MergeEmptyIntoFullKeepsValues) {
+  RunningStats full, empty;
+  full.Add(2.0);
+  full.Add(4.0);
+  full.Merge(empty);
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_DOUBLE_EQ(full.mean(), 3.0);
+  EXPECT_EQ(full.min(), 2.0);
+  EXPECT_EQ(full.max(), 4.0);
+}
+
+TEST(LatencyHistogramTest, MergeAcrossDisjointMagnitudes) {
+  // a holds only tiny values, b only huge ones: the merge must land b's
+  // high-octave buckets correctly even though a never touched them.
+  LatencyHistogram a, b;
+  for (uint64_t v = 1; v <= 10; ++v) {
+    a.Record(v);
+  }
+  b.Record(1ull << 40);
+  b.Record((1ull << 40) + 12345);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 12u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), (1ull << 40) + 12345);
+  EXPECT_EQ(a.ValueAtQuantile(1.0), (1ull << 40) + 12345);
+  // The small population still dominates the median.
+  EXPECT_LE(a.ValueAtQuantile(0.5), 10u);
+}
+
+TEST(LatencyHistogramTest, QuantileZeroIsSmallestRecorded) {
+  LatencyHistogram hist;
+  hist.Record(10);
+  hist.Record(20);
+  hist.Record(30);
+  EXPECT_EQ(hist.ValueAtQuantile(0.0), 10u);
+}
+
+TEST(LatencyHistogramTest, QuantileOneIsExactMax) {
+  LatencyHistogram hist;
+  hist.Record(3);
+  hist.Record(999'999'937);  // large prime: not a bucket boundary
+  EXPECT_EQ(hist.ValueAtQuantile(1.0), 999'999'937u);
+}
+
+TEST(LatencyHistogramTest, EmptyQuantilesAreZero) {
+  LatencyHistogram hist;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(hist.ValueAtQuantile(q), 0u) << "q=" << q;
+  }
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
 TEST(LatencyHistogramTest, SummaryMentionsPercentiles) {
   LatencyHistogram hist;
   for (int i = 1; i <= 100; ++i) {

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
+
+namespace yieldhide::obs {
+namespace {
+
+// --- TraceRecorder -----------------------------------------------------------
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder recorder;
+  recorder.Record(TraceEventType::kYieldHidden, 100, 0, 0x2a, 0);
+  recorder.Record(TraceEventType::kYieldBlown, 250, 1, 0x30, 0);
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kYieldHidden);
+  EXPECT_EQ(events[0].cycle, 100u);
+  EXPECT_EQ(events[0].ip, 0x2au);
+  EXPECT_EQ(events[1].type, TraceEventType::kYieldBlown);
+  EXPECT_EQ(events[1].ctx_id, 1);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.overwritten(), 0u);
+}
+
+TEST(TraceRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceConfig config;
+  config.capacity = 100;
+  TraceRecorder recorder(config);
+  EXPECT_EQ(recorder.capacity(), 128u);
+}
+
+TEST(TraceRecorderTest, RingKeepsNewestEvents) {
+  TraceConfig config;
+  config.capacity = 4;
+  TraceRecorder recorder(config);
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Record(TraceEventType::kCoroSwitch, i, 0, 0, i);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first suffix of the stream: args 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 6 + i);
+  }
+}
+
+TEST(TraceRecorderTest, MaskGatesShouldRecord) {
+  TraceConfig config;
+  config.mask = kTraceYield | kTraceSwap;
+  TraceRecorder recorder(config);
+  EXPECT_TRUE(recorder.ShouldRecord(kTraceYield));
+  EXPECT_TRUE(recorder.ShouldRecord(kTraceSwap));
+  EXPECT_FALSE(recorder.ShouldRecord(kTracePmu));
+  EXPECT_FALSE(recorder.ShouldRecord(kTraceSched));
+  recorder.set_mask(0);
+  EXPECT_FALSE(recorder.ShouldRecord(kTraceYield));
+}
+
+TEST(TraceRecorderTest, MacroHandlesNullRecorder) {
+  TraceRecorder* recorder = nullptr;
+  EXPECT_FALSE(YH_TRACE_ENABLED(recorder, kTraceYield));
+  TraceRecorder real;
+  EXPECT_TRUE(YH_TRACE_ENABLED(&real, kTraceYield));
+  // PMU events are off in the default mask.
+  EXPECT_FALSE(YH_TRACE_ENABLED(&real, kTracePmu));
+}
+
+TEST(TraceRecorderTest, OverheadChargedOnce) {
+  TraceConfig config;
+  config.record_cost_cycles = 3;
+  TraceRecorder recorder(config);
+  recorder.Record(TraceEventType::kCoroSwitch, 1, 0, 0, 0);
+  recorder.Record(TraceEventType::kCoroSwitch, 2, 0, 0, 0);
+  EXPECT_EQ(recorder.TotalOverheadCycles(), 6u);
+  EXPECT_EQ(recorder.TakeUnchargedOverheadCycles(), 6u);
+  // Already taken: nothing new to charge.
+  EXPECT_EQ(recorder.TakeUnchargedOverheadCycles(), 0u);
+  recorder.Record(TraceEventType::kCoroSwitch, 3, 0, 0, 0);
+  EXPECT_EQ(recorder.TakeUnchargedOverheadCycles(), 3u);
+}
+
+TEST(TraceRecorderTest, ResetClears) {
+  TraceRecorder recorder;
+  recorder.Record(TraceEventType::kDriftUpdate, 5, 0, 0, 123);
+  recorder.Reset();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Events().empty());
+  EXPECT_EQ(recorder.TakeUnchargedOverheadCycles(), 0u);
+}
+
+TEST(TraceRecorderTest, EventCategoriesMatchTypes) {
+  EXPECT_EQ(TraceEventCategory(TraceEventType::kYieldHidden), kTraceYield);
+  EXPECT_EQ(TraceEventCategory(TraceEventType::kYieldBlown), kTraceYield);
+  EXPECT_EQ(TraceEventCategory(TraceEventType::kSwapCommit), kTraceSwap);
+  EXPECT_EQ(TraceEventCategory(TraceEventType::kPmuSample), kTracePmu);
+  EXPECT_EQ(TraceEventCategory(TraceEventType::kQuarantineEnter),
+            kTraceQuarantine);
+}
+
+TEST(ChromeTraceTest, ExportIsValidJsonWithEvents) {
+  TraceRecorder recorder;
+  recorder.Record(TraceEventType::kCoroSwitch, 100, 0, 0, 12);
+  recorder.Record(TraceEventType::kYieldHidden, 200, 0, 0x2a, 300);
+  recorder.Record(TraceEventType::kDriftUpdate, 300, 0, 0, 250'000);
+  recorder.Record(TraceEventType::kSwapCommit, 400, 0, 0, 1);
+  const std::string json = ToChromeTraceJson(recorder, 2.0);
+  EXPECT_TRUE(ValidateJson(json).ok()) << ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("yield_hidden"), std::string::npos);
+  EXPECT_NE(json.find("swap_commit"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyRecorderStillValid) {
+  TraceRecorder recorder;
+  const std::string json = ToChromeTraceJson(recorder, 2.0);
+  EXPECT_TRUE(ValidateJson(json).ok()) << ValidateJson(json).ToString();
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, CreateOnFirstUseAndStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("yh_test_total");
+  c->Add(3);
+  EXPECT_EQ(registry.GetCounter("yh_test_total"), c);
+  EXPECT_EQ(registry.GetCounter("yh_test_total")->value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("yh_site_total", {{"site", "0x1"}});
+  Counter* b = registry.GetCounter("yh_site_total", {{"site", "0x2"}});
+  EXPECT_NE(a, b);
+  a->Increment();
+  EXPECT_EQ(registry.FindCounter("yh_site_total", {{"site", "0x1"}})->value(), 1u);
+  EXPECT_EQ(registry.FindCounter("yh_site_total", {{"site", "0x2"}})->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter(
+      "yh_x_total", {{"outcome", "hidden"}, {"site", "0x2a"}});
+  Counter* b = registry.GetCounter(
+      "yh_x_total", {{"site", "0x2a"}, {"outcome", "hidden"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindGauge("absent"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("yh_a_total")->Set(7);
+  registry.GetGauge("yh_b", {{"class", "primary"}})->Set(0.5);
+  LatencyHistogram* hist = registry.GetHistogram("yh_lat_cycles");
+  hist->Record(100);
+  hist->Record(200);
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << ValidateJson(json).ToString();
+  auto flat = ParseMetricsSnapshot(json);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_EQ(flat->at("yh_a_total{}"), 7.0);
+  EXPECT_EQ(flat->at("yh_b{class=primary}"), 0.5);
+  EXPECT_EQ(flat->at("yh_lat_cycles{}:count"), 2.0);
+  EXPECT_EQ(flat->at("yh_lat_cycles{}:mean"), 150.0);
+  EXPECT_EQ(flat->at("yh_lat_cycles{}:max"), 200.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("yh_a_total", {{"site", "0x2a"}})->Set(4);
+  registry.GetGauge("yh_b")->Set(1.5);
+  registry.GetHistogram("yh_lat")->Record(10);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE yh_a_total counter"), std::string::npos);
+  EXPECT_NE(text.find("yh_a_total{site=\"0x2a\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE yh_b gauge"), std::string::npos);
+  EXPECT_NE(text.find("yh_lat_count"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("yh_a_total");
+  registry.GetGauge("yh_b");
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.FindCounter("yh_a_total"), nullptr);
+}
+
+// --- ValidateJson ------------------------------------------------------------
+
+TEST(ValidateJsonTest, AcceptsValidDocuments) {
+  for (const char* doc :
+       {"{}", "[]", "null", "true", "-12.5e3", "\"s\\u00e9\"",
+        "{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\\n\"}", "  [1]  "}) {
+    EXPECT_TRUE(ValidateJson(doc).ok()) << doc;
+  }
+}
+
+TEST(ValidateJsonTest, RejectsInvalidDocuments) {
+  for (const char* doc :
+       {"", "{", "[1,]", "{\"a\":}", "{a: 1}", "01", "\"unterminated",
+        "[1] trailing", "{\"a\": 1,}", "nul", "\"bad\\x\""}) {
+    EXPECT_FALSE(ValidateJson(doc).ok()) << doc;
+  }
+}
+
+// --- DiffSnapshots -----------------------------------------------------------
+
+TEST(DiffSnapshotsTest, MarksNewGoneAndChanged) {
+  std::map<std::string, double> a{{"same{}", 1.0}, {"gone{}", 2.0},
+                                  {"up{}", 10.0}};
+  std::map<std::string, double> b{{"same{}", 1.0}, {"new{}", 3.0},
+                                  {"up{}", 15.0}};
+  const std::string diff = DiffSnapshots(a, b);
+  EXPECT_NE(diff.find("new{}"), std::string::npos);
+  EXPECT_NE(diff.find("(new)"), std::string::npos);
+  EXPECT_NE(diff.find("gone{}"), std::string::npos);
+  EXPECT_NE(diff.find("(gone)"), std::string::npos);
+  EXPECT_NE(diff.find("up{}"), std::string::npos);
+  // Unchanged keys are skipped unless asked for.
+  EXPECT_EQ(diff.find("same{}"), std::string::npos);
+  const std::string full = DiffSnapshots(a, b, /*include_equal=*/true);
+  EXPECT_NE(full.find("same{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yieldhide::obs

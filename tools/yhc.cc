@@ -35,6 +35,9 @@
 #include "src/faultinject/profile_faults.h"
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
 #include "src/isa/program_io.h"
 #include "src/profile/profile_io.h"
 #include "src/runtime/annotate.h"
@@ -706,6 +709,219 @@ int CmdAdapt(const Options& options) {
   return 0;
 }
 
+// Shared by `yhc trace` / `yhc metrics`: the CmdAdapt scenario — serve a
+// drifting PhasedChase stream from a stale binary with online adaptation on —
+// with observability attached and smaller defaults, so one command produces a
+// trace/metrics snapshot covering profile, instrument, run, and adapt.
+// Prints progress to stderr only; stdout belongs to the caller's export.
+int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
+                             obs::MetricsRegistry* metrics,
+                             double* cycles_per_ns_out) {
+  auto tasks = FlagU64(options, "tasks", 24);
+  auto epoch = FlagU64(options, "epoch", 6);
+  auto nodes = FlagU64(options, "nodes", 1 << 16);
+  auto steps = FlagU64(options, "steps", 300);
+  if (!tasks.ok() || !epoch.ok() || !nodes.ok() || !steps.ok() || *tasks == 0 ||
+      *epoch == 0 || *nodes == 0 || *steps == 0) {
+    std::fprintf(stderr, "bad --tasks/--epoch/--nodes/--steps\n");
+    return 2;
+  }
+  double severity = 1.0;
+  if (options.flags.count("severity") != 0) {
+    auto parsed = ParseDouble(options.flags.at("severity"));
+    if (!parsed.ok() || *parsed < 0.0 || *parsed > 1.0) {
+      std::fprintf(stderr, "bad --severity (want 0..1)\n");
+      return 2;
+    }
+    severity = *parsed;
+  }
+
+  core::PipelineConfig pipeline;
+  pipeline.machine = sim::MachineConfig::SkylakeLike();
+  pipeline.collector.l2_miss_period = 29;
+  pipeline.collector.stall_cycles_period = 199;
+  pipeline.collector.retired_period = 61;
+  pipeline.collector.period_jitter = 0.1;
+  pipeline.metrics = metrics;
+  pipeline.Finalize();
+  if (cycles_per_ns_out != nullptr) {
+    *cycles_per_ns_out = pipeline.machine.cycles_per_ns;
+  }
+
+  workloads::PhasedChase::Config yesterday;
+  yesterday.num_nodes = *nodes;
+  yesterday.steps_per_task = *steps;
+  yesterday.severity = 0.0;
+  auto twin = workloads::PhasedChase::Make(yesterday);
+  if (!twin.ok()) {
+    std::fprintf(stderr, "%s\n", twin.status().ToString().c_str());
+    return 1;
+  }
+  auto stale = core::BuildInstrumentedForWorkload(*twin, pipeline);
+  if (!stale.ok()) {
+    std::fprintf(stderr, "stale build failed: %s\n",
+                 stale.status().ToString().c_str());
+    return 1;
+  }
+
+  workloads::PhasedChase::Config today = yesterday;
+  today.severity = severity;
+  auto made = workloads::PhasedChase::Make(today);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const workloads::PhasedChase chase = std::move(made).value();
+
+  sim::Machine machine(pipeline.machine);
+  chase.InitMemory(machine.memory());
+  adapt::AdaptiveServerConfig config;
+  config.controller.pipeline = pipeline;
+  config.tasks_per_epoch = static_cast<int>(*epoch);
+  config.dual.max_scavengers = 4;
+  config.dual.hide_window_cycles = 300;
+  config.drift_aware_sampling = true;
+  adapt::AdaptiveServer server(&chase.program(), *stale, &machine, config);
+  server.SetObservability(trace, metrics);
+  const int n = static_cast<int>(*tasks);
+  for (int i = 0; i < n; ++i) {
+    server.AddTask(chase.SetupFor(i));
+  }
+  int extra = n;
+  server.SetScavengerFactory(
+      [&chase, extra]() mutable
+          -> std::optional<runtime::DualModeScheduler::ContextSetup> {
+        return chase.SetupFor(extra++);
+      });
+
+  auto report = server.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "adaptive run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", report->Summary().c_str());
+  return 0;
+}
+
+// Writes `text` to --out if given, else stdout.
+int EmitDocument(const Options& options, const std::string& text) {
+  auto it = options.flags.find("out");
+  if (it == options.flags.end()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(it->second);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+    return 1;
+  }
+  out << text;
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", it->second.c_str(),
+               text.size());
+  return 0;
+}
+
+// Cycle-domain flight recording: run the adaptation scenario with a
+// TraceRecorder attached and export Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+int CmdTrace(const Options& options) {
+  obs::TraceConfig trace_config;
+  auto capacity = FlagU64(options, "capacity", trace_config.capacity);
+  auto mask = FlagU64(options, "mask", obs::kDefaultTraceMask);
+  if (!capacity.ok() || !mask.ok() || *capacity == 0) {
+    std::fprintf(stderr, "bad --capacity/--mask\n");
+    return 2;
+  }
+  trace_config.capacity = *capacity;
+  trace_config.mask = static_cast<uint32_t>(*mask);
+  obs::TraceRecorder recorder(trace_config);
+
+  double cycles_per_ns = 1.0;
+  const int run = RunObservedAdaptScenario(options, &recorder, nullptr,
+                                           &cycles_per_ns);
+  if (run != 0) {
+    return run;
+  }
+  std::fprintf(stderr,
+               "trace: %llu events recorded, %llu overwritten (mask 0x%x)\n",
+               static_cast<unsigned long long>(recorder.recorded()),
+               static_cast<unsigned long long>(recorder.overwritten()),
+               recorder.mask());
+  const std::string json = obs::ToChromeTraceJson(recorder, cycles_per_ns);
+  const Status valid = obs::ValidateJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "internal error: exported trace is not valid JSON: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  return EmitDocument(options, json);
+}
+
+// Metrics snapshots: run the adaptation scenario with a MetricsRegistry
+// attached and print it as JSON and/or Prometheus text — or, with two
+// positional snapshot files, diff them without running anything.
+int CmdMetrics(const Options& options) {
+  if (options.positional.size() == 2) {
+    // Diff mode: yhc metrics <a.json> <b.json>
+    std::map<std::string, double> parsed[2];
+    for (int i = 0; i < 2; ++i) {
+      std::ifstream in(options.positional[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", options.positional[i].c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      auto snapshot = obs::ParseMetricsSnapshot(text.str());
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "%s: %s\n", options.positional[i].c_str(),
+                     snapshot.status().ToString().c_str());
+        return 1;
+      }
+      parsed[i] = std::move(snapshot).value();
+    }
+    std::fputs(obs::DiffSnapshots(parsed[0], parsed[1]).c_str(), stdout);
+    return 0;
+  }
+  if (!options.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: yhc metrics [--format json|prom|both] [--out <path>]\n"
+                 "       yhc metrics <a.json> <b.json>   (diff two snapshots)\n");
+    return 2;
+  }
+  std::string format = "both";
+  if (options.flags.count("format") != 0) {
+    format = options.flags.at("format");
+    if (format != "json" && format != "prom" && format != "both") {
+      std::fprintf(stderr, "bad --format (want json|prom|both)\n");
+      return 2;
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  const int run = RunObservedAdaptScenario(options, nullptr, &registry, nullptr);
+  if (run != 0) {
+    return run;
+  }
+  std::string out;
+  if (format == "json" || format == "both") {
+    const std::string json = registry.ToJson();
+    const Status valid = obs::ValidateJson(json);
+    if (!valid.ok()) {
+      std::fprintf(stderr,
+                   "internal error: metrics snapshot is not valid JSON: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    out += json;
+  }
+  if (format == "prom" || format == "both") {
+    out += registry.ToPrometheus();
+  }
+  return EmitDocument(options, out);
+}
+
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "yhc — yieldhide toolchain\n"
@@ -723,7 +939,13 @@ void PrintUsage(std::FILE* out) {
                "        [--adapt 0|1] [--threshold X]\n"
                "        serve a drifting workload from a stale binary and\n"
                "        hot-swap re-instrumentation online (docs/ONLINE.md)\n"
-               "  help                                this text\n"
+               "  trace [--out <path>] [--mask M] [--capacity N] [--tasks N]\n"
+               "        run the adapt scenario with the cycle-domain flight\n"
+               "        recorder on; emit Chrome/Perfetto trace-event JSON\n"
+               "        (docs/OBSERVABILITY.md)\n"
+               "  metrics [--format json|prom|both] [--out <path>] [--tasks N]\n"
+               "  metrics <a.json> <b.json>           diff two snapshots\n"
+               "  help [command]                      this text\n"
                "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
 }
 
@@ -732,7 +954,24 @@ int Usage() {
   return 2;
 }
 
-int CmdHelp(const Options&) {
+int CmdHelp(const Options& options) {
+  static const char* kCommands[] = {"asm",        "dis",   "cfg",     "interval",
+                                    "run",        "profile", "instrument",
+                                    "chaos",      "adapt", "trace",   "metrics",
+                                    "help"};
+  if (!options.positional.empty()) {
+    const std::string& topic = options.positional.front();
+    bool known = false;
+    for (const char* command : kCommands) {
+      known = known || topic == command;
+    }
+    if (!known) {
+      // Named error on stderr, non-zero exit: scripts probing for a command
+      // must not read the usage dump as success.
+      std::fprintf(stderr, "yhc: unknown help topic '%s'\n", topic.c_str());
+      return Usage();
+    }
+  }
   PrintUsage(stdout);
   return 0;
 }
@@ -777,6 +1016,12 @@ int main(int argc, char** argv) {
   }
   if (command == "adapt") {
     return CmdAdapt(*options);
+  }
+  if (command == "trace") {
+    return CmdTrace(*options);
+  }
+  if (command == "metrics") {
+    return CmdMetrics(*options);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     return CmdHelp(*options);
