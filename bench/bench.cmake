@@ -7,8 +7,8 @@ function(yh_bench name)
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
     yh_adapt yh_core yh_faultinject yh_runtime yh_instrument yh_analysis
-    yh_profile yh_pmu yh_obs yh_sim yh_workloads yh_coro yh_perfev yh_isa
-    yh_common benchmark::benchmark Threads::Threads)
+    yh_profile yh_profiler yh_pmu yh_obs yh_sim yh_workloads yh_coro
+    yh_perfev yh_isa yh_common benchmark::benchmark Threads::Threads)
 endfunction()
 
 yh_bench(bench_fig1_spectrum)
@@ -27,3 +27,4 @@ yh_bench(bench_c11_inline_level)
 yh_bench(bench_r1_fault_matrix)
 yh_bench(bench_a1_adaptation)
 yh_bench(bench_o1_observability)
+yh_bench(bench_o2_attribution)

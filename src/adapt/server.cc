@@ -58,6 +58,10 @@ void AdaptiveServer::SetObservability(obs::TraceRecorder* trace,
   metrics_ = metrics;
 }
 
+void AdaptiveServer::SetProfiler(obs::CycleProfiler* profiler) {
+  profiler_ = profiler;
+}
+
 Result<AdaptReport> AdaptiveServer::Run() {
   AdaptReport report;
 
@@ -76,6 +80,9 @@ Result<AdaptReport> AdaptiveServer::Run() {
       shared_binary ? &controller_.binary() : scavenger_binary_, machine_,
       dual);
   scheduler.SetObservability(trace_, metrics_);
+  if (profiler_ != nullptr) {
+    scheduler.SetProfiler(profiler_);
+  }
   if (factory_) {
     scheduler.SetScavengerFactory(factory_);
   }

@@ -111,6 +111,11 @@ class AdaptiveServer {
   // all publish through them. Call before Run().
   void SetObservability(obs::TraceRecorder* trace,
                         obs::MetricsRegistry* metrics);
+  // Attaches a cycle-attribution profiler (may be null). The server hands it
+  // to the scheduler, which keeps it bound across the hot swaps this loop
+  // performs — attribution stays keyed by ORIGINAL-binary site throughout.
+  // Call before Run().
+  void SetProfiler(obs::CycleProfiler* profiler);
   void SetScavengerFactory(runtime::DualModeScheduler::ScavengerFactory factory);
   // Separate scavenger binary (an unrelated batch job). Default nullptr:
   // scavengers run the primary binary and are swapped together with it.
@@ -132,6 +137,7 @@ class AdaptiveServer {
   runtime::DualModeScheduler::ScavengerFactory factory_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CycleProfiler* profiler_ = nullptr;
 };
 
 }  // namespace yieldhide::adapt

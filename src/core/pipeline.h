@@ -19,6 +19,13 @@
 // when the workload has moved the adapt controller re-runs step (ii) here
 // (InstrumentFromProfile on the ORIGINAL binary with the merged profile) and
 // hot-swaps the result into the running scheduler. See docs/ONLINE.md.
+//
+// To audit whether an instrumentation actually pays for itself, attach an
+// obs::CycleProfiler to the step-(iii) scheduler (SetProfiler on either
+// runtime, or on adapt::AdaptiveServer): it classifies every cycle of the
+// run into a closed per-site taxonomy that sums to RunReport::total_cycles
+// exactly, keyed by ORIGINAL-binary site so hot swaps don't split the
+// series. See docs/PROFILER.md and `yhc profile`.
 #ifndef YIELDHIDE_SRC_CORE_PIPELINE_H_
 #define YIELDHIDE_SRC_CORE_PIPELINE_H_
 

@@ -1,0 +1,34 @@
+// Renderings of a CycleProfiler's attribution: folded stacks (flamegraph
+// input), a pprof-style top-N table, and a JSON document (docs/PROFILER.md).
+#ifndef YIELDHIDE_SRC_OBS_PROFILER_EXPORT_H_
+#define YIELDHIDE_SRC_OBS_PROFILER_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/obs/profiler/profiler.h"
+
+namespace yieldhide::obs {
+
+// Folded-stack format (Brendan Gregg's flamegraph.pl / speedscope input):
+// one line per (site, class) pair, frames joined by ';', then a space and the
+// cycle count:
+//
+//   all;site_0x2a;stall_hidden 1234
+//   all;external;sched_overhead 88
+//
+// Sites are ORIGINAL-binary addresses; the synthetic residue slot renders as
+// "external". Zero-count pairs are omitted.
+std::string ToFoldedStacks(const CycleProfiler& profiler);
+
+// pprof-style table: class totals first, then the top-N sites by total
+// cycles with flat/cum percentages and per-site tail stats.
+std::string ToTopTable(const CycleProfiler& profiler, size_t top_n);
+
+// Strict-JSON document: class totals, per-site breakdowns with switch-cost /
+// hidden-latency quantiles, and the streaming-drain tallies.
+std::string ToProfileJson(const CycleProfiler& profiler);
+
+}  // namespace yieldhide::obs
+
+#endif  // YIELDHIDE_SRC_OBS_PROFILER_EXPORT_H_

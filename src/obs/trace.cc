@@ -103,17 +103,60 @@ void TraceRecorder::Record(TraceEventType type, uint64_t cycle, int32_t ctx_id,
   slot.ctx_id = ctx_id;
   slot.type = type;
   ++recorded_;
+  if (sink_ && recorded_ - drained_ >= flush_threshold_) {
+    DrainToSink();
+  }
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> out;
-  const uint64_t n = recorded_ < ring_.size() ? recorded_ : ring_.size();
+  uint64_t n = recorded_ < ring_.size() ? recorded_ : ring_.size();
+  if (sink_) {
+    // Only the undrained tail: the sink already owns everything before
+    // drained_, and re-exporting it would duplicate the stream.
+    const uint64_t undrained = recorded_ - drained_;
+    n = undrained < n ? undrained : n;
+  }
   out.reserve(n);
   const uint64_t first = recorded_ - n;
   for (uint64_t i = 0; i < n; ++i) {
     out.push_back(ring_[(first + i) & (ring_.size() - 1)]);
   }
   return out;
+}
+
+void TraceRecorder::SetSink(TraceSink sink, size_t flush_threshold) {
+  sink_ = std::move(sink);
+  if (flush_threshold == 0) {
+    flush_threshold = ring_.size() / 2;
+  }
+  if (flush_threshold > ring_.size()) {
+    flush_threshold = ring_.size();
+  }
+  flush_threshold_ = flush_threshold == 0 ? 1 : flush_threshold;
+  if (!sink_) {
+    drained_ = 0;
+  }
+}
+
+uint64_t TraceRecorder::DrainToSink() {
+  if (!sink_) {
+    return 0;
+  }
+  // Anything older than one ring's worth was overwritten before this drain
+  // could run (only possible with a threshold forced above the half-full
+  // default while recording races ahead); skip the lost range rather than
+  // replay stale slots.
+  uint64_t first = drained_;
+  if (recorded_ - first > ring_.size()) {
+    first = recorded_ - ring_.size();
+  }
+  const uint64_t delivered = recorded_ - first;
+  for (uint64_t i = first; i < recorded_; ++i) {
+    sink_(ring_[i & (ring_.size() - 1)]);
+  }
+  drained_ = recorded_;
+  return delivered;
 }
 
 uint64_t TraceRecorder::TakeUnchargedOverheadCycles() {
@@ -125,6 +168,7 @@ uint64_t TraceRecorder::TakeUnchargedOverheadCycles() {
 void TraceRecorder::Reset() {
   recorded_ = 0;
   charged_ = 0;
+  drained_ = 0;
   mask_ = config_.mask;
 }
 

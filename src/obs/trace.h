@@ -27,7 +27,9 @@
 #define YIELDHIDE_SRC_OBS_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace yieldhide::obs {
@@ -94,6 +96,9 @@ struct TraceConfig {
   uint32_t record_cost_cycles = 2;
 };
 
+// Streaming drain callback: receives events oldest-first, each exactly once.
+using TraceSink = std::function<void(const TraceEvent&)>;
+
 class TraceRecorder {
  public:
   explicit TraceRecorder(const TraceConfig& config = TraceConfig());
@@ -107,14 +112,42 @@ class TraceRecorder {
   void Record(TraceEventType type, uint64_t cycle, int32_t ctx_id, uint64_t ip,
               uint64_t arg);
 
-  // Events currently held, oldest first. The ring keeps the newest
-  // `capacity()` events; anything older was overwritten.
+  // Events currently held, oldest first. Without a sink the ring keeps the
+  // newest `capacity()` events; anything older was overwritten. With a sink
+  // installed only UNDRAINED events are returned, so a post-drain export
+  // never duplicates events the sink already shipped.
   std::vector<TraceEvent> Events() const;
+
+  // Streaming drain (the incremental-export path for long runs): once a sink
+  // is set, Record() flushes every undrained event to it — oldest first,
+  // exactly once — whenever the undrained backlog reaches `flush_threshold`
+  // events (0 means capacity/2, the flush-on-half-full default; clamped to
+  // capacity so a flush always beats overwrite). Call DrainToSink() at the
+  // end of a run to ship the tail.
+  void SetSink(TraceSink sink, size_t flush_threshold = 0);
+  bool has_sink() const { return static_cast<bool>(sink_); }
+
+  // Flushes all undrained events to the sink now; returns how many were
+  // delivered (0 when no sink is installed).
+  uint64_t DrainToSink();
+
+  // Events delivered to the sink so far.
+  uint64_t drained() const { return drained_; }
 
   size_t capacity() const { return ring_.size(); }
   uint64_t recorded() const { return recorded_; }
+  // Events whose history is LOST: overwritten before anyone exported them.
+  // Without a sink that is everything older than one ring's worth; with a
+  // sink, slots are recycled only after their events were shipped, so only
+  // events overwritten while still undrained count (impossible with the
+  // clamped flush threshold, nonzero only if draining is raced externally).
   uint64_t overwritten() const {
-    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    const uint64_t horizon =
+        recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    if (!sink_) {
+      return horizon;
+    }
+    return horizon > drained_ ? horizon - drained_ : 0;
   }
 
   // Modeled capture cost accumulated since the last call; the owning
@@ -132,6 +165,9 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   uint64_t recorded_ = 0;  // monotone; ring index = recorded_ & (cap - 1)
   uint64_t charged_ = 0;   // events whose capture cost was already taken
+  uint64_t drained_ = 0;   // events already delivered to the sink
+  TraceSink sink_;
+  size_t flush_threshold_ = 0;
 };
 
 // Hot-path gate: the compile-time mask folds the whole expression to `false`

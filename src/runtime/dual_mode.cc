@@ -59,6 +59,13 @@ void DualModeScheduler::SetObservability(obs::TraceRecorder* trace,
   metrics_ = metrics;
 }
 
+void DualModeScheduler::SetProfiler(obs::CycleProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    profiler_->OnBinary(primary_binary_);
+  }
+}
+
 void DualModeScheduler::RebuildYieldSiteOrigins() {
   yield_site_origin_.clear();
   const std::vector<isa::Addr>& fwd = primary_binary_->addr_map.forward();
@@ -90,6 +97,29 @@ void DualModeScheduler::ChargeTraceOverhead() {
   const uint64_t cost = trace_->TakeUnchargedOverheadCycles();
   if (cost > 0) {
     machine_->AdvanceClock(cost);
+  }
+}
+
+void DualModeScheduler::ChargeProfilerOverhead() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  const uint64_t cost = profiler_->TakeUnchargedOverheadCycles();
+  if (cost > 0) {
+    // The profiler's SyncToClock sweeps this advance into sched_overhead at
+    // the next safe point — watching bills itself.
+    machine_->AdvanceClock(cost);
+  }
+}
+
+void DualModeScheduler::AnnounceQuarantineToProfiler() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  for (const auto& [addr, stats] : report_.site_stats) {
+    if (stats.quarantined) {
+      profiler_->OnQuarantine(OriginalSiteOf(addr), true);
+    }
   }
 }
 
@@ -214,6 +244,13 @@ Status DualModeScheduler::SwapBinaries(
   RebuildYieldSiteOrigins();
   report_.site_stats = std::move(carried_site_stats);
   ++report_.binary_swaps;
+  if (profiler_ != nullptr) {
+    // Rebind address tables to the new image; site records persist because
+    // they are keyed by original site. OnBinary reset the quarantine flags,
+    // so re-announce the carried table.
+    profiler_->OnBinary(primary_binary_);
+    AnnounceQuarantineToProfiler();
+  }
   if (YH_TRACE_ENABLED(trace_, obs::kTraceQuarantine)) {
     std::set<uint64_t> still_quarantined;
     for (const auto& [addr, stats] : report_.site_stats) {
@@ -329,6 +366,10 @@ Result<DualModeReport> DualModeScheduler::Run() {
   report_.site_stats = seeded_site_stats_;
   in_task_ = false;
   const uint64_t run_start = machine_->now();
+  if (profiler_ != nullptr) {
+    profiler_->OnRunBegin(run_start);
+    AnnounceQuarantineToProfiler();  // seeded carry-over tables
+  }
 
   for (size_t i = 0; i < config_.initial_scavengers; ++i) {
     if (!SpawnScavenger()) {
@@ -348,6 +389,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
       ++report_.bursts_starved;
       machine_->AdvanceClock(kSelfResumeCycles);
       report_.run.switch_cycles += kSelfResumeCycles;
+      if (profiler_ != nullptr) {
+        profiler_->OnSelfResume(kSelfResumeCycles);
+      }
       return Status::Ok();
     }
     const uint64_t burst_start = machine_->now();
@@ -358,6 +402,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
       report_.burst_busy_cycles += machine_->now() - burst_start;
       if (starved) {
         ++report_.bursts_starved;
+      }
+      if (profiler_ != nullptr) {
+        profiler_->OnBurstEnd();
       }
     };
     while (true) {
@@ -375,6 +422,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
       ++report_.run.instructions;
       if (step.event == sim::StepEvent::kError) {
         return step.status;
+      }
+      if (profiler_ != nullptr) {
+        profiler_->OnScavengerStep(step.issue_cycles, step.wait_cycles);
       }
       if (step.event == sim::StepEvent::kExecuted) {
         continue;
@@ -430,6 +480,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
         trace_->Record(obs::TraceEventType::kCoroSwitch, machine_->now(),
                        scavenger.ctx.id, ip, cost);
       }
+      if (profiler_ != nullptr) {
+        profiler_->OnScavengerSwitch(cost);
+      }
       machine_->AdvanceClock(cost);
       scavenger.ctx.switch_cycles += cost;
       scavenger.ctx.yields_taken += 1;
@@ -478,8 +531,14 @@ Result<DualModeReport> DualModeScheduler::Run() {
       if (step.event == sim::StepEvent::kError) {
         return step.status;
       }
+      if (profiler_ != nullptr) {
+        profiler_->OnPrimaryStep(ip, step.issue_cycles, step.wait_cycles);
+      }
       if (step.event == sim::StepEvent::kYielded) {
         const uint32_t cost = SwitchCostAt(*primary_binary_, ip);
+        // Ungated sites (manual yields) default to useful, matching the
+        // YieldLooksUseful fallback for sites with no prefetch sequence.
+        bool yield_useful = true;
         if (config_.site_quarantine) {
           auto annotation = primary_binary_->yields.find(ip);
           const bool gated_site =
@@ -497,6 +556,7 @@ Result<DualModeReport> DualModeScheduler::Run() {
             ++stats.visits;
             stats.switch_cycles_paid += cost;
             const bool useful = YieldLooksUseful(primary, ip, cost);
+            yield_useful = useful;
             if (useful) {
               ++stats.useful;
             }
@@ -506,12 +566,30 @@ Result<DualModeReport> DualModeScheduler::Run() {
                              machine_->now(), primary.id, OriginalSiteOf(ip),
                              cost);
             }
+            bool newly_quarantined = false;
             if (stats.visits >= config_.quarantine_min_visits &&
                 static_cast<double>(stats.useful) <
                     config_.quarantine_min_useful_fraction *
                         static_cast<double>(stats.visits)) {
               stats.quarantined = true;
+              newly_quarantined = true;
+            }
+            if (config_.quarantine_use_tail) {
+              obs::SparseHistogram& hist =
+                  site_switch_hist_[OriginalSiteOf(ip)];
+              hist.Record(cost);
+              if (!stats.quarantined &&
+                  stats.visits >= config_.quarantine_min_visits &&
+                  hist.P99() > config_.quarantine_tail_switch_cycles) {
+                stats.quarantined = true;
+                newly_quarantined = true;
+              }
+            }
+            if (newly_quarantined) {
               ++report_.sites_quarantined;
+              if (profiler_ != nullptr) {
+                profiler_->OnQuarantine(OriginalSiteOf(ip), true);
+              }
               if (YH_TRACE_ENABLED(trace_, obs::kTraceQuarantine)) {
                 trace_->Record(obs::TraceEventType::kQuarantineEnter,
                                machine_->now(), primary.id, OriginalSiteOf(ip),
@@ -523,6 +601,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
         if (YH_TRACE_ENABLED(trace_, obs::kTraceSched)) {
           trace_->Record(obs::TraceEventType::kCoroSwitch, machine_->now(),
                          primary.id, ip, cost);
+        }
+        if (profiler_ != nullptr) {
+          profiler_->OnPrimarySwitch(ip, cost, yield_useful);
         }
         machine_->AdvanceClock(cost);
         primary.switch_cycles += cost;
@@ -545,10 +626,16 @@ Result<DualModeReport> DualModeScheduler::Run() {
           ->Record(machine_->now() - task_start);
     }
     in_task_ = false;
-    // Safe point: charge the flight recorder's modeled capture cost and
-    // refresh the registry before the hook runs, so the adaptation loop (or
-    // a serving endpoint) observes current numbers on an honest clock.
+    // Safe point: charge the flight recorder's and profiler's modeled costs
+    // and refresh the registry before the hook runs, so the adaptation loop
+    // (or a serving endpoint) observes current numbers on an honest clock.
+    // The profiler syncs AFTER the charges so they land in sched_overhead;
+    // anything the hook itself charges (sampling) is swept at the next sync.
     ChargeTraceOverhead();
+    ChargeProfilerOverhead();
+    if (profiler_ != nullptr) {
+      profiler_->SyncToClock(machine_->now());
+    }
     PublishMetrics();
     if (boundary_hook_) {
       // Safe point: no primary in flight. The hook may swap binaries.
@@ -566,6 +653,11 @@ Result<DualModeReport> DualModeScheduler::Run() {
     }
   }
   ChargeTraceOverhead();
+  ChargeProfilerOverhead();
+  if (profiler_ != nullptr) {
+    // Final sweep: after this, the taxonomy partitions total_cycles exactly.
+    profiler_->SyncToClock(machine_->now());
+  }
   report_.run.total_cycles = machine_->now() - run_start;
   PublishMetrics();
   return report_;

@@ -30,6 +30,8 @@
 #include "src/common/status.h"
 #include "src/instrument/types.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler/profiler.h"
+#include "src/obs/sparse_histogram.h"
 #include "src/obs/trace.h"
 #include "src/runtime/report.h"
 #include "src/sim/executor.h"
@@ -63,6 +65,16 @@ struct DualModeConfig {
   // `quarantine_min_useful_fraction` of visits looking useful.
   uint64_t quarantine_min_visits = 16;
   double quarantine_min_useful_fraction = 0.25;
+  // Tail-aware quarantine (the histogram-typed per-site metrics follow-up):
+  // additionally quarantine a site once its per-visit switch-cost p99 — a
+  // SparseHistogram per ORIGINAL site, so the distribution survives hot
+  // swaps — exceeds `quarantine_tail_switch_cycles` after
+  // `quarantine_min_visits` visits. Catches sites whose MEAN cost looks
+  // affordable but whose tail (fat save masks after a pass regression,
+  // pathological chains) blows the latency budget. Default off: the
+  // fraction-based rule is the calibrated R1/A1 behaviour.
+  bool quarantine_use_tail = false;
+  uint32_t quarantine_tail_switch_cycles = 48;
   // Charge the trace recorder's modeled per-event capture cost to the machine
   // clock at task boundaries (mirrors how pmu::SamplingSession's overhead is
   // charged). Off only for experiments that want the counterfactual clock.
@@ -149,6 +161,14 @@ class DualModeScheduler {
   void SetObservability(obs::TraceRecorder* trace,
                         obs::MetricsRegistry* metrics);
 
+  // Attaches a cycle-attribution profiler (may be null; must outlive the
+  // run). The scheduler feeds it inline at every accounting point and keeps
+  // it bound across hot swaps (OnBinary + quarantine re-announce), so the
+  // taxonomy partitions `RunReport::total_cycles` exactly — see
+  // docs/PROFILER.md. Its modeled accounting cost is charged at the same
+  // safe points as the trace recorder's.
+  void SetProfiler(obs::CycleProfiler* profiler);
+
   // Pre-seeds per-site quarantine state for the next Run(), keyed by yield
   // address in the primary binary. Lets adaptation carry quarantine decisions
   // across a re-instrumentation instead of paying min_visits to re-learn them.
@@ -226,6 +246,11 @@ class DualModeScheduler {
   void PublishMetrics();
   // Charges the recorder's accumulated modeled capture cost to the clock.
   void ChargeTraceOverhead();
+  // Charges the profiler's modeled accounting cost to the clock.
+  void ChargeProfilerOverhead();
+  // Re-announces the current quarantine table to the profiler (run start and
+  // after swaps, when OnBinary has reset its flags).
+  void AnnounceQuarantineToProfiler();
 
   const instrument::InstrumentedProgram* primary_binary_;
   const instrument::InstrumentedProgram* scavenger_binary_;
@@ -243,9 +268,14 @@ class DualModeScheduler {
   DualModeReport report_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CycleProfiler* profiler_ = nullptr;
   // kPrimary yield address in the current primary binary -> original-binary
   // site (the swap-invariant key observability uses).
   std::map<isa::Addr, isa::Addr> yield_site_origin_;
+  // Per-site switch-cost distributions backing the tail quarantine rule,
+  // keyed by ORIGINAL site so the tail evidence survives hot swaps. Only
+  // populated when config_.quarantine_use_tail is on.
+  std::map<isa::Addr, obs::SparseHistogram> site_switch_hist_;
 };
 
 }  // namespace yieldhide::runtime

@@ -27,6 +27,13 @@ int RoundRobinScheduler::AddCoroutine(const std::function<void(sim::CpuContext&)
   return contexts_.back().id;
 }
 
+void RoundRobinScheduler::SetProfiler(obs::CycleProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    profiler_->OnBinary(binary_);
+  }
+}
+
 uint32_t RoundRobinScheduler::SwitchCostAt(isa::Addr yield_ip) const {
   auto it = binary_->yields.find(yield_ip);
   if (it != binary_->yields.end() && it->second.switch_cycles > 0) {
@@ -43,6 +50,9 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
   const uint64_t start = machine_->now();
   for (size_t i = 0; i < contexts_.size(); ++i) {
     start_cycle_[i] = start;
+  }
+  if (profiler_ != nullptr) {
+    profiler_->OnRunBegin(start);
   }
 
   size_t live = contexts_.size();
@@ -74,6 +84,9 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
     const isa::Addr ip = ctx.pc;
     const sim::StepResult step = executor_.Step(ctx, sim::StallPolicy::kBlocking);
     ++report.instructions;
+    if (profiler_ != nullptr && step.event != sim::StepEvent::kError) {
+      profiler_->OnPrimaryStep(ip, step.issue_cycles, step.wait_cycles);
+    }
 
     switch (step.event) {
       case sim::StepEvent::kError:
@@ -84,6 +97,11 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
         const int next = next_live(current);
         if (next >= 0 && static_cast<size_t>(next) != current) {
           const uint32_t cost = SwitchCostAt(ip);
+          if (profiler_ != nullptr) {
+            // Symmetric ring: every switch "works" by construction, so the
+            // visit counts as useful; no burst follows (no scavengers here).
+            profiler_->OnPrimarySwitch(ip, cost, /*useful=*/true);
+          }
           machine_->AdvanceClock(cost);
           ctx.switch_cycles += cost;
           ctx.yields_taken += 1;
@@ -97,6 +115,9 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
           machine_->AdvanceClock(kSelfResumeCycles);
           ctx.switch_cycles += kSelfResumeCycles;
           report.switch_cycles += kSelfResumeCycles;
+          if (profiler_ != nullptr) {
+            profiler_->OnSelfResume(kSelfResumeCycles);
+          }
         }
         break;
       }
@@ -109,6 +130,9 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
           // Termination is a context switch too, but a halting coroutine has
           // no state to save; charge the restore half only.
           const uint32_t cost = machine_->config().cost.yield_switch_cycles / 2;
+          if (profiler_ != nullptr) {
+            profiler_->OnSwitch(ip, cost);
+          }
           machine_->AdvanceClock(cost);
           report.switch_cycles += cost;
           current = static_cast<size_t>(next);
@@ -118,6 +142,16 @@ Result<RunReport> RoundRobinScheduler::Run(uint64_t max_total_instructions) {
     }
   }
 
+  if (profiler_ != nullptr) {
+    // Only safe point a symmetric ring has: charge the modeled accounting
+    // cost, then sweep it (and nothing else) into sched_overhead so the
+    // taxonomy partitions total_cycles exactly.
+    const uint64_t cost = profiler_->TakeUnchargedOverheadCycles();
+    if (cost > 0) {
+      machine_->AdvanceClock(cost);
+    }
+    profiler_->SyncToClock(machine_->now());
+  }
   report.total_cycles = machine_->now() - start;
   for (const sim::CpuContext& ctx : contexts_) {
     report.issue_cycles += ctx.issue_cycles;

@@ -12,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/instrument/types.h"
+#include "src/obs/profiler/profiler.h"
 #include "src/runtime/report.h"
 #include "src/sim/executor.h"
 
@@ -32,6 +33,13 @@ class RoundRobinScheduler {
                    bool cyield_enabled = false,
                    isa::Addr entry = isa::kInvalidAddr);
 
+  // Attaches a cycle-attribution profiler (may be null; must outlive the
+  // run). The symmetric ring feeds the primary-side hooks only — there are
+  // no bursts, so no hidden/scavenger classes appear — and charges the
+  // modeled accounting cost at the end of the run (the ring has no
+  // mid-run safe points). The taxonomy still sums to total_cycles exactly.
+  void SetProfiler(obs::CycleProfiler* profiler);
+
   // Runs until every coroutine halts. Yields rotate through live coroutines;
   // a yield with no other live coroutine falls through at a nominal
   // self-resume cost instead of a full switch.
@@ -47,6 +55,7 @@ class RoundRobinScheduler {
   sim::Executor executor_;
   std::vector<sim::CpuContext> contexts_;
   std::vector<uint64_t> start_cycle_;
+  obs::CycleProfiler* profiler_ = nullptr;
 };
 
 }  // namespace yieldhide::runtime

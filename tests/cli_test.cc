@@ -126,5 +126,71 @@ TEST(CliTest, MetricsPromFormatHasTypeHeaders) {
             std::string::npos);
 }
 
+// --- cycle attribution (`yhc profile --folded|--top|--json`) -----------------
+
+TEST(CliTest, ProfileUnknownFlagExitsTwoWithNamedError) {
+  const CommandResult r =
+      RunYhc("profile --json --bogus 1 > /dev/null", "profile_bad_flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("yhc profile: unknown flag '--bogus'"),
+            std::string::npos);
+}
+
+TEST(CliTest, ProfileBadTopCountExitsTwo) {
+  const CommandResult r = RunYhc("profile --top=0", "profile_bad_top");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --top"), std::string::npos);
+}
+
+TEST(CliTest, ProfileConflictingModesExitTwo) {
+  const CommandResult r =
+      RunYhc("profile --folded --json", "profile_two_modes");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("usage: yhc profile"), std::string::npos);
+}
+
+TEST(CliTest, ProfileJsonExportIsValid) {
+  const std::string out = TempPath("profile.json");
+  const CommandResult r = RunYhc(
+      std::string("profile --json --out ") + out + " " + kSmallRun,
+      "profile_json");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"classified_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"stall_hidden\""), std::string::npos);
+  EXPECT_NE(r.stderr_text.find("cycles classified"), std::string::npos);
+}
+
+TEST(CliTest, ProfileFoldedStacksAreWellFormed) {
+  const std::string out = TempPath("profile.folded");
+  const CommandResult r = RunYhc(
+      std::string("profile --folded --out ") + out + " " + kSmallRun,
+      "profile_folded");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string folded = ReadFile(out);
+  ASSERT_FALSE(folded.empty());
+  // Every non-empty line is a semicolon-joined stack plus a count.
+  std::istringstream lines(folded);
+  std::string line;
+  size_t checked = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++checked;
+    EXPECT_EQ(line.rfind("all;", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find_first_not_of("0123456789", space + 1),
+              std::string::npos)
+        << line;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_NE(folded.find("issue_useful"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace yieldhide

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/sparse_histogram.h"
 #include "src/obs/trace.h"
 
 namespace yieldhide::obs {
@@ -121,6 +124,160 @@ TEST(ChromeTraceTest, EmptyRecorderStillValid) {
   TraceRecorder recorder;
   const std::string json = ToChromeTraceJson(recorder, 2.0);
   EXPECT_TRUE(ValidateJson(json).ok()) << ValidateJson(json).ToString();
+}
+
+// --- TraceRecorder streaming drain -------------------------------------------
+
+TEST(TraceSinkTest, DeliversEveryEventExactlyOnceAcrossWraps) {
+  TraceConfig config;
+  config.capacity = 8;
+  TraceRecorder recorder(config);
+  std::vector<uint64_t> seen;
+  recorder.SetSink([&seen](const TraceEvent& event) { seen.push_back(event.arg); });
+  ASSERT_TRUE(recorder.has_sink());
+  // 4x the ring: at least three full wraparounds, each event tagged with its
+  // sequence number so ordering and exactly-once are both checkable.
+  const uint64_t total = 4 * recorder.capacity();
+  for (uint64_t i = 0; i < total; ++i) {
+    recorder.Record(TraceEventType::kCoroSwitch, i, 0, 0x10, i);
+  }
+  recorder.DrainToSink();
+  EXPECT_EQ(recorder.drained(), total);
+  EXPECT_EQ(recorder.overwritten(), 0u) << "sink must beat overwrite";
+  ASSERT_EQ(seen.size(), total);
+  for (uint64_t i = 0; i < total; ++i) {
+    EXPECT_EQ(seen[i], i) << "event " << i << " lost, duplicated, or reordered";
+  }
+}
+
+TEST(TraceSinkTest, FlushOnHalfFullByDefault) {
+  TraceConfig config;
+  config.capacity = 8;
+  TraceRecorder recorder(config);
+  uint64_t delivered = 0;
+  recorder.SetSink([&delivered](const TraceEvent&) { ++delivered; });
+  for (int i = 0; i < 3; ++i) {  // below capacity/2: nothing flushes yet
+    recorder.Record(TraceEventType::kCoroSwitch, i, 0, 0, 0);
+  }
+  EXPECT_EQ(delivered, 0u);
+  recorder.Record(TraceEventType::kCoroSwitch, 3, 0, 0, 0);  // backlog hits 4
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_EQ(recorder.drained(), 4u);
+}
+
+TEST(TraceSinkTest, PostDrainExportContainsOnlyUndrainedEvents) {
+  TraceConfig config;
+  config.capacity = 16;
+  TraceRecorder recorder(config);
+  uint64_t delivered = 0;
+  // Explicit threshold larger than the test's writes: only manual drains.
+  recorder.SetSink([&delivered](const TraceEvent&) { ++delivered; }, 16);
+  for (uint64_t i = 0; i < 5; ++i) {
+    recorder.Record(TraceEventType::kYieldHidden, i, 0, 0x2a, i);
+  }
+  recorder.DrainToSink();
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_TRUE(recorder.Events().empty()) << "drained events must not re-export";
+  recorder.Record(TraceEventType::kYieldBlown, 10, 0, 0x30, 100);
+  recorder.Record(TraceEventType::kYieldBlown, 11, 0, 0x30, 101);
+  const auto events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u) << "export = undrained tail only, no duplicates";
+  EXPECT_EQ(events[0].arg, 100u);
+  EXPECT_EQ(events[1].arg, 101u);
+  // The Chrome export goes through Events() too, so it must also dedupe.
+  const std::string chrome = ToChromeTraceJson(recorder, 1.0);
+  EXPECT_EQ(chrome.find("yield_hidden"), std::string::npos);
+  EXPECT_NE(chrome.find("yield_blown"), std::string::npos);
+}
+
+// --- SparseHistogram ---------------------------------------------------------
+
+TEST(SparseHistogramTest, EmptyHistogramIsAllZeros) {
+  SparseHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.P50(), 0u);
+  EXPECT_EQ(hist.P99(), 0u);
+  EXPECT_EQ(hist.bucket_count(), 0u);
+}
+
+TEST(SparseHistogramTest, SingleSampleIsEveryQuantile) {
+  SparseHistogram hist;
+  hist.Record(37);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.min(), 37u);
+  EXPECT_EQ(hist.max(), 37u);
+  // Quantiles clamp to the exact max, not the bucket's upper bound.
+  EXPECT_EQ(hist.P50(), 37u);
+  EXPECT_EQ(hist.P95(), 37u);
+  EXPECT_EQ(hist.P99(), 37u);
+  EXPECT_EQ(hist.bucket_count(), 1u);
+}
+
+TEST(SparseHistogramTest, BucketBoundaryStraddle) {
+  // Two adjacent values straddling a bucket boundary must land in different
+  // buckets; two values inside one bucket must share it.
+  const uint64_t boundary = SparseHistogram::BucketUpperBound(
+      SparseHistogram::BucketIndex(1000));
+  SparseHistogram split;
+  split.Record(boundary);
+  split.Record(boundary + 1);
+  EXPECT_EQ(split.bucket_count(), 2u);
+  EXPECT_NE(SparseHistogram::BucketIndex(boundary),
+            SparseHistogram::BucketIndex(boundary + 1));
+  // Below kSubBuckets the buckets are exact: every small value is its own
+  // bucket and quantiles are exact, not quantized.
+  SparseHistogram small;
+  small.Record(3);
+  small.Record(4);
+  EXPECT_EQ(small.bucket_count(), 2u);
+  EXPECT_EQ(small.P50(), 3u);
+  EXPECT_EQ(small.max(), 4u);
+}
+
+TEST(SparseHistogramTest, MergeEqualsConcatenatedStream) {
+  SparseHistogram a, b, both;
+  const uint64_t stream_a[] = {1, 7, 7, 130, 4096, 70000};
+  const uint64_t stream_b[] = {2, 7, 129, 131, 131, 9999999};
+  for (uint64_t v : stream_a) {
+    a.Record(v);
+    both.Record(v);
+  }
+  for (uint64_t v : stream_b) {
+    b.Record(v);
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.bucket_count(), both.bucket_count());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), both.ValueAtQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(SparseHistogramTest, QuantilesAreMonotone) {
+  SparseHistogram hist;
+  // A spread of magnitudes, including repeats and a heavy tail.
+  for (uint64_t v = 1; v <= 200; ++v) {
+    hist.Record(v);
+  }
+  hist.RecordN(50000, 3);
+  EXPECT_LE(hist.P50(), hist.P95());
+  EXPECT_LE(hist.P95(), hist.P99());
+  EXPECT_LE(hist.P99(), hist.max());
+  EXPECT_GE(hist.P50(), hist.min());
+  const std::string summary = hist.Summary();
+  EXPECT_NE(summary.find("n=203"), std::string::npos);
+  EXPECT_NE(summary.find("p99="), std::string::npos);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.P99(), 0u);
 }
 
 // --- MetricsRegistry ---------------------------------------------------------

@@ -36,6 +36,8 @@
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler/export.h"
+#include "src/obs/profiler/profiler.h"
 #include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/isa/program_io.h"
@@ -73,6 +75,10 @@ Result<Options> ParseArgs(int argc, char** argv) {
       key = std::string(eq != std::string_view::npos ? arg.substr(0, eq) : arg);
       if (key == "reg" && eq != std::string_view::npos) {
         value = std::string(arg.substr(eq + 1));
+      } else if (key == "folded" || key == "top" || key == "json") {
+        // Presence flags (`yhc profile` output modes): never swallow the next
+        // token; an optional value uses the --key=value form (--top=20).
+        value.clear();
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
@@ -272,10 +278,21 @@ int CmdRun(const Options& options) {
   return 0;
 }
 
+// Defined after RunObservedAdaptScenario: cycle-attribution mode of
+// `yhc profile` (--folded / --top / --json).
+int CmdProfileAttribution(const Options& options);
+
 int CmdProfile(const Options& options) {
+  if (options.flags.count("folded") != 0 || options.flags.count("top") != 0 ||
+      options.flags.count("json") != 0) {
+    return CmdProfileAttribution(options);
+  }
   if (options.positional.size() != 1 || options.flags.count("out") == 0) {
-    std::fprintf(stderr, "usage: yhc profile <in.yh> --out <prof> [--period N] "
-                         "[--reg N=V] [--ring ...]\n");
+    std::fprintf(stderr,
+                 "usage: yhc profile <in.yh> --out <prof> [--period N] "
+                 "[--reg N=V] [--ring ...]\n"
+                 "       yhc profile --folded|--top[=N]|--json [--out <path>] "
+                 "[--tasks N] [--epoch N]\n");
     return 2;
   }
   auto program = isa::LoadProgram(options.positional[0]);
@@ -716,7 +733,8 @@ int CmdAdapt(const Options& options) {
 // Prints progress to stderr only; stdout belongs to the caller's export.
 int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
                              obs::MetricsRegistry* metrics,
-                             double* cycles_per_ns_out) {
+                             double* cycles_per_ns_out,
+                             obs::CycleProfiler* profiler = nullptr) {
   auto tasks = FlagU64(options, "tasks", 24);
   auto epoch = FlagU64(options, "epoch", 6);
   auto nodes = FlagU64(options, "nodes", 1 << 16);
@@ -783,6 +801,9 @@ int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
   config.drift_aware_sampling = true;
   adapt::AdaptiveServer server(&chase.program(), *stale, &machine, config);
   server.SetObservability(trace, metrics);
+  if (profiler != nullptr) {
+    server.SetProfiler(profiler);
+  }
   const int n = static_cast<int>(*tasks);
   for (int i = 0; i < n; ++i) {
     server.AddTask(chase.SetupFor(i));
@@ -820,6 +841,81 @@ int EmitDocument(const Options& options, const std::string& text) {
   std::fprintf(stderr, "wrote %s (%zu bytes)\n", it->second.c_str(),
                text.size());
   return 0;
+}
+
+// Cycle attribution: run the adaptation scenario with a CycleProfiler on the
+// scheduler (inline hooks) AND fed from the trace recorder's streaming drain,
+// then render where every cycle went — folded stacks for a flamegraph, a
+// pprof-style top table, or JSON (docs/PROFILER.md).
+int CmdProfileAttribution(const Options& options) {
+  static const char* kKnownFlags[] = {"folded", "top",   "json",  "out",
+                                      "tasks",  "epoch", "nodes", "steps",
+                                      "severity"};
+  for (const auto& [key, value] : options.flags) {
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      known = known || key == flag;
+    }
+    if (!known) {
+      // Named error, exit 2: a typoed flag must not silently run the default
+      // scenario and look like success.
+      std::fprintf(stderr, "yhc profile: unknown flag '--%s'\n", key.c_str());
+      return 2;
+    }
+  }
+  const int modes = (options.flags.count("folded") != 0 ? 1 : 0) +
+                    (options.flags.count("top") != 0 ? 1 : 0) +
+                    (options.flags.count("json") != 0 ? 1 : 0);
+  if (modes != 1 || !options.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: yhc profile --folded|--top[=N]|--json [--out <path>] "
+                 "[--tasks N] [--epoch N] [--nodes N] [--steps N] "
+                 "[--severity X]\n");
+    return 2;
+  }
+  size_t top_n = 10;
+  if (options.flags.count("top") != 0 && !options.flags.at("top").empty()) {
+    auto parsed = ParseUint64(options.flags.at("top"));
+    if (!parsed.ok() || *parsed == 0) {
+      std::fprintf(stderr, "bad --top (want a positive count)\n");
+      return 2;
+    }
+    top_n = static_cast<size_t>(*parsed);
+  }
+
+  obs::CycleProfiler profiler;
+  // Small ring so the scenario wraps: the profiler's stream-side tallies come
+  // from the flush-on-half-full drain, not a post-run snapshot.
+  obs::TraceConfig trace_config;
+  trace_config.capacity = 1 << 12;
+  obs::TraceRecorder recorder(trace_config);
+  recorder.SetSink(profiler.MakeTraceSink());
+
+  const int run = RunObservedAdaptScenario(options, &recorder, nullptr,
+                                           nullptr, &profiler);
+  if (run != 0) {
+    return run;
+  }
+  recorder.DrainToSink();
+  std::fprintf(stderr, "profile: %s cycles classified across %zu sites\n",
+               WithCommas(profiler.classified_cycles()).c_str(),
+               profiler.sites().size());
+
+  std::string doc;
+  if (options.flags.count("folded") != 0) {
+    doc = obs::ToFoldedStacks(profiler);
+  } else if (options.flags.count("top") != 0) {
+    doc = obs::ToTopTable(profiler, top_n);
+  } else {
+    doc = obs::ToProfileJson(profiler);
+    const Status valid = obs::ValidateJson(doc);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "internal error: profile is not valid JSON: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+  }
+  return EmitDocument(options, doc);
 }
 
 // Cycle-domain flight recording: run the adaptation scenario with a
@@ -932,6 +1028,10 @@ void PrintUsage(std::FILE* out) {
                "  interval <in.yh>                    worst-case inter-yield gap\n"
                "  run <in.yh> [--group N] [...]       execute on the simulator\n"
                "  profile <in.yh> --out <prof> [...]  sample-based profiling\n"
+               "  profile --folded|--top[=N]|--json [--out <path>] [--tasks N]\n"
+               "        cycle attribution for the adapt scenario: classify\n"
+               "        every cycle per original-binary site and render\n"
+               "        folded stacks / a top-N table / JSON (docs/PROFILER.md)\n"
                "  instrument <in.yh> --profile <prof> --out <out.yh>\n"
                "  chaos <in.yh> --fault=<class:sev>[,...] [--quarantine 0|1]\n"
                "        fault-inject the pipeline and bound the damage\n"
