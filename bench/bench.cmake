@@ -26,5 +26,6 @@ yh_bench(bench_n1_native_interleave)
 yh_bench(bench_c11_inline_level)
 yh_bench(bench_r1_fault_matrix)
 yh_bench(bench_a1_adaptation)
+yh_bench(bench_a2_sharded)
 yh_bench(bench_o1_observability)
 yh_bench(bench_o2_attribution)

@@ -21,12 +21,22 @@ AdaptController::AdaptController(const isa::Program* original,
       config_(config),
       // No swap has happened, so the cool-down must not block the first one.
       epochs_since_swap_(config.min_epochs_between_swaps) {
+  PushGeneration(std::move(initial), /*built_epoch=*/0);
+}
+
+void AdaptController::PushGeneration(core::PipelineArtifacts artifacts,
+                                     size_t built_epoch) {
   lineage_.push_back(
-      std::make_unique<core::PipelineArtifacts>(std::move(initial)));
-  reference_loads_ = lineage_.back()->profile.loads;
-  site_index_ = PrimaryYieldsByOriginalSite(lineage_.back()->binary);
-  backmap_ = ReverseAddrMap(lineage_.back()->binary.addr_map,
-                            lineage_.back()->binary.program.size());
+      std::make_unique<core::PipelineArtifacts>(std::move(artifacts)));
+  auto generation = std::make_unique<BinaryGeneration>();
+  generation->id = static_cast<int>(generations_.size());
+  generation->built_epoch = built_epoch;
+  generation->artifacts = lineage_.back().get();
+  generation->reference_loads = lineage_.back()->profile.loads;
+  generation->site_index = PrimaryYieldsByOriginalSite(lineage_.back()->binary);
+  generation->backmap = ReverseAddrMap(lineage_.back()->binary.addr_map,
+                                       lineage_.back()->binary.program.size());
+  generations_.push_back(std::move(generation));
 }
 
 const instrument::InstrumentedProgram& AdaptController::binary() const {
@@ -34,7 +44,7 @@ const instrument::InstrumentedProgram& AdaptController::binary() const {
 }
 
 const profile::LoadProfile& AdaptController::reference_loads() const {
-  return reference_loads_;
+  return current_generation().reference_loads;
 }
 
 const core::PipelineArtifacts& AdaptController::current_artifacts() const {
@@ -45,8 +55,9 @@ AdaptController::Decision AdaptController::Observe(
     const OnlineProfile& online,
     const std::map<isa::Addr, runtime::YieldSiteStats>& site_stats) {
   Decision decision;
-  decision.score = ComputeDriftScore(reference_loads_, online.loads(),
-                                     site_index_, site_stats, config_.drift);
+  decision.score =
+      ComputeDriftScore(reference_loads(), online.loads(), site_index(),
+                        site_stats, config_.drift);
   ++epochs_since_swap_;
   decision.should_swap =
       decision.score.score >= config_.drift_threshold &&
@@ -57,17 +68,46 @@ AdaptController::Decision AdaptController::Observe(
 Result<AdaptController::SwapPlan> AdaptController::Rebuild(
     const OnlineProfile& online,
     const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats) {
+  return RebuildFromLoads(online.loads(), old_site_stats, site_index(),
+                          /*built_epoch=*/0);
+}
+
+std::map<isa::Addr, runtime::YieldSiteStats> AdaptController::TranslateSiteStats(
+    const std::map<isa::Addr, isa::Addr>& old_index,
+    const std::map<isa::Addr, isa::Addr>& new_index,
+    const std::map<isa::Addr, runtime::YieldSiteStats>& old_stats) {
+  // Old yield address → original site → new yield address. Sites the target
+  // binary no longer instruments drop out.
+  std::map<isa::Addr, runtime::YieldSiteStats> carried;
+  for (const auto& [original_site, old_yield] : old_index) {
+    auto stats = old_stats.find(old_yield);
+    if (stats == old_stats.end()) {
+      continue;
+    }
+    auto new_yield = new_index.find(original_site);
+    if (new_yield != new_index.end()) {
+      carried[new_yield->second] = stats->second;
+    }
+  }
+  return carried;
+}
+
+Result<AdaptController::SwapPlan> AdaptController::RebuildFromLoads(
+    const profile::LoadProfile& online_loads,
+    const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats,
+    const std::map<isa::Addr, isa::Addr>& old_site_index,
+    size_t built_epoch) {
   // Merge: keep `reference_retain` of the reference's mass and scale the
   // online evidence to supply the rest, so site selection is driven by what
   // production looks like NOW while still-instrumented live sites (whose
   // misses the PMU no longer sees, because they are hidden) keep enough
   // evidence to stay instrumented.
   profile::ProfileData merged;
-  merged.loads = reference_loads_;
+  merged.loads = reference_loads();
   merged.loads.Decay(config_.reference_retain);
-  const double reference_mass = TotalExecutions(reference_loads_);
-  const double online_mass = TotalExecutions(online.loads());
-  profile::LoadProfile online_scaled = online.loads();
+  const double reference_mass = TotalExecutions(reference_loads());
+  const double online_mass = TotalExecutions(online_loads);
+  profile::LoadProfile online_scaled = online_loads;
   if (online_mass > 0.0 && reference_mass > 0.0) {
     online_scaled.Decay((1.0 - config_.reference_retain) * reference_mass /
                         online_mass);
@@ -83,28 +123,13 @@ Result<AdaptController::SwapPlan> AdaptController::Rebuild(
       core::InstrumentFromProfile(*original_, std::move(merged),
                                   config_.pipeline));
 
-  // Translate quarantine state: old yield address → original site → new
-  // yield address. Sites the new binary no longer instruments drop out.
   const std::map<isa::Addr, isa::Addr> new_index =
       PrimaryYieldsByOriginalSite(rebuilt.binary);
   SwapPlan plan;
-  for (const auto& [original_site, old_yield] : site_index_) {
-    auto stats = old_site_stats.find(old_yield);
-    if (stats == old_site_stats.end()) {
-      continue;
-    }
-    auto new_yield = new_index.find(original_site);
-    if (new_yield != new_index.end()) {
-      plan.carried_site_stats[new_yield->second] = stats->second;
-    }
-  }
+  plan.carried_site_stats =
+      TranslateSiteStats(old_site_index, new_index, old_site_stats);
 
-  lineage_.push_back(
-      std::make_unique<core::PipelineArtifacts>(std::move(rebuilt)));
-  reference_loads_ = lineage_.back()->profile.loads;
-  site_index_ = new_index;
-  backmap_ = ReverseAddrMap(lineage_.back()->binary.addr_map,
-                            lineage_.back()->binary.program.size());
+  PushGeneration(std::move(rebuilt), built_epoch);
   epochs_since_swap_ = 0;
   ++swaps_;
   plan.binary = &lineage_.back()->binary;

@@ -43,6 +43,26 @@ struct AdaptControllerConfig {
   double shrink_occupancy = 0.35;
 };
 
+// One entry in the lineage of served binaries, with everything a shard needs
+// to run against it: the sampling back-map, the original-site → yield index
+// drift scoring and quarantine translation key on, and the reference profile
+// the binary was instrumented from. In a ServerGroup different shards may run
+// different (older) generations between staggered swaps, so this metadata
+// travels with the binary instead of living in one global "current" slot.
+struct BinaryGeneration {
+  int id = 0;                // 0 = the initial offline artifacts
+  size_t built_epoch = 0;    // group epoch the rebuild happened in
+  const core::PipelineArtifacts* artifacts = nullptr;
+  profile::LoadProfile reference_loads;
+  // Original load site → covering primary-yield address in this binary.
+  std::map<isa::Addr, isa::Addr> site_index;
+  ReverseAddrMap backmap;
+
+  const instrument::InstrumentedProgram& binary() const {
+    return artifacts->binary;
+  }
+};
+
 class AdaptController {
  public:
   struct Decision {
@@ -66,9 +86,22 @@ class AdaptController {
 
   const instrument::InstrumentedProgram& binary() const;
   // Original load site → covering primary-yield address, current binary.
-  const std::map<isa::Addr, isa::Addr>& site_index() const { return site_index_; }
-  const ReverseAddrMap& backmap() const { return backmap_; }
+  const std::map<isa::Addr, isa::Addr>& site_index() const {
+    return current_generation().site_index;
+  }
+  const ReverseAddrMap& backmap() const { return current_generation().backmap; }
   const profile::LoadProfile& reference_loads() const;
+
+  // The lineage as generations: generation(0) is the initial offline build,
+  // generation(generation_count() - 1) the newest. References stay valid for
+  // the controller's lifetime (old binaries are never freed).
+  size_t generation_count() const { return generations_.size(); }
+  const BinaryGeneration& generation(size_t id) const {
+    return *generations_[id];
+  }
+  const BinaryGeneration& current_generation() const {
+    return *generations_.back();
+  }
 
   // Scores this epoch's evidence and applies the threshold + cool-down.
   Decision Observe(const OnlineProfile& online,
@@ -81,6 +114,27 @@ class AdaptController {
   Result<SwapPlan> Rebuild(
       const OnlineProfile& online,
       const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats);
+
+  // Generalized rebuild: `online_loads` is any merged evidence source (a
+  // shard's local profile, or the group's SharedProfileStore), and
+  // `old_site_index` identifies the generation whose quarantine table
+  // `old_site_stats` is keyed in — in a group that is the SWAPPING shard's
+  // generation, not necessarily the controller's newest. `built_epoch` is
+  // stamped on the new generation for the reuse-window policy.
+  Result<SwapPlan> RebuildFromLoads(
+      const profile::LoadProfile& online_loads,
+      const std::map<isa::Addr, runtime::YieldSiteStats>& old_site_stats,
+      const std::map<isa::Addr, isa::Addr>& old_site_index,
+      size_t built_epoch);
+
+  // Quarantine carry-over: re-keys `old_stats` (yield addresses under
+  // `old_index`'s binary) through original-site identity onto the binary
+  // `new_index` describes. Sites the target binary does not instrument drop
+  // out. Used by every swap — rebuilds and generation reuses alike.
+  static std::map<isa::Addr, runtime::YieldSiteStats> TranslateSiteStats(
+      const std::map<isa::Addr, isa::Addr>& old_index,
+      const std::map<isa::Addr, isa::Addr>& new_index,
+      const std::map<isa::Addr, runtime::YieldSiteStats>& old_stats);
 
   // Hide-window-occupancy feedback: the recommended pool cap given this
   // epoch's burst deltas. Grows on starvation, shrinks on slack, and always
@@ -97,14 +151,16 @@ class AdaptController {
   const core::PipelineArtifacts& current_artifacts() const;
 
  private:
+  // Wraps freshly built artifacts into the lineage + generation tables.
+  void PushGeneration(core::PipelineArtifacts artifacts, size_t built_epoch);
+
   const isa::Program* original_;
   AdaptControllerConfig config_;
   // Every binary ever served, oldest first; the last entry is current.
   std::vector<std::unique_ptr<core::PipelineArtifacts>> lineage_;
-  // The load profile the CURRENT binary was instrumented from.
-  profile::LoadProfile reference_loads_;
-  std::map<isa::Addr, isa::Addr> site_index_;
-  ReverseAddrMap backmap_;
+  // Generation metadata parallel to lineage_ (unique_ptr so references handed
+  // to shards stay stable as the vector grows).
+  std::vector<std::unique_ptr<BinaryGeneration>> generations_;
   int epochs_since_swap_ = 0;
   int swaps_ = 0;
 };

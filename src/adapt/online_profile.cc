@@ -11,7 +11,8 @@ void OnlineProfile::BeginEpoch() {
 
 void OnlineProfile::ObserveSamples(const std::vector<pmu::PebsSample>& samples,
                                    const profile::SamplePeriods& periods,
-                                   const ReverseAddrMap& backmap) {
+                                   const ReverseAddrMap& backmap,
+                                   profile::LoadProfile* epoch_evidence) {
   std::vector<pmu::PebsSample> translated;
   translated.reserve(samples.size());
   for (const pmu::PebsSample& sample : samples) {
@@ -31,6 +32,10 @@ void OnlineProfile::ObserveSamples(const std::vector<pmu::PebsSample>& samples,
   loads_.AddSamples(translated, periods,
                     static_cast<isa::Addr>(backmap.original_size()),
                     &drop_stats_);
+  if (epoch_evidence != nullptr) {
+    epoch_evidence->AddSamples(translated, periods,
+                               static_cast<isa::Addr>(backmap.original_size()));
+  }
 }
 
 }  // namespace yieldhide::adapt

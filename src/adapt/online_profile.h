@@ -35,9 +35,15 @@ class OnlineProfile {
   // runtime::kScavengerCtxIdBase) are skipped — scavengers run their own
   // binary and their misses are free to happen; only the primary's behaviour
   // drives adaptation. Samples that back-map nowhere are counted as dropped.
+  // When `epoch_evidence` is non-null, the same translated samples are also
+  // accumulated there UNDECAYED — the raw per-epoch evidence a shard
+  // contributes to the group's SharedProfileStore, which applies its own
+  // decay schedule (contributing decayed totals instead would double-count
+  // every prior epoch at each merge).
   void ObserveSamples(const std::vector<pmu::PebsSample>& samples,
                       const profile::SamplePeriods& periods,
-                      const ReverseAddrMap& backmap);
+                      const ReverseAddrMap& backmap,
+                      profile::LoadProfile* epoch_evidence = nullptr);
 
   // The accumulated evidence, in original-binary addresses.
   const profile::LoadProfile& loads() const { return loads_; }

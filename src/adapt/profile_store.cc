@@ -1,0 +1,64 @@
+#include "src/adapt/profile_store.h"
+
+#include "src/profile/profile_io.h"
+
+namespace yieldhide::adapt {
+
+void SharedProfileStore::BeginEpoch() {
+  ++epochs_;
+  loads_.Decay(config_.decay, config_.min_site_executions);
+}
+
+void SharedProfileStore::Contribute(const profile::LoadProfile& epoch_evidence) {
+  if (epoch_evidence.sites().empty()) {
+    return;
+  }
+  loads_.Merge(epoch_evidence);
+  ++contributions_;
+}
+
+Status SharedProfileStore::SaveTo(const std::string& path) const {
+  profile::ProfileData data;
+  data.loads = loads_;
+  return profile::SaveProfileData(data, path);
+}
+
+Status SharedProfileStore::SaveMergedWith(const profile::LoadProfile& reference,
+                                          double reference_share,
+                                          const std::string& path) const {
+  auto mass = [](const profile::LoadProfile& loads) {
+    double total = 0.0;
+    for (const auto& [ip, site] : loads.sites()) {
+      total += site.est_executions;
+    }
+    return total;
+  };
+  profile::ProfileData data;
+  data.loads = reference;
+  profile::LoadProfile recent = loads_;
+  const double reference_mass = mass(reference);
+  const double recent_mass = mass(recent);
+  if (reference_mass > 0.0 && recent_mass > 0.0) {
+    // Mass-match the same way AdaptController::RebuildFromLoads merges: the
+    // raw tail supplies (1 - reference_share) of the reference's mass, so
+    // per-site ratios survive on both sides regardless of run length.
+    recent.Decay((1.0 - reference_share) * reference_mass / recent_mass);
+    data.loads.Decay(reference_share);
+  }
+  data.loads.Merge(recent);
+  return profile::SaveProfileData(data, path);
+}
+
+Status SharedProfileStore::WarmStartFrom(const std::string& path) {
+  YH_ASSIGN_OR_RETURN(profile::ProfileData data,
+                      profile::LoadProfileData(path));
+  if (data.loads.sites().empty()) {
+    return InvalidArgumentError(
+        "profile store file has no load sites to warm-start from");
+  }
+  loads_.Merge(data.loads);
+  warm_started_ = true;
+  return Status::Ok();
+}
+
+}  // namespace yieldhide::adapt

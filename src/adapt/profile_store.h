@@ -1,0 +1,81 @@
+// SharedProfileStore: the group-wide merged view of online evidence.
+//
+// Every shard samples only its own traffic; under drift that means each shard
+// would need to re-accumulate the same phase change independently before its
+// local profile justifies a rebuild. The store merges the RAW per-epoch
+// evidence of all shards under one exponential decay, so a rebuild triggered
+// by any one shard is instrumented from everything the whole group has seen —
+// the reason one rebuild can serve N shards instead of N rebuilds
+// rediscovering the same sites (docs/ONLINE.md).
+//
+// It is also the unit of cross-run persistence: ServerGroup serializes the
+// merged view at shutdown via profile_io and warm-starts the next process
+// from it, so a day-2 cold start skips the first degraded epoch.
+#ifndef YIELDHIDE_SRC_ADAPT_PROFILE_STORE_H_
+#define YIELDHIDE_SRC_ADAPT_PROFILE_STORE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/profile/profile.h"
+
+namespace yieldhide::adapt {
+
+struct SharedProfileStoreConfig {
+  // Multiplier applied to the merged view once per GROUP epoch (matches
+  // OnlineProfileConfig so an N=1 group's store tracks the shard's local
+  // profile exactly).
+  double decay = 0.6;
+  // Sites whose decayed execution estimate drops below this are forgotten.
+  double min_site_executions = 0.5;
+};
+
+class SharedProfileStore {
+ public:
+  explicit SharedProfileStore(const SharedProfileStoreConfig& config)
+      : config_(config) {}
+
+  // Starts a group epoch: decays all accumulated evidence once. Called once
+  // per epoch by the group, not per shard — N shards contribute into one
+  // decay step.
+  void BeginEpoch();
+
+  // Merges one shard's raw (undecayed) evidence for the current epoch,
+  // already back-mapped to ORIGINAL-binary addresses.
+  void Contribute(const profile::LoadProfile& epoch_evidence);
+
+  // The merged, decayed evidence across all shards and (after a warm start)
+  // the previous run.
+  const profile::LoadProfile& loads() const { return loads_; }
+
+  uint64_t epochs() const { return epochs_; }
+  uint64_t contributions() const { return contributions_; }
+  bool warm_started() const { return warm_started_; }
+
+  // Cross-run persistence. The store rides in a ProfileData with an empty
+  // block section: block structure belongs to the binary lineage (it is
+  // re-derived from the original's control flow at every rebuild), not to
+  // the evidence. Loading an empty or missing file is an error; merging into
+  // a non-empty store is allowed (evidence just adds up).
+  Status SaveTo(const std::string& path) const;
+  // Persists the store blended with `reference` (the merged profile the
+  // serving binary was BUILT from) at `reference_share` of the combined
+  // mass. Raw evidence alone under-reports repaired sites — once a site is
+  // instrumented and prefetched its misses vanish from the PMU — so a store
+  // persisted unblended would forget exactly what the binary exists to
+  // cover, and the next warm start would rebuild without it.
+  Status SaveMergedWith(const profile::LoadProfile& reference,
+                        double reference_share, const std::string& path) const;
+  Status WarmStartFrom(const std::string& path);
+
+ private:
+  SharedProfileStoreConfig config_;
+  profile::LoadProfile loads_;
+  uint64_t epochs_ = 0;
+  uint64_t contributions_ = 0;
+  bool warm_started_ = false;
+};
+
+}  // namespace yieldhide::adapt
+
+#endif  // YIELDHIDE_SRC_ADAPT_PROFILE_STORE_H_

@@ -1,100 +1,25 @@
 // AdaptiveServer: step (iv) of the pipeline — serve work and stay optimal.
 //
-// Wraps a DualModeScheduler run in the online adaptation loop
-// (docs/ONLINE.md):
+// Thin N=1 facade over the sharded serving layer: one ServerGroup with a
+// single Shard on a single machine (docs/ONLINE.md). The adaptation loop —
+// low-period sampling, back-mapped OnlineProfile, drift scoring, rebuild +
+// hot-swap at epoch boundaries, pool-occupancy feedback — now lives in
+// Shard/ServerGroup; this class keeps the original one-core API (and its
+// unlabeled metric series, trace surface, and A1-calibrated behavior) intact
+// for existing callers. New code serving more than one core should use
+// ServerGroup directly.
 //
-//   * a low-period pmu::SamplingSession stays attached while the
-//     INSTRUMENTED binary serves tasks; its samples are back-mapped through
-//     the rewriter's address map into an exponentially-decayed OnlineProfile;
-//   * every `tasks_per_epoch` completed tasks (a scheduler safe point — no
-//     task in flight) the AdaptController scores drift; past the threshold it
-//     re-instruments the ORIGINAL binary from the merged profile and
-//     hot-swaps the result into the running scheduler, carrying quarantine
-//     state across for surviving sites;
-//   * the same boundary runs the hide-window-occupancy feedback loop that
-//     resizes the scavenger pool.
-//
-// Modeled sampling overhead is charged to the machine clock, so reported
-// cycles are honest about the cost of watching.
+// Migration note: AdaptiveServerConfig, EpochTelemetry, AdaptReport, and
+// LowOverheadSamplingConfig() moved to src/adapt/shard.h; this header still
+// re-exports them via its includes, so callers compile unchanged.
 #ifndef YIELDHIDE_SRC_ADAPT_SERVER_H_
 #define YIELDHIDE_SRC_ADAPT_SERVER_H_
 
-#include <deque>
-#include <string>
-#include <vector>
+#include <utility>
 
-#include "src/adapt/controller.h"
-#include "src/adapt/online_profile.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/profile/collector.h"
-#include "src/runtime/dual_mode.h"
+#include "src/adapt/server_group.h"
 
 namespace yieldhide::adapt {
-
-// Production sampling defaults: periods several times the offline
-// collector's, LBR off — cheap enough to leave on forever (~1-2% modeled
-// overhead on miss-heavy phases).
-profile::CollectorConfig LowOverheadSamplingConfig();
-
-struct AdaptiveServerConfig {
-  AdaptControllerConfig controller;
-  OnlineProfileConfig online;
-  profile::CollectorConfig sampling = LowOverheadSamplingConfig();
-  runtime::DualModeConfig dual;
-  // Epoch length; boundaries are the only points where swaps can happen.
-  int tasks_per_epoch = 8;
-  // false = control mode: sample and score drift, never rebuild or swap.
-  bool adapt_enabled = true;
-  // Run the occupancy feedback loop (vs. keeping dual.max_scavengers fixed).
-  bool scale_pool = true;
-  // Charge the modeled PEBS capture cost to the machine clock.
-  bool charge_sampling_overhead = true;
-  // Drift-aware sampling: scale the sampling RATE with measured drift —
-  // sample harder while the workload is moving (fresher evidence, faster
-  // reaction), relax below the baseline after consecutive quiet epochs to
-  // shave steady-state overhead. Periods are the configured periods divided
-  // by the epoch's rate scale, which steps through {min_rate_scale, 1,
-  // max_rate_scale/2, max_rate_scale} as drift crosses fractions of the swap
-  // threshold, and resets to 1 after a swap (the reference is fresh, so old
-  // drift evidence is stale). Off by default: the fixed-period configuration
-  // is the control the A1 gates were calibrated against.
-  bool drift_aware_sampling = false;
-  // Rate-scale bounds: <1 = slower than baseline (quiet), >1 = faster (drifting).
-  double sampling_min_rate_scale = 0.5;
-  double sampling_max_rate_scale = 4.0;
-  // Consecutive epochs below 5% of the drift threshold before relaxing to
-  // sampling_min_rate_scale.
-  int sampling_quiet_epochs = 2;
-};
-
-struct EpochTelemetry {
-  size_t epoch = 0;           // 0-based
-  size_t tasks_completed = 0;  // cumulative at epoch end
-  uint64_t cycles = 0;         // machine cycles this epoch (incl. sampling)
-  double efficiency = 0.0;     // issue/total over this epoch (retired work)
-  double drift = 0.0;
-  bool swapped = false;
-  size_t pool_cap = 0;
-  double burst_occupancy = 0.0;
-  uint64_t sampling_overhead_cycles = 0;
-  // Sampling rate multiplier in force DURING this epoch (1.0 = configured
-  // periods; see AdaptiveServerConfig::drift_aware_sampling).
-  double sampling_rate_scale = 1.0;
-};
-
-struct AdaptReport {
-  runtime::DualModeReport run;  // cumulative, from the scheduler
-  std::vector<EpochTelemetry> epochs;
-  int swaps = 0;
-  int swap_failures = 0;  // rebuilds that failed; serving continued degraded
-  uint64_t samples_accepted = 0;
-  uint64_t samples_dropped = 0;
-  uint64_t sampling_overhead_cycles = 0;
-  double final_drift = 0.0;
-
-  std::string Summary() const;
-};
 
 class AdaptiveServer {
  public:
@@ -102,42 +27,60 @@ class AdaptiveServer {
   // offline BuildInstrumented* result to start serving with. The machine's
   // data memory must already be initialized.
   AdaptiveServer(const isa::Program* original, core::PipelineArtifacts initial,
-                 sim::Machine* machine, const AdaptiveServerConfig& config);
+                 sim::Machine* machine, const AdaptiveServerConfig& config)
+      : group_(original, std::move(initial), {machine},
+               GroupConfig(config)) {}
 
-  void AddTask(runtime::DualModeScheduler::ContextSetup setup);
+  void AddTask(runtime::DualModeScheduler::ContextSetup setup) {
+    group_.AddTask(0, std::move(setup));
+  }
   // Attaches a flight recorder and/or metrics registry (either may be null):
   // the scheduler, the sampling session (trace only — the server aggregates
   // sampling metrics across period rescales), and the controller's rebuilds
   // all publish through them. Call before Run().
   void SetObservability(obs::TraceRecorder* trace,
-                        obs::MetricsRegistry* metrics);
+                        obs::MetricsRegistry* metrics) {
+    group_.SetObservability(trace, metrics);
+  }
   // Attaches a cycle-attribution profiler (may be null). The server hands it
   // to the scheduler, which keeps it bound across the hot swaps this loop
   // performs — attribution stays keyed by ORIGINAL-binary site throughout.
   // Call before Run().
-  void SetProfiler(obs::CycleProfiler* profiler);
-  void SetScavengerFactory(runtime::DualModeScheduler::ScavengerFactory factory);
+  void SetProfiler(obs::CycleProfiler* profiler) {
+    group_.SetProfiler(0, profiler);
+  }
+  void SetScavengerFactory(runtime::DualModeScheduler::ScavengerFactory factory) {
+    group_.SetScavengerFactory(0, std::move(factory));
+  }
   // Separate scavenger binary (an unrelated batch job). Default nullptr:
   // scavengers run the primary binary and are swapped together with it.
-  void SetScavengerBinary(const instrument::InstrumentedProgram* binary);
+  void SetScavengerBinary(const instrument::InstrumentedProgram* binary) {
+    group_.SetScavengerBinary(0, binary);
+  }
 
   // Serves every queued task to completion, adapting at epoch boundaries.
-  Result<AdaptReport> Run();
+  Result<AdaptReport> Run() {
+    Result<GroupReport> group = group_.Run();
+    if (!group.ok()) {
+      return group.status();
+    }
+    return std::move(group.value().shards[0]);
+  }
 
-  const AdaptController& controller() const { return controller_; }
+  const AdaptController& controller() const { return group_.controller(); }
 
  private:
-  const isa::Program* original_;
-  sim::Machine* machine_;
-  AdaptiveServerConfig config_;
-  AdaptController controller_;
-  OnlineProfile online_;
-  const instrument::InstrumentedProgram* scavenger_binary_ = nullptr;
-  std::deque<runtime::DualModeScheduler::ContextSetup> tasks_;
-  runtime::DualModeScheduler::ScavengerFactory factory_;
-  obs::TraceRecorder* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::CycleProfiler* profiler_ = nullptr;
+  static ServerGroupConfig GroupConfig(const AdaptiveServerConfig& config) {
+    ServerGroupConfig group;
+    group.shards = 1;
+    group.shard = config;
+    // The store shadows the single shard's local profile exactly.
+    group.store.decay = config.online.decay;
+    group.store.min_site_executions = config.online.min_site_executions;
+    return group;
+  }
+
+  ServerGroup group_;
 };
 
 }  // namespace yieldhide::adapt

@@ -1,0 +1,289 @@
+#include "src/adapt/server_group.h"
+
+#include "src/common/strings.h"
+
+namespace yieldhide::adapt {
+
+namespace {
+// Share of the persisted profile's mass supplied by the serving generation's
+// reference (vs the store's raw recent tail) at shutdown.
+constexpr double kPersistReferenceShare = 0.65;
+}  // namespace
+
+StaggerPolicy::StaggerPolicy(size_t shard_count, int min_epochs_between_swaps)
+    : min_gap_(min_epochs_between_swaps),
+      // No shard has swapped yet, so the cool-down must not block first swaps
+      // (mirrors AdaptController's epochs_since_swap_ initialization).
+      since_swap_(shard_count, min_epochs_between_swaps),
+      queued_(shard_count, false) {}
+
+void StaggerPolicy::BeginEpoch() {
+  for (int& since : since_swap_) {
+    ++since;
+  }
+  took_this_epoch_ = false;
+}
+
+bool StaggerPolicy::Observe(size_t shard, bool wants_swap) {
+  if (!wants_swap || queued_[shard] || since_swap_[shard] <= min_gap_) {
+    return false;
+  }
+  queued_[shard] = true;
+  queue_.push_back(shard);
+  return true;
+}
+
+std::optional<size_t> StaggerPolicy::TakeSwap() {
+  if (took_this_epoch_ || queue_.empty()) {
+    return std::nullopt;
+  }
+  const size_t shard = queue_.front();
+  queue_.pop_front();
+  queued_[shard] = false;
+  took_this_epoch_ = true;
+  return shard;
+}
+
+void StaggerPolicy::MarkSwapped(size_t shard) { since_swap_[shard] = 0; }
+
+void StaggerPolicy::Withdraw(size_t shard) {
+  if (!queued_[shard]) {
+    return;
+  }
+  queued_[shard] = false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == shard) {
+      queue_.erase(it);
+      break;
+    }
+  }
+}
+
+Status ServerGroupConfig::Validate() const {
+  if (shards < 1) {
+    return InvalidArgumentError("shards must be at least 1");
+  }
+  YH_RETURN_IF_ERROR(shard.Validate());
+  if (!(store.decay > 0.0) || store.decay > 1.0) {
+    return InvalidArgumentError("store.decay must be in (0, 1]");
+  }
+  if (store.min_site_executions < 0.0) {
+    return InvalidArgumentError("store.min_site_executions must be >= 0");
+  }
+  if (generation_reuse_epochs < 0) {
+    return InvalidArgumentError("generation_reuse_epochs must be >= 0");
+  }
+  return Status::Ok();
+}
+
+std::string GroupReport::Summary() const {
+  std::string out = StrFormat(
+      "shards=%zu group_epochs=%zu rebuilds=%d installs=%d (%d reused) "
+      "warm_start=%s",
+      shards.size(), group_epochs, rebuilds, installs, reuse_installs,
+      warm_started ? "yes" : "no");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    out += StrFormat("\n[shard %zu] %s", i, shards[i].Summary().c_str());
+  }
+  return out;
+}
+
+ServerGroup::ServerGroup(const isa::Program* original,
+                         core::PipelineArtifacts initial,
+                         std::vector<sim::Machine*> machines,
+                         const ServerGroupConfig& config)
+    : original_(original),
+      machines_(std::move(machines)),
+      config_(config),
+      controller_(original, std::move(initial), config.shard.controller),
+      store_(config.store),
+      tasks_(config.shards),
+      factories_(config.shards),
+      scavenger_binaries_(config.shards, nullptr),
+      profilers_(config.shards, nullptr) {}
+
+void ServerGroup::AddTask(size_t shard,
+                          runtime::DualModeScheduler::ContextSetup setup) {
+  tasks_[shard].push_back(std::move(setup));
+}
+
+void ServerGroup::SetObservability(obs::TraceRecorder* trace,
+                                   obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+}
+
+void ServerGroup::SetProfiler(size_t shard, obs::CycleProfiler* profiler) {
+  profilers_[shard] = profiler;
+}
+
+void ServerGroup::SetScavengerFactory(
+    size_t shard, runtime::DualModeScheduler::ScavengerFactory factory) {
+  factories_[shard] = std::move(factory);
+}
+
+void ServerGroup::SetScavengerBinary(
+    size_t shard, const instrument::InstrumentedProgram* binary) {
+  scavenger_binaries_[shard] = binary;
+}
+
+Result<GroupReport> ServerGroup::Run() {
+  YH_RETURN_IF_ERROR(config_.Validate());
+  if (machines_.size() != config_.shards) {
+    return InvalidArgumentError("server group needs one machine per shard");
+  }
+
+  GroupReport report;
+
+  if (!config_.profile_path.empty() && config_.warm_start) {
+    // Seed this run from the previous run's merged evidence. A missing or
+    // unreadable file is the normal day-1 cold start, and a failed rebuild
+    // leaves the offline build serving — degraded, never down.
+    if (store_.WarmStartFrom(config_.profile_path).ok()) {
+      Result<AdaptController::SwapPlan> plan = controller_.RebuildFromLoads(
+          store_.loads(), /*old_site_stats=*/{}, controller_.site_index(),
+          /*built_epoch=*/0);
+      if (plan.ok()) {
+        report.warm_started = true;
+        ++report.rebuilds;
+      }
+    }
+  }
+
+  const bool multi = config_.shards > 1;
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i) {
+    obs::Labels labels;
+    if (multi) {
+      labels.emplace_back("shard", std::to_string(i));
+    }
+    shards.push_back(std::make_unique<Shard>(
+        i, machines_[i], config_.shard, &controller_.current_generation(),
+        scavenger_binaries_[i], factories_[i], std::move(tasks_[i]), trace_,
+        metrics_, profilers_[i], std::move(labels)));
+  }
+  tasks_.assign(config_.shards, {});
+
+  StaggerPolicy stagger(config_.shards,
+                        config_.shard.controller.min_epochs_between_swaps);
+  std::vector<bool> running(config_.shards, true);
+  std::vector<bool> boundary(config_.shards, false);
+  size_t group_epoch = 0;
+
+  while (true) {
+    bool active = false;
+    for (size_t i = 0; i < config_.shards; ++i) {
+      if (running[i]) {
+        active = true;
+        break;
+      }
+    }
+    if (!active) {
+      break;
+    }
+
+    // One decay step per GROUP epoch; all shards contribute into it.
+    store_.BeginEpoch();
+    stagger.BeginEpoch();
+    boundary.assign(config_.shards, false);
+
+    for (size_t i = 0; i < config_.shards; ++i) {
+      if (!running[i]) {
+        continue;
+      }
+      profile::LoadProfile evidence;
+      Result<Shard::EpochOutcome> outcome =
+          shards[i]->RunEpochTasks(/*adapting=*/true, &evidence);
+      if (!outcome.ok()) {
+        return outcome.status();
+      }
+      if (!outcome.value().boundary) {
+        // Queue ran dry: this shard is done serving; Finish() flushes its
+        // trailing partial epoch.
+        running[i] = false;
+        stagger.Withdraw(i);
+        continue;
+      }
+      boundary[i] = true;
+      store_.Contribute(evidence);
+      stagger.Observe(i, config_.shard.adapt_enabled &&
+                             outcome.value().score.score >=
+                                 config_.shard.controller.drift_threshold);
+    }
+
+    // At most one shard swaps per group epoch (the stagger invariant). A
+    // fresh-enough generation built for an earlier shard is reused outright;
+    // otherwise rebuild from the SHARED store, so the new binary reflects
+    // what the whole group has seen — not just the swapping shard.
+    std::optional<size_t> chosen = stagger.TakeSwap();
+    if (chosen.has_value()) {
+      Shard& shard = *shards[*chosen];
+      shard.TraceSwapBegin();
+      const BinaryGeneration& newest = controller_.current_generation();
+      const bool reusable =
+          newest.id > shard.generation()->id &&
+          group_epoch - newest.built_epoch <=
+              static_cast<size_t>(config_.generation_reuse_epochs);
+      if (reusable) {
+        std::map<isa::Addr, runtime::YieldSiteStats> carried =
+            AdaptController::TranslateSiteStats(shard.generation()->site_index,
+                                                newest.site_index,
+                                                shard.site_stats());
+        if (shard.InstallGeneration(&newest, std::move(carried)).ok()) {
+          ++report.installs;
+          ++report.reuse_installs;
+          report.swap_log.emplace_back(group_epoch, *chosen);
+          stagger.MarkSwapped(*chosen);
+        }
+      } else {
+        Result<AdaptController::SwapPlan> plan = controller_.RebuildFromLoads(
+            store_.loads(), shard.site_stats(), shard.generation()->site_index,
+            group_epoch);
+        if (!plan.ok()) {
+          shard.OnRebuildFailed();
+        } else {
+          ++report.rebuilds;
+          if (shard
+                  .InstallGeneration(&controller_.current_generation(),
+                                     std::move(plan.value().carried_site_stats))
+                  .ok()) {
+            ++report.installs;
+            report.swap_log.emplace_back(group_epoch, *chosen);
+            stagger.MarkSwapped(*chosen);
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < config_.shards; ++i) {
+      if (boundary[i]) {
+        shards[i]->FinishEpochBoundary(/*adapting=*/true, controller_);
+      }
+    }
+    ++group_epoch;
+  }
+
+  report.group_epochs = group_epoch;
+  for (size_t i = 0; i < config_.shards; ++i) {
+    Result<AdaptReport> shard_report = shards[i]->Finish(controller_);
+    if (!shard_report.ok()) {
+      return shard_report.status();
+    }
+    report.shards.push_back(std::move(shard_report).value());
+  }
+
+  if (!config_.profile_path.empty()) {
+    // Persist the store blended with the serving generation's reference (the
+    // merged evidence the current binary was built from) as the dominant
+    // share: raw sample evidence self-erases once drift is repaired —
+    // instrumented and prefetched sites stop missing — so the store alone
+    // under-reports exactly the sites a warm-started rebuild must keep.
+    YH_RETURN_IF_ERROR(store_.SaveMergedWith(
+        controller_.reference_loads(), kPersistReferenceShare,
+        config_.profile_path));
+  }
+  return report;
+}
+
+}  // namespace yieldhide::adapt

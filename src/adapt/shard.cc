@@ -1,0 +1,390 @@
+#include "src/adapt/shard.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::adapt {
+
+profile::CollectorConfig LowOverheadSamplingConfig() {
+  profile::CollectorConfig config;
+  config.l2_miss_period = 127;
+  config.stall_cycles_period = 2003;
+  config.retired_period = 301;
+  config.period_jitter = 0.05;  // break loop-period resonance
+  config.enable_lbr = false;
+  config.seed = 7;
+  return config;
+}
+
+Status AdaptiveServerConfig::Validate() const {
+  if (tasks_per_epoch < 1) {
+    return InvalidArgumentError("tasks_per_epoch must be at least 1");
+  }
+  if (!(online.decay > 0.0) || online.decay > 1.0) {
+    return InvalidArgumentError("online.decay must be in (0, 1]");
+  }
+  if (controller.drift_threshold < 0.0) {
+    return InvalidArgumentError("controller.drift_threshold must be >= 0");
+  }
+  if (controller.min_epochs_between_swaps < 0) {
+    return InvalidArgumentError(
+        "controller.min_epochs_between_swaps must be >= 0");
+  }
+  if (controller.reference_retain < 0.0 || controller.reference_retain > 1.0) {
+    return InvalidArgumentError(
+        "controller.reference_retain must be in [0, 1]");
+  }
+  if (controller.min_scavengers < 1) {
+    return InvalidArgumentError("controller.min_scavengers must be >= 1");
+  }
+  if (controller.max_scavengers < controller.min_scavengers) {
+    return InvalidArgumentError(
+        "controller.max_scavengers must be >= controller.min_scavengers");
+  }
+  if (dual.max_scavengers < 1) {
+    return InvalidArgumentError("dual.max_scavengers must be >= 1");
+  }
+  if (dual.hide_window_cycles == 0) {
+    return InvalidArgumentError("dual.hide_window_cycles must be > 0");
+  }
+  if (drift_aware_sampling) {
+    if (!(sampling_min_rate_scale > 0.0)) {
+      return InvalidArgumentError("sampling_min_rate_scale must be > 0");
+    }
+    if (sampling_max_rate_scale < sampling_min_rate_scale) {
+      return InvalidArgumentError(
+          "sampling_max_rate_scale must be >= sampling_min_rate_scale");
+    }
+    if (sampling_quiet_epochs < 0) {
+      return InvalidArgumentError("sampling_quiet_epochs must be >= 0");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string AdaptReport::Summary() const {
+  return StrFormat(
+      "epochs=%zu swaps=%d(+%d failed) final_drift=%.3f efficiency=%.1f%% "
+      "samples=%llu(+%llu dropped) sampling_overhead=%s cycles\n%s",
+      epochs.size(), swaps, swap_failures, final_drift,
+      100.0 * run.CpuEfficiency(),
+      static_cast<unsigned long long>(samples_accepted),
+      static_cast<unsigned long long>(samples_dropped),
+      WithCommas(sampling_overhead_cycles).c_str(), run.Summary().c_str());
+}
+
+Shard::Shard(size_t id, sim::Machine* machine,
+             const AdaptiveServerConfig& config,
+             const BinaryGeneration* generation,
+             const instrument::InstrumentedProgram* scavenger_binary,
+             runtime::DualModeScheduler::ScavengerFactory factory,
+             std::deque<runtime::DualModeScheduler::ContextSetup> tasks,
+             obs::TraceRecorder* trace, obs::MetricsRegistry* metrics,
+             obs::CycleProfiler* profiler, obs::Labels labels)
+    : id_(id),
+      machine_(machine),
+      config_(config),
+      dual_(config.dual),
+      generation_(generation),
+      shared_binary_(scavenger_binary == nullptr),
+      online_(config.online),
+      trace_(trace),
+      metrics_(metrics),
+      labels_(std::move(labels)) {
+  if (config_.scale_pool) {
+    // The feedback loop owns the pool size: start minimal and let starvation
+    // evidence grow it (the static initial/max knobs stay untouched for
+    // non-adaptive callers).
+    dual_.initial_scavengers = config_.controller.min_scavengers;
+    dual_.max_scavengers = config_.controller.min_scavengers + 1;
+  }
+  scheduler_ = std::make_unique<runtime::DualModeScheduler>(
+      &generation_->binary(),
+      shared_binary_ ? &generation_->binary() : scavenger_binary, machine_,
+      dual_);
+  scheduler_->SetObservability(trace_, metrics_);
+  scheduler_->SetMetricsLabels(labels_);
+  if (profiler != nullptr) {
+    scheduler_->SetProfiler(profiler);
+  }
+  if (factory) {
+    scheduler_->SetScavengerFactory(std::move(factory));
+  }
+  while (!tasks.empty()) {
+    scheduler_->AddPrimaryTask(std::move(tasks.front()));
+    tasks.pop_front();
+  }
+
+  session_ = MakeSession(ScaledSampling(rate_scale_));
+  periods_ = profile::MakeSamplePeriods(ScaledSampling(rate_scale_));
+  session_->AttachTo(*machine_);
+  session_attached_ = true;
+  epoch_start_ = machine_->now();
+}
+
+Shard::~Shard() {
+  if (session_attached_) {
+    session_->DetachFrom(*machine_);
+  }
+}
+
+// Sampling periods divided by the current rate scale (1.0 until drift-aware
+// sampling moves it): >1 samples harder, <1 relaxes below baseline.
+profile::CollectorConfig Shard::ScaledSampling(double rate_scale) const {
+  profile::CollectorConfig scaled = config_.sampling;
+  auto scale_period = [&](uint64_t period) -> uint64_t {
+    if (period == 0 || rate_scale <= 0.0) {
+      return period;  // disabled events stay disabled
+    }
+    const double p = static_cast<double>(period) / rate_scale;
+    return p < 1.0 ? 1 : static_cast<uint64_t>(p + 0.5);
+  };
+  scaled.l1_miss_period = scale_period(scaled.l1_miss_period);
+  scaled.l2_miss_period = scale_period(scaled.l2_miss_period);
+  scaled.l3_miss_period = scale_period(scaled.l3_miss_period);
+  scaled.stall_cycles_period = scale_period(scaled.stall_cycles_period);
+  scaled.retired_period = scale_period(scaled.retired_period);
+  return scaled;
+}
+
+std::unique_ptr<pmu::SamplingSession> Shard::MakeSession(
+    const profile::CollectorConfig& sampling) const {
+  pmu::SessionConfig session_config = profile::MakeSessionConfig(sampling);
+  session_config.enable_lbr = false;  // block re-profiling is an open item
+  auto session = std::make_unique<pmu::SamplingSession>(session_config);
+  // Trace only: the shard aggregates sampling metrics itself, because a
+  // session's absolute counters restart at zero on every period rescale.
+  session->SetObservability(trace_, nullptr);
+  return session;
+}
+
+void Shard::OpenBoundary(bool adapting, profile::LoadProfile* epoch_evidence) {
+  (void)adapting;
+  const uint64_t overhead_total = overhead_base_ + session_->OverheadCycles();
+  const uint64_t overhead_delta = overhead_total - charged_overhead_;
+  charged_overhead_ = overhead_total;
+  if (config_.charge_sampling_overhead && overhead_delta > 0) {
+    machine_->AdvanceClock(overhead_delta);
+  }
+
+  const runtime::DualModeReport& progress = scheduler_->progress();
+  epoch_ = EpochTelemetry{};
+  epoch_.epoch = report_.epochs.size();
+  epoch_.tasks_completed = progress.run.completions.size();
+  epoch_.cycles = machine_->now() - epoch_start_;
+  epoch_.sampling_overhead_cycles = overhead_delta;
+  epoch_.sampling_rate_scale = rate_scale_;
+  epoch_.pool_cap = scheduler_->scavenger_pool_cap();
+  // Long-lived scavengers only flush into the report at halt/swap/end, so
+  // per-epoch efficiency counts their live (unflushed) issue cycles too.
+  const uint64_t issue_total = progress.run.issue_cycles +
+                               scheduler_->live_scavenger_cycles().issue_cycles;
+  if (epoch_.cycles > 0) {
+    epoch_.efficiency = static_cast<double>(issue_total - last_issue_) /
+                        static_cast<double>(epoch_.cycles);
+  }
+  deltas_ = AdaptController::BurstDeltas{
+      progress.bursts - last_bursts_, progress.bursts_starved - last_starved_,
+      progress.burst_busy_cycles - last_busy_};
+  if (deltas_.bursts > 0 && dual_.hide_window_cycles > 0) {
+    epoch_.burst_occupancy =
+        static_cast<double>(deltas_.burst_busy_cycles) /
+        (static_cast<double>(deltas_.bursts) * dual_.hide_window_cycles);
+  }
+
+  online_.BeginEpoch();
+  online_.ObserveSamples(session_->DrainAllSamples(), periods_,
+                         generation_->backmap, epoch_evidence);
+
+  // Drift is scored against THIS shard's generation: its reference profile
+  // and site index describe the binary actually serving here, which may lag
+  // the controller's newest between staggered swaps.
+  const DriftScore score = ComputeDriftScore(
+      generation_->reference_loads, online_.loads(), generation_->site_index,
+      progress.site_stats, config_.controller.drift);
+  epoch_.drift = score.score;
+  epoch_.drift_appearance = score.appearance;
+  epoch_.drift_divergence = score.divergence;
+  report_.final_drift = score.score;
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceDrift)) {
+    trace_->Record(obs::TraceEventType::kDriftUpdate, machine_->now(),
+                   static_cast<int32_t>(id_), 0,
+                   static_cast<uint64_t>(score.score * 1e6 + 0.5));
+  }
+}
+
+Result<Shard::EpochOutcome> Shard::RunEpochTasks(
+    bool adapting, profile::LoadProfile* epoch_evidence) {
+  const size_t tasks_per_epoch =
+      config_.tasks_per_epoch < 1 ? 1
+                                  : static_cast<size_t>(config_.tasks_per_epoch);
+  Result<size_t> ran = scheduler_->RunTasks(tasks_per_epoch);
+  if (!ran.ok()) {
+    return ran.status();
+  }
+  EpochOutcome outcome;
+  if (ran.value() < tasks_per_epoch) {
+    // Queue ran dry mid-epoch: no full boundary. Finish() flushes the
+    // trailing partial epoch (telemetry-only).
+    return outcome;
+  }
+  OpenBoundary(adapting, epoch_evidence);
+  outcome.boundary = true;
+  outcome.score.appearance = epoch_.drift_appearance;
+  outcome.score.divergence = epoch_.drift_divergence;
+  outcome.score.score = epoch_.drift;
+  return outcome;
+}
+
+void Shard::TraceSwapBegin() {
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceSwap)) {
+    trace_->Record(obs::TraceEventType::kSwapBegin, machine_->now(),
+                   static_cast<int32_t>(id_), 0,
+                   static_cast<uint64_t>(epoch_.drift * 1e6 + 0.5));
+  }
+}
+
+void Shard::OnRebuildFailed() {
+  // Rebuild failed (e.g. the merged profile instrumented nothing the
+  // verifier accepts): keep serving the current binary — degraded, not down.
+  ++report_.swap_failures;
+}
+
+Status Shard::InstallGeneration(
+    const BinaryGeneration* generation,
+    std::map<isa::Addr, runtime::YieldSiteStats> carried_site_stats) {
+  const Status swapped = scheduler_->SwapBinaries(
+      &generation->binary(),
+      shared_binary_ ? &generation->binary() : nullptr,
+      std::move(carried_site_stats));
+  if (swapped.ok()) {
+    epoch_.swapped = true;
+    generation_ = generation;
+    ++report_.swaps;
+  } else if (swap_status_.ok()) {
+    swap_status_ = swapped;  // structurally impossible at a safe point
+  }
+  return swapped;
+}
+
+void Shard::FinishEpochBoundary(bool adapting,
+                                const AdaptController& controller) {
+  if (adapting && config_.scale_pool) {
+    scheduler_->SetScavengerPoolCap(controller.RecommendPoolCap(
+        deltas_, dual_.hide_window_cycles, scheduler_->scavenger_pool_cap()));
+  }
+
+  if (adapting && config_.drift_aware_sampling) {
+    // Pick next epoch's sampling rate from this epoch's drift. Quantized
+    // steps, not a continuous map: period changes rebuild the session, so
+    // they should be rare and deliberate.
+    const double threshold = config_.controller.drift_threshold;
+    double next_scale = 1.0;
+    if (epoch_.swapped || threshold <= 0.0) {
+      // Fresh reference after a swap: old drift evidence is stale.
+      quiet_epochs_ = 0;
+    } else if (epoch_.drift >= threshold) {
+      quiet_epochs_ = 0;
+      next_scale = config_.sampling_max_rate_scale;
+    } else if (epoch_.drift >= 0.5 * threshold) {
+      quiet_epochs_ = 0;
+      next_scale = 0.5 * config_.sampling_max_rate_scale;
+    } else if (epoch_.drift < 0.05 * threshold) {
+      ++quiet_epochs_;
+      if (quiet_epochs_ >= config_.sampling_quiet_epochs) {
+        next_scale = config_.sampling_min_rate_scale;
+      }
+    } else {
+      quiet_epochs_ = 0;
+    }
+    if (next_scale != rate_scale_) {
+      // Periods are baked into the samplers at construction: replace the
+      // session. Retire the old session's modeled overhead into the base
+      // (accounting stays monotone) and recompute the per-event weights the
+      // online profile scales samples by.
+      overhead_base_ += session_->OverheadCycles();
+      session_->DetachFrom(*machine_);
+      rate_scale_ = next_scale;
+      session_ = MakeSession(ScaledSampling(rate_scale_));
+      periods_ = profile::MakeSamplePeriods(ScaledSampling(rate_scale_));
+      session_->AttachTo(*machine_);
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    auto labeled = [&](const char* extra_key, const char* extra_value) {
+      obs::Labels labels = labels_;
+      labels.emplace_back(extra_key, extra_value);
+      return labels;
+    };
+    metrics_->GetCounter("yh_adapt_epochs_total", labels_)->Increment();
+    metrics_->GetCounter("yh_adapt_swaps_total", labels_)->Set(report_.swaps);
+    metrics_->GetCounter("yh_adapt_swap_failures_total", labels_)
+        ->Set(report_.swap_failures);
+    metrics_->GetCounter("yh_adapt_samples_accepted_total", labels_)
+        ->Set(online_.samples_accepted());
+    metrics_->GetCounter("yh_adapt_samples_dropped_total", labels_)
+        ->Set(online_.samples_dropped());
+    metrics_->GetCounter("yh_adapt_sampling_overhead_cycles_total", labels_)
+        ->Set(charged_overhead_);
+    metrics_->GetGauge("yh_adapt_drift_score", labels_)->Set(epoch_.drift);
+    metrics_->GetGauge("yh_adapt_epoch_efficiency", labels_)
+        ->Set(epoch_.efficiency);
+    metrics_->GetGauge("yh_adapt_burst_occupancy", labels_)
+        ->Set(epoch_.burst_occupancy);
+    metrics_->GetGauge("yh_adapt_pool_cap", labels_)
+        ->Set(static_cast<double>(scheduler_->scavenger_pool_cap()));
+    metrics_->GetGauge("yh_adapt_sampling_rate_scale", labels_)
+        ->Set(rate_scale_);
+    const profile::CollectorConfig current = ScaledSampling(rate_scale_);
+    metrics_->GetGauge("yh_adapt_sampling_period", labeled("event", "l2_miss"))
+        ->Set(static_cast<double>(current.l2_miss_period));
+    metrics_
+        ->GetGauge("yh_adapt_sampling_period", labeled("event", "stall_cycles"))
+        ->Set(static_cast<double>(current.stall_cycles_period));
+    metrics_->GetGauge("yh_adapt_sampling_period", labeled("event", "retired"))
+        ->Set(static_cast<double>(current.retired_period));
+  }
+
+  // Snapshot AFTER a possible swap: retiring old-binary scavengers moves
+  // their cycles from live to report, so report + live is swap-invariant.
+  const runtime::DualModeReport& after = scheduler_->progress();
+  last_issue_ = after.run.issue_cycles +
+                scheduler_->live_scavenger_cycles().issue_cycles;
+  last_bursts_ = after.bursts;
+  last_starved_ = after.bursts_starved;
+  last_busy_ = after.burst_busy_cycles;
+  epoch_start_ = machine_->now();
+  report_.epochs.push_back(epoch_);
+}
+
+Result<AdaptReport> Shard::Finish(const AdaptController& controller) {
+  Result<runtime::DualModeReport> run = scheduler_->Finalize();
+  if (session_attached_) {
+    session_->DetachFrom(*machine_);
+    session_attached_ = false;
+  }
+  if (!run.ok()) {
+    return run.status();
+  }
+  report_.run = std::move(run).value();
+  if (!swap_status_.ok()) {
+    return swap_status_;
+  }
+  // Telemetry for a trailing partial epoch.
+  const size_t tasks_per_epoch =
+      config_.tasks_per_epoch < 1 ? 1
+                                  : static_cast<size_t>(config_.tasks_per_epoch);
+  if (report_.run.run.completions.size() % tasks_per_epoch != 0) {
+    OpenBoundary(/*adapting=*/false, nullptr);
+    FinishEpochBoundary(/*adapting=*/false, controller);
+  }
+
+  report_.samples_accepted = online_.samples_accepted();
+  report_.samples_dropped = online_.samples_dropped();
+  report_.sampling_overhead_cycles = charged_overhead_;
+  return std::move(report_);
+}
+
+}  // namespace yieldhide::adapt

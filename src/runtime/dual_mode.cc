@@ -1,6 +1,7 @@
 #include "src/runtime/dual_mode.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "src/common/strings.h"
@@ -57,6 +58,10 @@ void DualModeScheduler::SetObservability(obs::TraceRecorder* trace,
                                          obs::MetricsRegistry* metrics) {
   trace_ = trace;
   metrics_ = metrics;
+}
+
+void DualModeScheduler::SetMetricsLabels(obs::Labels labels) {
+  metric_labels_ = std::move(labels);
 }
 
 void DualModeScheduler::SetProfiler(obs::CycleProfiler* profiler) {
@@ -130,7 +135,7 @@ void DualModeScheduler::PublishMetrics() {
   // The report's aggregates are monotone within a run, so publishing absolute
   // values keeps the counters monotone too.
   auto set = [&](const char* name, uint64_t v) {
-    metrics_->GetCounter(name)->Set(v);
+    metrics_->GetCounter(name, metric_labels_)->Set(v);
   };
   set("yh_sched_tasks_completed_total", report_.run.completions.size());
   set("yh_sched_yields_total", report_.run.yields);
@@ -149,18 +154,20 @@ void DualModeScheduler::PublishMetrics() {
   if (trace_ != nullptr) {
     set("yh_sched_trace_overhead_cycles_total", trace_->TotalOverheadCycles());
   }
-  metrics_->GetGauge("yh_sched_scavenger_pool_cap")
+  metrics_->GetGauge("yh_sched_scavenger_pool_cap", metric_labels_)
       ->Set(static_cast<double>(config_.max_scavengers));
   size_t live = 0;
   for (const Scavenger& scavenger : scavengers_) {
     live += scavenger.exhausted ? 0 : 1;
   }
-  metrics_->GetGauge("yh_sched_scavengers_live")->Set(static_cast<double>(live));
+  metrics_->GetGauge("yh_sched_scavengers_live", metric_labels_)
+      ->Set(static_cast<double>(live));
   // Per-site stream, keyed by original-binary address so the series survives
   // hot swaps (the instrumented addresses change; the sites do not).
   for (const auto& [addr, stats] : report_.site_stats) {
-    const obs::Labels site{{"site", StrFormat("0x%llx",
-        static_cast<unsigned long long>(OriginalSiteOf(addr)))}};
+    obs::Labels site = metric_labels_;
+    site.emplace_back("site", StrFormat("0x%llx",
+        static_cast<unsigned long long>(OriginalSiteOf(addr))));
     obs::Labels hidden = site;
     hidden.emplace_back("outcome", "hidden");
     obs::Labels blown = site;
@@ -362,25 +369,35 @@ int DualModeScheduler::AcquireScavenger(const std::vector<bool>* ran_this_burst)
 }
 
 Result<DualModeReport> DualModeScheduler::Run() {
+  Result<size_t> ran = RunTasks(std::numeric_limits<size_t>::max());
+  if (!ran.ok()) {
+    return ran.status();
+  }
+  return Finalize();
+}
+
+void DualModeScheduler::BeginRun() {
   report_ = DualModeReport{};
   report_.site_stats = seeded_site_stats_;
   in_task_ = false;
-  const uint64_t run_start = machine_->now();
+  task_index_ = 0;
+  run_start_ = machine_->now();
+  started_ = true;
   if (profiler_ != nullptr) {
-    profiler_->OnRunBegin(run_start);
+    profiler_->OnRunBegin(run_start_);
     AnnounceQuarantineToProfiler();  // seeded carry-over tables
   }
-
   for (size_t i = 0; i < config_.initial_scavengers; ++i) {
     if (!SpawnScavenger()) {
       break;
     }
   }
+}
 
-  // Runs scavenger work until ~window cycles elapse or a scavenger decides to
-  // hand back. Returns an error status only on executor errors.
-  auto run_scavenger_burst = [&]() -> Status {
-    ++report_.bursts;
+// Runs scavenger work until ~window cycles elapse or a scavenger decides to
+// hand back. Returns an error status only on executor errors.
+Status DualModeScheduler::RunScavengerBurst() {
+  ++report_.bursts;
     // Which pool members already ran in this burst; a chain prefers unvisited
     // scavengers so nobody is resumed into its own in-flight prefetch.
     std::vector<bool> ran(scavengers_.size(), false);
@@ -503,15 +520,19 @@ Result<DualModeReport> DualModeScheduler::Run() {
       ++report_.chains;
       idx = next;
     }
-  };
+}
 
-  size_t task_index = 0;
-  while (!primary_tasks_.empty()) {
+Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
+  if (!started_) {
+    BeginRun();
+  }
+  size_t completed = 0;
+  while (!primary_tasks_.empty() && completed < max_tasks) {
     ContextSetup setup = std::move(primary_tasks_.front());
     primary_tasks_.pop_front();
 
     sim::CpuContext primary;
-    primary.id = static_cast<int>(task_index++);
+    primary.id = static_cast<int>(task_index_++);
     primary.ResetArchState(primary_binary_->program.entry());
     primary.cyield_enabled = false;  // primary mode: CYIELDs fall through
     if (setup) {
@@ -609,7 +630,7 @@ Result<DualModeReport> DualModeScheduler::Run() {
         primary.switch_cycles += cost;
         primary.yields_taken += 1;
         ++report_.run.yields;
-        YH_RETURN_IF_ERROR(run_scavenger_burst());
+        YH_RETURN_IF_ERROR(RunScavengerBurst());
       }
     }
 
@@ -622,7 +643,7 @@ Result<DualModeReport> DualModeScheduler::Run() {
     report_.run.stall_cycles += primary.stall_cycles;
     report_.run.switch_cycles += primary.switch_cycles;
     if (metrics_ != nullptr) {
-      metrics_->GetHistogram("yh_sched_primary_latency_cycles")
+      metrics_->GetHistogram("yh_sched_primary_latency_cycles", metric_labels_)
           ->Record(machine_->now() - task_start);
     }
     in_task_ = false;
@@ -641,8 +662,15 @@ Result<DualModeReport> DualModeScheduler::Run() {
       // Safe point: no primary in flight. The hook may swap binaries.
       boundary_hook_(report_.run.completions.size());
     }
+    ++completed;
   }
+  return completed;
+}
 
+Result<DualModeReport> DualModeScheduler::Finalize() {
+  if (!started_) {
+    BeginRun();  // a zero-task run still yields a well-formed report
+  }
   // Account for scavengers still in flight.
   for (const Scavenger& scavenger : scavengers_) {
     if (!scavenger.exhausted) {
@@ -658,8 +686,9 @@ Result<DualModeReport> DualModeScheduler::Run() {
     // Final sweep: after this, the taxonomy partitions total_cycles exactly.
     profiler_->SyncToClock(machine_->now());
   }
-  report_.run.total_cycles = machine_->now() - run_start;
+  report_.run.total_cycles = machine_->now() - run_start_;
   PublishMetrics();
+  started_ = false;
   return report_;
 }
 

@@ -161,6 +161,12 @@ class DualModeScheduler {
   void SetObservability(obs::TraceRecorder* trace,
                         obs::MetricsRegistry* metrics);
 
+  // Base labels appended to every metric this scheduler publishes (e.g.
+  // {"shard", "2"} when several schedulers share one registry). Empty by
+  // default, which publishes the exact unlabeled series single-core callers
+  // and existing dashboards expect.
+  void SetMetricsLabels(obs::Labels labels);
+
   // Attaches a cycle-attribution profiler (may be null; must outlive the
   // run). The scheduler feeds it inline at every accounting point and keeps
   // it bound across hot swaps (OnBinary + quarantine re-announce), so the
@@ -211,6 +217,21 @@ class DualModeScheduler {
   // unfinished (they are best-effort by definition).
   Result<DualModeReport> Run();
 
+  // Incremental serving API: runs at most `max_tasks` more primary tasks and
+  // returns at a safe point (no task in flight) with the number actually
+  // completed by this call — 0 once the queue is empty. The first call does
+  // the start-of-run setup (report reset, quarantine seed, initial scavenger
+  // spawns). ServerGroup drives its shards in epoch lockstep through this;
+  // Run() is the run-to-completion composition of RunTasks + Finalize.
+  Result<size_t> RunTasks(size_t max_tasks);
+  // Ends an incremental run: flushes live scavenger accounting into the
+  // report, charges deferred observability costs, stamps run.total_cycles,
+  // publishes final metrics, and returns the report. The next RunTasks/Run
+  // afterwards starts a fresh run.
+  Result<DualModeReport> Finalize();
+  // Primary tasks still queued (not yet started).
+  size_t pending_tasks() const { return primary_tasks_.size(); }
+
  private:
   struct Scavenger {
     sim::CpuContext ctx;
@@ -251,6 +272,10 @@ class DualModeScheduler {
   // Re-announces the current quarantine table to the profiler (run start and
   // after swaps, when OnBinary has reset its flags).
   void AnnounceQuarantineToProfiler();
+  // Start-of-run setup shared by Run() and the first RunTasks() call.
+  void BeginRun();
+  // One scavenger burst at a primary yield (see the scheduling rules above).
+  Status RunScavengerBurst();
 
   const instrument::InstrumentedProgram* primary_binary_;
   const instrument::InstrumentedProgram* scavenger_binary_;
@@ -265,9 +290,14 @@ class DualModeScheduler {
   size_t scavenger_cursor_ = 0;
   std::map<isa::Addr, YieldSiteStats> seeded_site_stats_;
   bool in_task_ = false;
+  // Incremental-run state: BeginRun() has run and Finalize() has not.
+  bool started_ = false;
+  uint64_t run_start_ = 0;
+  size_t task_index_ = 0;
   DualModeReport report_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Labels metric_labels_;
   obs::CycleProfiler* profiler_ = nullptr;
   // kPrimary yield address in the current primary binary -> original-binary
   // site (the swap-invariant key observability uses).

@@ -30,6 +30,15 @@ class PhasedChase : public SimWorkload {
     // P(task >= flip runs phase B); 0 = no drift, 1 = full phase change.
     // Drawn deterministically per task index, so runs are reproducible.
     double severity = 1.0;
+    // Zipf-mix drift: instead of moving drifted traffic to phase B (fresh
+    // IPs, which the APPEARANCE term of the drift score catches), drifted
+    // tasks keep running loop A but chase a small cache-resident hot segment
+    // appended to ring A, start node drawn Zipf-skewed. Same load IPs, but
+    // the loads now mostly HIT — the installed yields hide nothing — so
+    // appearance stays ~0 and only the DIVERGENCE term carries the signal.
+    bool zipf_mix = false;
+    double zipf_theta = 0.99;  // skew of the hot-segment start draw, (0, 1)
+    uint64_t hot_nodes = 512;  // hot-segment size; must fit in cache
   };
 
   static Result<PhasedChase> Make(const Config& config);
@@ -40,8 +49,12 @@ class PhasedChase : public SimWorkload {
   uint64_t ExpectedResult(int index) const override;
 
   const Config& config() const { return config_; }
-  // Which loop task `index` runs: 0 = phase A, 1 = phase B.
+  // Which loop task `index` runs: 0 = phase A, 1 = phase B. In zipf_mix mode
+  // every task runs loop A (drift moves data, not code).
   int PhaseOf(int index) const;
+  // Whether task `index` drew the drifted behavior (phase B normally, the
+  // Zipf-skewed hot segment in zipf_mix mode).
+  bool Drifted(int index) const;
   // Payload loads (first touch of each node's line = the true miss sites).
   isa::Addr miss_load_a() const { return miss_load_a_; }
   isa::Addr miss_load_b() const { return miss_load_b_; }
@@ -52,6 +65,9 @@ class PhasedChase : public SimWorkload {
   uint64_t NodeAddrA(uint64_t node) const { return kDataRegionBase + node * 64; }
   uint64_t NodeAddrB(uint64_t node) const { return kAuxRegionBase + node * 64; }
   uint64_t StartNode(int index) const;
+  // Ring-A start node for task `index`: the Zipf-skewed hot-segment draw for
+  // drifted zipf_mix tasks, the spread base-ring start otherwise.
+  uint64_t StartNodeA(int index) const;
 
   Config config_;
   isa::Program program_;

@@ -1,14 +1,21 @@
 // Tests for the online adaptation subsystem (src/adapt): IP back-mapping,
 // the decayed online profile, drift scoring, the controller's rebuild +
-// quarantine translation, safe-point hot swaps, and the adaptive server
-// end-to-end on a drifting workload.
+// quarantine translation, safe-point hot swaps, the adaptive server
+// end-to-end on a drifting workload, the stagger policy, the shared profile
+// store (including cross-run persistence), and the sharded server group.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <set>
 
 #include "src/adapt/backmap.h"
 #include "src/adapt/controller.h"
 #include "src/adapt/drift_score.h"
 #include "src/adapt/online_profile.h"
+#include "src/adapt/profile_store.h"
 #include "src/adapt/server.h"
+#include "src/adapt/server_group.h"
 #include "src/core/pipeline.h"
 #include "src/runtime/annotate.h"
 #include "src/workloads/phased_chase.h"
@@ -498,6 +505,244 @@ TEST(AdaptiveServerTest, CleanStreamNeverSwaps) {
   for (int i = 0; i < kTasks; ++i) {
     EXPECT_EQ(twin.ReadResult(machine.memory(), i), twin.ExpectedResult(i));
   }
+}
+
+// --- StaggerPolicy (property) -----------------------------------------------------
+
+// Random drift schedules against the three invariants the group relies on:
+// at most one swap per epoch, the per-shard cool-down holds at SWAP time
+// (not just enqueue time), and an accepted request drains within one queue
+// length — a shard never starves behind the others.
+TEST(StaggerPolicyTest, RandomSchedulesNeverOverlapAndDrainBounded) {
+  constexpr size_t kShards = 4;
+  constexpr int kMinGap = 2;
+  constexpr int kEpochs = 48;
+  std::mt19937 rng(0xa2a2);
+  std::bernoulli_distribution wants(0.4);
+  std::bernoulli_distribution finishes(0.05);
+  for (int schedule = 0; schedule < 64; ++schedule) {
+    StaggerPolicy policy(kShards, kMinGap);
+    std::vector<int> last_swap(kShards, -(kMinGap + 1));
+    std::vector<int> enqueued_at(kShards, -1);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      policy.BeginEpoch();
+      for (size_t s = 0; s < kShards; ++s) {
+        if (finishes(rng)) {  // a shard draining its queue withdraws
+          policy.Withdraw(s);
+          enqueued_at[s] = -1;
+        }
+        if (policy.Observe(s, wants(rng))) {
+          enqueued_at[s] = epoch;
+        }
+      }
+      int swaps_this_epoch = 0;
+      while (auto shard = policy.TakeSwap()) {
+        ++swaps_this_epoch;
+        policy.MarkSwapped(*shard);
+        EXPECT_GT(epoch - last_swap[*shard], kMinGap)
+            << "schedule " << schedule << " shard " << *shard;
+        last_swap[*shard] = epoch;
+        ASSERT_GE(enqueued_at[*shard], 0) << "swap without accepted request";
+        EXPECT_LT(epoch - enqueued_at[*shard], static_cast<int>(kShards))
+            << "schedule " << schedule << " shard " << *shard
+            << " waited past one full queue drain";
+        enqueued_at[*shard] = -1;
+      }
+      EXPECT_LE(swaps_this_epoch, 1) << "stagger violated at epoch " << epoch;
+    }
+  }
+}
+
+// --- SharedProfileStore -----------------------------------------------------------
+
+profile::SiteProfile Site(double execs, double l2, double stall) {
+  profile::SiteProfile site;
+  site.est_executions = execs;
+  site.est_l2_misses = l2;
+  site.est_stall_cycles = stall;
+  return site;
+}
+
+TEST(SharedProfileStoreTest, SaveAndWarmStartRoundTripSites) {
+  SharedProfileStoreConfig config;
+  SharedProfileStore store(config);
+  profile::LoadProfile evidence;
+  evidence.AccumulateSite(11, Site(100, 60, 4000));
+  evidence.AccumulateSite(23, Site(50, 2, 10));
+  store.BeginEpoch();
+  store.Contribute(evidence);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "yh_store_roundtrip.profile";
+  ASSERT_TRUE(store.SaveTo(path).ok());
+
+  SharedProfileStore loaded(config);
+  ASSERT_TRUE(loaded.WarmStartFrom(path).ok());
+  EXPECT_TRUE(loaded.warm_started());
+  ASSERT_EQ(loaded.loads().sites().size(), store.loads().sites().size());
+  for (const auto& [ip, site] : store.loads().sites()) {
+    ASSERT_TRUE(loaded.loads().HasIp(ip)) << "ip " << ip;
+    const auto& got = loaded.loads().ForIp(ip);
+    EXPECT_NEAR(got.est_executions, site.est_executions, 1e-6);
+    EXPECT_NEAR(got.est_l2_misses, site.est_l2_misses, 1e-6);
+    EXPECT_NEAR(got.est_stall_cycles, site.est_stall_cycles, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SharedProfileStoreTest, WarmStartRejectsMissingAndEmptyStores) {
+  SharedProfileStoreConfig config;
+  SharedProfileStore store(config);
+  EXPECT_FALSE(store.WarmStartFrom("/nonexistent/yh_store.profile").ok());
+  EXPECT_FALSE(store.warm_started());
+
+  // A store that never saw evidence saves an empty profile; warm-starting
+  // from it must fail loudly, not silently serve day-1 behavior as day-2.
+  const std::string path =
+      std::string(::testing::TempDir()) + "yh_store_empty.profile";
+  ASSERT_TRUE(store.SaveTo(path).ok());
+  SharedProfileStore loaded(config);
+  EXPECT_FALSE(loaded.WarmStartFrom(path).ok());
+  EXPECT_FALSE(loaded.warm_started());
+  std::remove(path.c_str());
+}
+
+TEST(SharedProfileStoreTest, SaveMergedWithKeepsRepairedSitesAtReferenceRatio) {
+  // Post-swap, a repaired site's prefetches eliminate its L2 misses, so the
+  // store can end the run with NO evidence at the very site the binary
+  // covers. The blended save must carry that site from the reference with
+  // its miss ratio intact, at the configured share of the total mass.
+  SharedProfileStoreConfig config;
+  SharedProfileStore store(config);
+  profile::LoadProfile evidence;
+  evidence.AccumulateSite(1, Site(1000, 500, 20000));  // live, unrepaired
+  store.BeginEpoch();
+  store.Contribute(evidence);
+
+  profile::LoadProfile reference;
+  reference.AccumulateSite(7, Site(100, 90, 5000));  // repaired: store-silent
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "yh_store_merged.profile";
+  ASSERT_TRUE(store.SaveMergedWith(reference, 0.65, path).ok());
+
+  SharedProfileStore loaded(config);
+  ASSERT_TRUE(loaded.WarmStartFrom(path).ok());
+  ASSERT_TRUE(loaded.loads().HasIp(7));
+  ASSERT_TRUE(loaded.loads().HasIp(1));
+  // Mass-matching scales both sides without touching per-site ratios...
+  EXPECT_NEAR(loaded.loads().ForIp(7).L2MissProbability(), 0.9, 0.01);
+  EXPECT_NEAR(loaded.loads().ForIp(1).L2MissProbability(), 0.5, 0.01);
+  // ...and the reference supplies its configured share of the total mass.
+  const double ref_mass = loaded.loads().ForIp(7).est_executions;
+  const double total = ref_mass + loaded.loads().ForIp(1).est_executions;
+  EXPECT_NEAR(ref_mass / total, 0.65, 0.01);
+  std::remove(path.c_str());
+}
+
+// --- ServerGroup end-to-end -------------------------------------------------------
+
+TEST(ServerGroupTest, TwoShardsStaggerSwapsAndShareOneRebuild) {
+  auto twin = SmallPhased(0.0);
+  auto config = SmallPipeline();
+  auto stale = StaleArtifacts(twin, config);
+  // Full phase change on BOTH shards from the first request.
+  auto drifted = SmallPhased(1.0, /*flip=*/0);
+
+  sim::Machine m0(config.machine);
+  sim::Machine m1(config.machine);
+  drifted.InitMemory(m0.memory());
+  drifted.InitMemory(m1.memory());
+
+  ServerGroupConfig group_config;
+  group_config.shards = 2;
+  group_config.shard = ServerConfig(config, /*adapting=*/true);
+  ServerGroup group(&drifted.program(), stale, {&m0, &m1}, group_config);
+  constexpr int kTasksPerShard = 12;
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < kTasksPerShard; ++i) {
+      group.AddTask(static_cast<size_t>(s),
+                    drifted.SetupFor(s * kTasksPerShard + i));
+    }
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_EQ(report->shards.size(), 2u);
+  for (const auto& shard : report->shards) {
+    EXPECT_GE(shard.swaps, 1);
+    EXPECT_EQ(shard.swap_failures, 0);
+  }
+  // The stagger invariant: every install lands in its own group epoch.
+  std::set<size_t> swap_epochs;
+  for (const auto& [epoch, shard] : report->swap_log) {
+    EXPECT_TRUE(swap_epochs.insert(epoch).second)
+        << "two swaps in group epoch " << epoch;
+  }
+  // The shared store pays off: the second shard reuses the first rebuild's
+  // generation instead of rediscovering the same phase change.
+  EXPECT_GE(report->installs, 2);
+  EXPECT_GE(report->reuse_installs, 1);
+  EXPECT_LT(report->rebuilds, report->installs);
+  // Both machines computed the exact chase across their staggered swaps.
+  for (int i = 0; i < kTasksPerShard; ++i) {
+    EXPECT_EQ(drifted.ReadResult(m0.memory(), i), drifted.ExpectedResult(i))
+        << "shard 0 task " << i;
+    EXPECT_EQ(drifted.ReadResult(m1.memory(), kTasksPerShard + i),
+              drifted.ExpectedResult(kTasksPerShard + i))
+        << "shard 1 task " << kTasksPerShard + i;
+  }
+}
+
+TEST(ServerGroupTest, WarmStartRebuildsBeforeServingAndStaysCorrect) {
+  auto twin = SmallPhased(0.0);
+  auto config = SmallPipeline();
+  auto drifted = SmallPhased(1.0, /*flip=*/0);
+  const std::string path =
+      std::string(::testing::TempDir()) + "yh_group_store.profile";
+  std::remove(path.c_str());
+
+  ServerGroupConfig group_config;
+  group_config.shards = 1;
+  group_config.shard = ServerConfig(config, /*adapting=*/true);
+  group_config.profile_path = path;
+  constexpr int kTasks = 12;
+
+  // Day 1: cold start, drift mid-run, persist the merged store at shutdown.
+  {
+    auto stale = StaleArtifacts(twin, config);
+    sim::Machine machine(config.machine);
+    drifted.InitMemory(machine.memory());
+    ServerGroup group(&drifted.program(), stale, {&machine}, group_config);
+    for (int i = 0; i < kTasks; ++i) {
+      group.AddTask(0, drifted.SetupFor(i));
+    }
+    auto report = group.Run();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->warm_started);
+    EXPECT_GE(report->installs, 1);
+  }
+
+  // Day 2: the same stale offline build, but the persisted store rebuilds
+  // BEFORE epoch 0 and the warm generation covers the drifted site.
+  auto stale = StaleArtifacts(twin, config);
+  sim::Machine machine(config.machine);
+  drifted.InitMemory(machine.memory());
+  ServerGroup group(&drifted.program(), stale, {&machine}, group_config);
+  for (int i = 0; i < kTasks; ++i) {
+    group.AddTask(0, drifted.SetupFor(i));
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->warm_started);
+  EXPECT_GE(report->rebuilds, 1);
+  EXPECT_TRUE(group.controller().site_index().count(drifted.miss_load_b()));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(drifted.ReadResult(machine.memory(), i),
+              drifted.ExpectedResult(i))
+        << "task " << i;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

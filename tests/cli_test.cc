@@ -164,6 +164,32 @@ TEST(CliTest, ProfileJsonExportIsValid) {
   EXPECT_NE(r.stderr_text.find("cycles classified"), std::string::npos);
 }
 
+// --- sharded serving (`yhc serve`) -------------------------------------------
+
+TEST(CliTest, ServeBadShardsExitsTwo) {
+  const CommandResult r = RunYhc("serve --shards 0", "serve_bad_shards");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --shards"), std::string::npos);
+}
+
+TEST(CliTest, ServeUnknownFlagExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("serve --frobnicate 3", "serve_bad_flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("yhc serve: unknown flag '--frobnicate'"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeTwoShardsReportsStaggerAndExitsZero) {
+  const std::string out = TempPath("serve.out");
+  const CommandResult r = RunYhc(
+      std::string("serve --shards 2 ") + kSmallRun + " > " + out, "serve_run");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("shards=2"), std::string::npos);
+  EXPECT_NE(text.find("stagger ok"), std::string::npos);
+  EXPECT_NE(text.find("results correct"), std::string::npos);
+}
+
 TEST(CliTest, ProfileFoldedStacksAreWellFormed) {
   const std::string out = TempPath("profile.folded");
   const CommandResult r = RunYhc(

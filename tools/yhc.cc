@@ -8,26 +8,32 @@
 //   yhc cfg chase.yh > chase.dot                 # CFG as graphviz
 //   yhc interval chase.yh                        # worst-case inter-yield gap
 //   yhc run chase.yh --ring 0x100000,4096,1021 --reg 1=0x100000 --reg 2=1000
-//   yhc profile chase.yh --out chase.prof \
-//       --ring 0x100000,4096,1021 --reg 1=0x100000 --reg 2=1000
+//   yhc profile chase.yh --out chase.prof --ring 0x100000,4096,1021 ...
 //   yhc instrument chase.yh --profile chase.prof --out chase.instr.yh
 //   yhc run chase.instr.yh --group 16 --ring ... --reg ...   # interleaved
 //   yhc adapt --severity 1.0 --tasks 32          # online adaptation demo
+//   yhc serve --shards 4 --severity 1.0          # sharded multi-core serving
 //
 // Instrumented binaries carry their yield side-table in a "<out>.yields"
 // sidecar and their original<->instrumented address map in "<out>.map" (the
 // input the online adaptation loop needs to back-map production samples);
 // `yhc run` picks the yield table up automatically when present.
+//
+// All flag parsing goes through cli::Options (src/cli/options.h): declarative
+// typed accessors, named "bad --flag" errors, exit 2 on usage problems.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/adapt/server.h"
 #include "src/analysis/cfg.h"
+#include "src/cli/options.h"
 #include "src/common/strings.h"
 #include "src/core/pipeline.h"
 #include "src/faultinject/drift.h"
@@ -50,135 +56,41 @@
 namespace yieldhide::tools {
 namespace {
 
-struct Options {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;          // --key value / --key=value
-  std::vector<std::pair<int, uint64_t>> regs;        // --reg N=V (repeatable)
-  std::vector<std::string> rings;                    // --ring base,lines,stride
-};
+using cli::Options;
 
-Result<Options> ParseArgs(int argc, char** argv) {
-  Options options;
-  for (int i = 2; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (!StartsWith(arg, "--")) {
-      options.positional.emplace_back(arg);
-      continue;
-    }
-    arg.remove_prefix(2);
-    std::string key, value;
-    const size_t eq = arg.find('=');
-    if (eq != std::string_view::npos && arg.substr(0, eq) != "reg") {
-      key = std::string(arg.substr(0, eq));
-      value = std::string(arg.substr(eq + 1));
-    } else {
-      key = std::string(eq != std::string_view::npos ? arg.substr(0, eq) : arg);
-      if (key == "reg" && eq != std::string_view::npos) {
-        value = std::string(arg.substr(eq + 1));
-      } else if (key == "folded" || key == "top" || key == "json") {
-        // Presence flags (`yhc profile` output modes): never swallow the next
-        // token; an optional value uses the --key=value form (--top=20).
-        value.clear();
-      } else if (i + 1 < argc) {
-        value = argv[++i];
-      } else {
-        return InvalidArgumentError("flag --" + key + " needs a value");
-      }
-    }
-    if (key == "reg") {
-      const size_t split = value.find('=');
-      if (split == std::string::npos) {
-        return InvalidArgumentError("--reg expects N=VALUE");
-      }
-      YH_ASSIGN_OR_RETURN(const int64_t reg, ParseInt64(value.substr(0, split)));
-      YH_ASSIGN_OR_RETURN(const uint64_t v, ParseUint64(value.substr(split + 1)));
-      if (reg < 0 || reg >= isa::kNumRegisters) {
-        return OutOfRangeError("--reg register out of range");
-      }
-      options.regs.emplace_back(static_cast<int>(reg), v);
-    } else if (key == "ring") {
-      options.rings.push_back(value);
-    } else {
-      options.flags[key] = value;
-    }
-  }
-  return options;
-}
-
-Result<uint64_t> FlagU64(const Options& options, const std::string& key,
-                         uint64_t fallback) {
-  auto it = options.flags.find(key);
-  if (it == options.flags.end()) {
-    return fallback;
-  }
-  return ParseUint64(it->second);
-}
-
-Status ApplyRings(const Options& options, sim::Machine& machine) {
-  for (const std::string& spec : options.rings) {
-    auto parts = SplitString(spec, ',');
-    if (parts.size() != 3) {
-      return InvalidArgumentError("--ring expects base,lines,stride");
-    }
-    YH_ASSIGN_OR_RETURN(const uint64_t base, ParseUint64(parts[0]));
-    YH_ASSIGN_OR_RETURN(const uint64_t lines, ParseUint64(parts[1]));
-    YH_ASSIGN_OR_RETURN(const uint64_t stride, ParseUint64(parts[2]));
-    if (lines == 0) {
-      return InvalidArgumentError("--ring needs lines > 0");
-    }
-    for (uint64_t i = 0; i < lines; ++i) {
-      machine.memory().Write64(base + i * 64, base + ((i + stride) % lines) * 64);
-    }
-  }
-  return Status::Ok();
-}
-
-std::function<void(sim::CpuContext&)> MakeSetup(const Options& options, int task) {
-  return [&options, task](sim::CpuContext& ctx) {
-    for (const auto& [reg, value] : options.regs) {
-      ctx.regs[reg] = value;
-    }
-    // Spread multi-coroutine runs: r1 advanced by task*64 lines if a ring is
-    // in use (callers can instead pass distinct --reg via separate runs).
-    if (task > 0 && !options.rings.empty()) {
-      ctx.regs[1] += static_cast<uint64_t>(task) * 64 * 257;
-    }
-  };
-}
-
-int CmdAsm(const Options& options) {
-  if (options.positional.size() != 2) {
+int CmdAsm(Options& options) {
+  if (options.positional().size() != 2) {
     std::fprintf(stderr, "usage: yhc asm <in.s> <out.yh>\n");
     return 2;
   }
-  std::ifstream in(options.positional[0]);
+  std::ifstream in(options.positional()[0]);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", options.positional[0].c_str());
+    std::fprintf(stderr, "cannot open %s\n", options.positional()[0].c_str());
     return 1;
   }
   std::ostringstream source;
   source << in.rdbuf();
-  auto program = isa::Assemble(source.str(), options.positional[0]);
+  auto program = isa::Assemble(source.str(), options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "assembly failed: %s\n", program.status().ToString().c_str());
     return 1;
   }
-  const Status saved = isa::SaveProgram(*program, options.positional[1]);
+  const Status saved = isa::SaveProgram(*program, options.positional()[1]);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
   std::printf("assembled %zu instructions -> %s\n", program->size(),
-              options.positional[1].c_str());
+              options.positional()[1].c_str());
   return 0;
 }
 
-int CmdDis(const Options& options) {
-  if (options.positional.size() != 1) {
+int CmdDis(Options& options) {
+  if (options.positional().size() != 1) {
     std::fprintf(stderr, "usage: yhc dis <in.yh>\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
@@ -187,12 +99,12 @@ int CmdDis(const Options& options) {
   return 0;
 }
 
-int CmdCfg(const Options& options) {
-  if (options.positional.size() != 1) {
+int CmdCfg(Options& options) {
+  if (options.positional().size() != 1) {
     std::fprintf(stderr, "usage: yhc cfg <in.yh>\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
@@ -206,12 +118,12 @@ int CmdCfg(const Options& options) {
   return 0;
 }
 
-int CmdInterval(const Options& options) {
-  if (options.positional.size() != 1) {
+int CmdInterval(Options& options) {
+  if (options.positional().size() != 1) {
     std::fprintf(stderr, "usage: yhc interval <in.yh>\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
@@ -228,26 +140,25 @@ int CmdInterval(const Options& options) {
   return 0;
 }
 
-int CmdRun(const Options& options) {
-  if (options.positional.size() != 1) {
+int CmdRun(Options& options) {
+  if (options.positional().size() != 1) {
     std::fprintf(stderr, "usage: yhc run <in.yh> [--group N] [--reg N=V] "
                          "[--ring base,lines,stride] [--max-insns N]\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
   }
-  auto group = FlagU64(options, "group", 1);
-  auto max_insns = FlagU64(options, "max-insns", 100'000'000);
-  if (!group.ok() || !max_insns.ok() || *group == 0) {
-    std::fprintf(stderr, "bad --group/--max-insns\n");
-    return 2;
+  const uint64_t group = options.PositiveU64("group", 1);
+  const uint64_t max_insns = options.U64("max-insns", 100'000'000);
+  if (!options.ok()) {
+    return options.UsageError();
   }
 
   sim::Machine machine(sim::MachineConfig::SkylakeLike());
-  const Status rings = ApplyRings(options, machine);
+  const Status rings = options.ApplyRings(machine);
   if (!rings.ok()) {
     std::fprintf(stderr, "%s\n", rings.ToString().c_str());
     return 1;
@@ -255,17 +166,17 @@ int CmdRun(const Options& options) {
 
   instrument::InstrumentedProgram binary =
       runtime::AnnotateManualYields(*program, machine.config().cost);
-  auto sidecar = instrument::LoadYieldTable(options.positional[0] + ".yields");
+  auto sidecar = instrument::LoadYieldTable(options.positional()[0] + ".yields");
   if (sidecar.ok()) {
     binary.yields = std::move(sidecar).value();
     std::printf("(loaded yield side-table: %zu entries)\n", binary.yields.size());
   }
 
   runtime::RoundRobinScheduler sched(&binary, &machine);
-  for (uint64_t i = 0; i < *group; ++i) {
-    sched.AddCoroutine(MakeSetup(options, static_cast<int>(i)));
+  for (uint64_t i = 0; i < group; ++i) {
+    sched.AddCoroutine(options.MakeSetup(static_cast<int>(i)));
   }
-  auto report = sched.Run(*max_insns);
+  auto report = sched.Run(max_insns);
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
     return 1;
@@ -280,14 +191,13 @@ int CmdRun(const Options& options) {
 
 // Defined after RunObservedAdaptScenario: cycle-attribution mode of
 // `yhc profile` (--folded / --top / --json).
-int CmdProfileAttribution(const Options& options);
+int CmdProfileAttribution(Options& options);
 
-int CmdProfile(const Options& options) {
-  if (options.flags.count("folded") != 0 || options.flags.count("top") != 0 ||
-      options.flags.count("json") != 0) {
+int CmdProfile(Options& options) {
+  if (options.Has("folded") || options.Has("top") || options.Has("json")) {
     return CmdProfileAttribution(options);
   }
-  if (options.positional.size() != 1 || options.flags.count("out") == 0) {
+  if (options.positional().size() != 1 || !options.Has("out")) {
     std::fprintf(stderr,
                  "usage: yhc profile <in.yh> --out <prof> [--period N] "
                  "[--reg N=V] [--ring ...]\n"
@@ -295,34 +205,34 @@ int CmdProfile(const Options& options) {
                  "[--tasks N] [--epoch N]\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
   }
   sim::Machine machine(sim::MachineConfig::SkylakeLike());
-  const Status rings = ApplyRings(options, machine);
+  const Status rings = options.ApplyRings(machine);
   if (!rings.ok()) {
     std::fprintf(stderr, "%s\n", rings.ToString().c_str());
     return 1;
   }
   profile::CollectorConfig config;
-  auto period = FlagU64(options, "period", 29);
-  if (!period.ok() || *period == 0) {
-    std::fprintf(stderr, "bad --period\n");
-    return 2;
+  const uint64_t period = options.PositiveU64("period", 29);
+  if (!options.ok()) {
+    return options.UsageError();
   }
-  config.l2_miss_period = *period;
-  config.stall_cycles_period = *period * 7;
-  config.retired_period = *period * 2 + 1;
+  config.l2_miss_period = period;
+  config.stall_cycles_period = period * 7;
+  config.retired_period = period * 2 + 1;
   config.period_jitter = 0.1;
-  auto result = profile::CollectProfile(*program, machine, MakeSetup(options, 0), config);
+  auto result =
+      profile::CollectProfile(*program, machine, options.MakeSetup(0), config);
   if (!result.ok()) {
     std::fprintf(stderr, "profiling failed: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  const Status saved =
-      profile::SaveProfileData(result->profile, options.flags.at("out"));
+  const std::string out = options.Str("out", "");
+  const Status saved = profile::SaveProfileData(result->profile, out);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
@@ -330,25 +240,24 @@ int CmdProfile(const Options& options) {
   std::printf("profiled %s cycles (%s instructions), overhead %.2f%% -> %s\n",
               WithCommas(result->run_cycles).c_str(),
               WithCommas(result->run_instructions).c_str(),
-              100 * result->sampling_overhead_fraction,
-              options.flags.at("out").c_str());
+              100 * result->sampling_overhead_fraction, out.c_str());
   return 0;
 }
 
-int CmdInstrument(const Options& options) {
-  if (options.positional.size() != 1 || options.flags.count("profile") == 0 ||
-      options.flags.count("out") == 0) {
+int CmdInstrument(Options& options) {
+  if (options.positional().size() != 1 || !options.Has("profile") ||
+      !options.Has("out")) {
     std::fprintf(stderr,
                  "usage: yhc instrument <in.yh> --profile <prof> --out <out.yh> "
                  "[--interval N] [--threshold X]\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
   }
-  auto profile = profile::LoadProfileData(options.flags.at("profile"));
+  auto profile = profile::LoadProfileData(options.Str("profile", ""));
   if (!profile.ok()) {
     std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 1;
@@ -356,20 +265,15 @@ int CmdInstrument(const Options& options) {
 
   core::PipelineConfig config;
   config.machine = sim::MachineConfig::SkylakeLike();
-  auto interval = FlagU64(options, "interval", 300);
-  if (!interval.ok() || *interval == 0) {
-    std::fprintf(stderr, "bad --interval\n");
-    return 2;
+  const uint64_t interval = options.PositiveU64("interval", 300);
+  const double threshold = options.Double("threshold", -1.0);
+  if (!options.ok()) {
+    return options.UsageError();
   }
-  config.scavenger.target_interval_cycles = static_cast<uint32_t>(*interval);
-  if (options.flags.count("threshold") != 0) {
-    auto threshold = ParseDouble(options.flags.at("threshold"));
-    if (!threshold.ok()) {
-      std::fprintf(stderr, "bad --threshold\n");
-      return 2;
-    }
+  config.scavenger.target_interval_cycles = static_cast<uint32_t>(interval);
+  if (options.Has("threshold")) {
     config.primary.policy = instrument::PrimaryPolicy::kMissThreshold;
-    config.primary.miss_probability_threshold = *threshold;
+    config.primary.miss_probability_threshold = threshold;
   }
   config.Finalize();
 
@@ -400,7 +304,7 @@ int CmdInstrument(const Options& options) {
     return 1;
   }
 
-  const std::string& out = options.flags.at("out");
+  const std::string out = options.Str("out", "");
   Status saved = isa::SaveProgram(scavenger->instrumented.program, out);
   if (saved.ok()) {
     saved = instrument::SaveYieldTable(scavenger->instrumented.yields, out + ".yields");
@@ -424,8 +328,8 @@ int CmdInstrument(const Options& options) {
 // uninstrumented baseline. Demonstrates every graceful-degradation layer from
 // the shell: sanitize drops, confidence-gate quarantine, verification
 // fallback, and the runtime site quarantine.
-int CmdChaos(const Options& options) {
-  if (options.positional.size() != 1 || options.flags.count("fault") == 0) {
+int CmdChaos(Options& options) {
+  if (options.positional().size() != 1 || !options.Has("fault")) {
     std::fprintf(stderr,
                  "usage: yhc chaos <in.yh> --fault=<class:sev>[,...] [--group N] "
                  "[--period N] [--seed S] [--quarantine 0|1] [--reg N=V] "
@@ -433,40 +337,38 @@ int CmdChaos(const Options& options) {
                  "fault classes: ip_alias, skid, drop, period_alias, stale\n");
     return 2;
   }
-  auto program = isa::LoadProgram(options.positional[0]);
+  auto program = isa::LoadProgram(options.positional()[0]);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
   }
-  auto faults = faultinject::ParseFaultList(options.flags.at("fault"));
+  auto faults = faultinject::ParseFaultList(options.Str("fault", ""));
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
     return 1;
   }
-  auto group = FlagU64(options, "group", 8);
-  auto period = FlagU64(options, "period", 29);
-  auto seed = FlagU64(options, "seed", 1);
-  auto quarantine = FlagU64(options, "quarantine", 1);
-  if (!group.ok() || !period.ok() || !seed.ok() || !quarantine.ok() ||
-      *group == 0 || *period == 0) {
-    std::fprintf(stderr, "bad --group/--period/--seed/--quarantine\n");
-    return 2;
+  const uint64_t group = options.PositiveU64("group", 8);
+  const uint64_t period = options.PositiveU64("period", 29);
+  const uint64_t seed = options.U64("seed", 1);
+  const uint64_t quarantine = options.U64("quarantine", 1);
+  if (!options.ok()) {
+    return options.UsageError();
   }
 
   // --- step 1: clean profile of the original binary ------------------------
   sim::Machine profile_machine(sim::MachineConfig::SkylakeLike());
-  Status rings = ApplyRings(options, profile_machine);
+  Status rings = options.ApplyRings(profile_machine);
   if (!rings.ok()) {
     std::fprintf(stderr, "%s\n", rings.ToString().c_str());
     return 1;
   }
   profile::CollectorConfig collector;
-  collector.l2_miss_period = *period;
-  collector.stall_cycles_period = *period * 7;
-  collector.retired_period = *period * 2 + 1;
+  collector.l2_miss_period = period;
+  collector.stall_cycles_period = period * 7;
+  collector.retired_period = period * 2 + 1;
   collector.period_jitter = 0.1;
-  auto collected =
-      profile::CollectProfile(*program, profile_machine, MakeSetup(options, 0), collector);
+  auto collected = profile::CollectProfile(*program, profile_machine,
+                                           options.MakeSetup(0), collector);
   if (!collected.ok()) {
     std::fprintf(stderr, "profiling failed: %s\n",
                  collected.status().ToString().c_str());
@@ -481,11 +383,11 @@ int CmdChaos(const Options& options) {
   profile::ProfileData profile = std::move(collected->profile);
   for (const faultinject::FaultSpec& spec : *faults) {
     faultinject::FaultSpec seeded = spec;
-    seeded.seed = *seed;
+    seeded.seed = seed;
     if (spec.fault == faultinject::FaultClass::kStaleBinary) {
       faultinject::DriftConfig drift;
       drift.severity = spec.severity;
-      drift.seed = *seed;
+      drift.seed = seed;
       auto drifted = faultinject::DriftProgram(target, drift);
       if (!drifted.ok()) {
         std::fprintf(stderr, "drift failed: %s\n",
@@ -552,18 +454,18 @@ int CmdChaos(const Options& options) {
                       bool enable_quarantine,
                       bool with_scavengers) -> Result<runtime::DualModeReport> {
     sim::Machine machine(sim::MachineConfig::SkylakeLike());
-    YH_RETURN_IF_ERROR(ApplyRings(options, machine));
+    YH_RETURN_IF_ERROR(options.ApplyRings(machine));
     runtime::DualModeConfig dm;
     dm.site_quarantine = enable_quarantine;
     runtime::DualModeScheduler sched(&bin, &bin, &machine, dm);
-    for (uint64_t i = 0; i < *group; ++i) {
-      sched.AddPrimaryTask(MakeSetup(options, static_cast<int>(i)));
+    for (uint64_t i = 0; i < group; ++i) {
+      sched.AddPrimaryTask(options.MakeSetup(static_cast<int>(i)));
     }
     if (with_scavengers) {
-      int task = static_cast<int>(*group);
+      int task = static_cast<int>(group);
       sched.SetScavengerFactory([&options, task]() mutable
                                     -> std::optional<std::function<void(sim::CpuContext&)>> {
-        return MakeSetup(options, task++);
+        return options.MakeSetup(task++);
       });
     }
     return sched.Run();
@@ -577,7 +479,7 @@ int CmdChaos(const Options& options) {
                  baseline.status().ToString().c_str());
     return 1;
   }
-  auto chaos = dual_run(binary, *quarantine != 0, true);
+  auto chaos = dual_run(binary, quarantine != 0, true);
   if (!chaos.ok()) {
     std::fprintf(stderr, "chaos run failed: %s\n",
                  chaos.status().ToString().c_str());
@@ -598,46 +500,17 @@ int CmdChaos(const Options& options) {
   return slowdown <= 1.15 ? 0 : 1;
 }
 
-// Online adaptation demo (docs/ONLINE.md), end to end from the shell: serve a
-// drifting PhasedChase request stream from a STALE binary and let the adapt
-// subsystem repair it live. Yesterday's instrumentation comes from a
-// severity-0 twin (all traffic phase A, same rings, same program); today's
-// mix draws phase B with P = --severity, whose loads the stale binary never
-// covers. AdaptiveServer keeps a low-period sampling session attached,
-// scores drift each --epoch tasks, and past --threshold re-instruments the
-// original binary and hot-swaps it at a task boundary. --adapt 0 demotes the
-// controller to a monitor-only control run (scores drift, never acts).
-int CmdAdapt(const Options& options) {
-  auto tasks = FlagU64(options, "tasks", 32);
-  auto epoch = FlagU64(options, "epoch", 8);
-  auto flip = FlagU64(options, "flip", 0);
-  auto nodes = FlagU64(options, "nodes", 1 << 18);
-  auto steps = FlagU64(options, "steps", 400);
-  auto adapt_on = FlagU64(options, "adapt", 1);
-  if (!tasks.ok() || !epoch.ok() || !flip.ok() || !nodes.ok() || !steps.ok() ||
-      !adapt_on.ok() || *tasks == 0 || *epoch == 0 || *nodes == 0 || *steps == 0) {
-    std::fprintf(stderr, "bad --tasks/--epoch/--flip/--nodes/--steps/--adapt\n");
-    return 2;
-  }
-  double severity = 1.0;
-  if (options.flags.count("severity") != 0) {
-    auto parsed = ParseDouble(options.flags.at("severity"));
-    if (!parsed.ok() || *parsed < 0.0 || *parsed > 1.0) {
-      std::fprintf(stderr, "bad --severity (want 0..1)\n");
-      return 2;
-    }
-    severity = *parsed;
-  }
-  double threshold = 0.25;
-  if (options.flags.count("threshold") != 0) {
-    auto parsed = ParseDouble(options.flags.at("threshold"));
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "bad --threshold\n");
-      return 2;
-    }
-    threshold = *parsed;
-  }
+// Shared by `yhc adapt` and `yhc serve`: the drifting-PhasedChase serving
+// scenario — a stale binary built from a severity-0 twin, today's traffic
+// drawing phase B with P = --severity.
+struct AdaptScenario {
+  core::PipelineConfig pipeline;
+  core::PipelineArtifacts stale;
+  workloads::PhasedChase chase;
+};
 
+Result<AdaptScenario> BuildAdaptScenario(uint64_t nodes, uint64_t steps,
+                                         double severity, int flip_task_index) {
   core::PipelineConfig pipeline;
   pipeline.machine = sim::MachineConfig::SkylakeLike();
   pipeline.collector.l2_miss_period = 29;
@@ -647,43 +520,72 @@ int CmdAdapt(const Options& options) {
   pipeline.Finalize();
 
   workloads::PhasedChase::Config yesterday;
-  yesterday.num_nodes = *nodes;
-  yesterday.steps_per_task = *steps;
+  yesterday.num_nodes = nodes;
+  yesterday.steps_per_task = steps;
   yesterday.severity = 0.0;
-  auto twin = workloads::PhasedChase::Make(yesterday);
-  if (!twin.ok()) {
-    std::fprintf(stderr, "%s\n", twin.status().ToString().c_str());
-    return 1;
-  }
-  auto stale = core::BuildInstrumentedForWorkload(*twin, pipeline);
-  if (!stale.ok()) {
-    std::fprintf(stderr, "stale build failed: %s\n", stale.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("stale instrumentation (phase-A profile): %s\n", stale->Summary().c_str());
+  YH_ASSIGN_OR_RETURN(workloads::PhasedChase twin,
+                      workloads::PhasedChase::Make(yesterday));
+  YH_ASSIGN_OR_RETURN(core::PipelineArtifacts stale,
+                      core::BuildInstrumentedForWorkload(twin, pipeline));
 
   workloads::PhasedChase::Config today = yesterday;
   today.severity = severity;
-  today.flip_task_index = static_cast<int>(*flip);
-  auto made = workloads::PhasedChase::Make(today);
-  if (!made.ok()) {
-    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+  today.flip_task_index = flip_task_index;
+  YH_ASSIGN_OR_RETURN(workloads::PhasedChase chase,
+                      workloads::PhasedChase::Make(today));
+  return AdaptScenario{std::move(pipeline), std::move(stale), std::move(chase)};
+}
+
+// Online adaptation demo (docs/ONLINE.md), end to end from the shell: serve a
+// drifting PhasedChase request stream from a STALE binary and let the adapt
+// subsystem repair it live. Yesterday's instrumentation comes from a
+// severity-0 twin (all traffic phase A, same rings, same program); today's
+// mix draws phase B with P = --severity, whose loads the stale binary never
+// covers. AdaptiveServer keeps a low-period sampling session attached,
+// scores drift each --epoch tasks, and past --threshold re-instruments the
+// original binary and hot-swaps it at a task boundary. --adapt 0 demotes the
+// controller to a monitor-only control run (scores drift, never acts).
+int CmdAdapt(Options& options) {
+  const uint64_t tasks = options.PositiveU64("tasks", 32);
+  const uint64_t epoch = options.PositiveU64("epoch", 8);
+  const uint64_t flip = options.U64("flip", 0);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 18);
+  const uint64_t steps = options.PositiveU64("steps", 400);
+  const uint64_t adapt_on = options.U64("adapt", 1);
+  const double severity = options.UnitDouble("severity", 1.0);
+  const double threshold = options.Double("threshold", 0.25);
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  auto scenario = BuildAdaptScenario(nodes, steps, severity,
+                                     static_cast<int>(flip));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
     return 1;
   }
-  const workloads::PhasedChase chase = std::move(made).value();
+  std::printf("stale instrumentation (phase-A profile): %s\n",
+              scenario->stale.Summary().c_str());
+  const workloads::PhasedChase& chase = scenario->chase;
 
-  sim::Machine machine(pipeline.machine);
+  sim::Machine machine(scenario->pipeline.machine);
   chase.InitMemory(machine.memory());
   adapt::AdaptiveServerConfig config;
-  config.controller.pipeline = pipeline;
+  config.controller.pipeline = scenario->pipeline;
   config.controller.drift_threshold = threshold;
-  config.tasks_per_epoch = static_cast<int>(*epoch);
-  config.adapt_enabled = *adapt_on != 0;
-  config.scale_pool = *adapt_on != 0;
+  config.tasks_per_epoch = static_cast<int>(epoch);
+  config.adapt_enabled = adapt_on != 0;
+  config.scale_pool = adapt_on != 0;
   config.dual.max_scavengers = 4;
   config.dual.hide_window_cycles = 300;
-  adapt::AdaptiveServer server(&chase.program(), *stale, &machine, config);
-  const int n = static_cast<int>(*tasks);
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  adapt::AdaptiveServer server(&chase.program(), scenario->stale, &machine,
+                               config);
+  const int n = static_cast<int>(tasks);
   for (int i = 0; i < n; ++i) {
     server.AddTask(chase.SetupFor(i));
   }
@@ -726,32 +628,161 @@ int CmdAdapt(const Options& options) {
   return 0;
 }
 
+// Sharded serving (docs/ONLINE.md): the CmdAdapt scenario on a ServerGroup —
+// N simulated cores serve independent slices of the drifting request stream,
+// evidence merges in the SharedProfileStore, and swaps stagger so no two
+// shards rebuild in the same epoch. --store <path> persists the merged
+// profile across runs (the next invocation warm-starts from it).
+int CmdServe(Options& options) {
+  const uint64_t shards = options.PositiveU64("shards", 4);
+  const uint64_t tasks = options.PositiveU64("tasks", 32);  // per shard
+  const uint64_t epoch = options.PositiveU64("epoch", 8);
+  const uint64_t flip = options.U64("flip", 0);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 18);
+  const uint64_t steps = options.PositiveU64("steps", 400);
+  const uint64_t adapt_on = options.U64("adapt", 1);
+  const uint64_t warm = options.U64("warm-start", 1);
+  const double severity = options.UnitDouble("severity", 1.0);
+  const double threshold = options.Double("threshold", 0.25);
+  const std::string store_path = options.Str("store", "");
+  options.RejectUnknownFlags(
+      "serve", {"shards", "tasks", "epoch", "flip", "nodes", "steps", "adapt",
+                "warm-start", "severity", "threshold", "store"});
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  auto scenario = BuildAdaptScenario(nodes, steps, severity,
+                                     static_cast<int>(flip));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stale instrumentation (phase-A profile): %s\n",
+              scenario->stale.Summary().c_str());
+  const workloads::PhasedChase& chase = scenario->chase;
+
+  adapt::ServerGroupConfig config;
+  config.shards = shards;
+  config.shard.controller.pipeline = scenario->pipeline;
+  config.shard.controller.drift_threshold = threshold;
+  config.shard.tasks_per_epoch = static_cast<int>(epoch);
+  config.shard.adapt_enabled = adapt_on != 0;
+  config.shard.scale_pool = adapt_on != 0;
+  config.shard.dual.max_scavengers = 4;
+  config.shard.dual.hide_window_cycles = 300;
+  config.profile_path = store_path;
+  config.warm_start = warm != 0;
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  // One simulated core per shard, each with its own memory image of the
+  // chase rings; shard s serves task indices [s*tasks, (s+1)*tasks).
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (uint64_t s = 0; s < shards; ++s) {
+    machines.push_back(std::make_unique<sim::Machine>(scenario->pipeline.machine));
+    chase.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+
+  adapt::ServerGroup group(&chase.program(), scenario->stale,
+                           machine_ptrs, config);
+  const int n = static_cast<int>(tasks);
+  for (uint64_t s = 0; s < shards; ++s) {
+    for (int i = 0; i < n; ++i) {
+      group.AddTask(s, chase.SetupFor(static_cast<int>(s) * n + i));
+    }
+    int extra = static_cast<int>(shards) * n + static_cast<int>(s) * 100000;
+    group.SetScavengerFactory(
+        s, [&chase, extra]() mutable
+               -> std::optional<runtime::DualModeScheduler::ContextSetup> {
+          return chase.SetupFor(extra++);
+        });
+  }
+
+  auto report = group.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sharded run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %-7s %-6s %-7s %-7s %s\n", "shard", "epochs", "swaps",
+              "drift", "eff", "last epochs (drift)");
+  for (size_t s = 0; s < report->shards.size(); ++s) {
+    const adapt::AdaptReport& r = report->shards[s];
+    std::string tail;
+    const size_t shown = r.epochs.size() < 4 ? r.epochs.size() : 4;
+    for (size_t e = r.epochs.size() - shown; e < r.epochs.size(); ++e) {
+      tail += StrFormat("%.2f%s ", r.epochs[e].drift,
+                        r.epochs[e].swapped ? "*" : "");
+    }
+    std::printf("%-6zu %-7zu %-6d %-7.3f %-7.1f %s\n", s, r.epochs.size(),
+                r.swaps, r.final_drift, 100.0 * r.run.CpuEfficiency(),
+                tail.c_str());
+  }
+  for (const auto& [swap_epoch, shard] : report->swap_log) {
+    std::printf("swap: epoch %zu shard %zu\n", swap_epoch, shard);
+  }
+
+  // The stagger invariant, verified from the audit trail: no two installs
+  // share a group epoch.
+  std::set<size_t> swap_epochs;
+  for (const auto& [swap_epoch, shard] : report->swap_log) {
+    if (!swap_epochs.insert(swap_epoch).second) {
+      std::fprintf(stderr, "stagger VIOLATED: two swaps in epoch %zu\n",
+                   swap_epoch);
+      return 1;
+    }
+  }
+
+  // Correctness on every shard's own memory image.
+  int wrong = 0;
+  for (uint64_t s = 0; s < shards; ++s) {
+    for (int i = 0; i < n; ++i) {
+      const int index = static_cast<int>(s) * n + i;
+      if (chase.ReadResult(machines[s]->memory(), index) !=
+          chase.ExpectedResult(index)) {
+        ++wrong;
+      }
+    }
+  }
+  if (wrong != 0) {
+    std::fprintf(stderr, "%d/%d results WRONG after sharded adaptation\n",
+                 wrong, static_cast<int>(shards) * n);
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  std::printf("%d/%d results correct; stagger ok (%zu installs, %d rebuilds)\n",
+              static_cast<int>(shards) * n, static_cast<int>(shards) * n,
+              report->swap_log.size(), report->rebuilds);
+  if (!store_path.empty()) {
+    std::printf("profile store saved to %s (warm_started=%s)\n",
+                store_path.c_str(), report->warm_started ? "yes" : "no");
+  }
+  return 0;
+}
+
 // Shared by `yhc trace` / `yhc metrics`: the CmdAdapt scenario — serve a
 // drifting PhasedChase stream from a stale binary with online adaptation on —
 // with observability attached and smaller defaults, so one command produces a
 // trace/metrics snapshot covering profile, instrument, run, and adapt.
 // Prints progress to stderr only; stdout belongs to the caller's export.
-int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
+int RunObservedAdaptScenario(Options& options, obs::TraceRecorder* trace,
                              obs::MetricsRegistry* metrics,
                              double* cycles_per_ns_out,
                              obs::CycleProfiler* profiler = nullptr) {
-  auto tasks = FlagU64(options, "tasks", 24);
-  auto epoch = FlagU64(options, "epoch", 6);
-  auto nodes = FlagU64(options, "nodes", 1 << 16);
-  auto steps = FlagU64(options, "steps", 300);
-  if (!tasks.ok() || !epoch.ok() || !nodes.ok() || !steps.ok() || *tasks == 0 ||
-      *epoch == 0 || *nodes == 0 || *steps == 0) {
-    std::fprintf(stderr, "bad --tasks/--epoch/--nodes/--steps\n");
-    return 2;
-  }
-  double severity = 1.0;
-  if (options.flags.count("severity") != 0) {
-    auto parsed = ParseDouble(options.flags.at("severity"));
-    if (!parsed.ok() || *parsed < 0.0 || *parsed > 1.0) {
-      std::fprintf(stderr, "bad --severity (want 0..1)\n");
-      return 2;
-    }
-    severity = *parsed;
+  const uint64_t tasks = options.PositiveU64("tasks", 24);
+  const uint64_t epoch = options.PositiveU64("epoch", 6);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 16);
+  const uint64_t steps = options.PositiveU64("steps", 300);
+  const double severity = options.UnitDouble("severity", 1.0);
+  if (!options.ok()) {
+    return options.UsageError();
   }
 
   core::PipelineConfig pipeline;
@@ -767,8 +798,8 @@ int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
   }
 
   workloads::PhasedChase::Config yesterday;
-  yesterday.num_nodes = *nodes;
-  yesterday.steps_per_task = *steps;
+  yesterday.num_nodes = nodes;
+  yesterday.steps_per_task = steps;
   yesterday.severity = 0.0;
   auto twin = workloads::PhasedChase::Make(yesterday);
   if (!twin.ok()) {
@@ -795,7 +826,7 @@ int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
   chase.InitMemory(machine.memory());
   adapt::AdaptiveServerConfig config;
   config.controller.pipeline = pipeline;
-  config.tasks_per_epoch = static_cast<int>(*epoch);
+  config.tasks_per_epoch = static_cast<int>(epoch);
   config.dual.max_scavengers = 4;
   config.dual.hide_window_cycles = 300;
   config.drift_aware_sampling = true;
@@ -804,7 +835,7 @@ int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
   if (profiler != nullptr) {
     server.SetProfiler(profiler);
   }
-  const int n = static_cast<int>(*tasks);
+  const int n = static_cast<int>(tasks);
   for (int i = 0; i < n; ++i) {
     server.AddTask(chase.SetupFor(i));
   }
@@ -827,19 +858,18 @@ int RunObservedAdaptScenario(const Options& options, obs::TraceRecorder* trace,
 
 // Writes `text` to --out if given, else stdout.
 int EmitDocument(const Options& options, const std::string& text) {
-  auto it = options.flags.find("out");
-  if (it == options.flags.end()) {
+  if (!options.Has("out")) {
     std::fputs(text.c_str(), stdout);
     return 0;
   }
-  std::ofstream out(it->second);
+  const std::string path = options.Str("out", "");
+  std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
   out << text;
-  std::fprintf(stderr, "wrote %s (%zu bytes)\n", it->second.c_str(),
-               text.size());
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), text.size());
   return 0;
 }
 
@@ -847,40 +877,28 @@ int EmitDocument(const Options& options, const std::string& text) {
 // scheduler (inline hooks) AND fed from the trace recorder's streaming drain,
 // then render where every cycle went — folded stacks for a flamegraph, a
 // pprof-style top table, or JSON (docs/PROFILER.md).
-int CmdProfileAttribution(const Options& options) {
-  static const char* kKnownFlags[] = {"folded", "top",   "json",  "out",
-                                      "tasks",  "epoch", "nodes", "steps",
-                                      "severity"};
-  for (const auto& [key, value] : options.flags) {
-    bool known = false;
-    for (const char* flag : kKnownFlags) {
-      known = known || key == flag;
-    }
-    if (!known) {
-      // Named error, exit 2: a typoed flag must not silently run the default
-      // scenario and look like success.
-      std::fprintf(stderr, "yhc profile: unknown flag '--%s'\n", key.c_str());
-      return 2;
-    }
+int CmdProfileAttribution(Options& options) {
+  // A typoed flag must not silently run the default scenario and look like
+  // success: the attribution mode takes a closed flag set.
+  options.RejectUnknownFlags("profile", {"folded", "top", "json", "out",
+                                         "tasks", "epoch", "nodes", "steps",
+                                         "severity"});
+  if (!options.ok()) {
+    return options.UsageError();
   }
-  const int modes = (options.flags.count("folded") != 0 ? 1 : 0) +
-                    (options.flags.count("top") != 0 ? 1 : 0) +
-                    (options.flags.count("json") != 0 ? 1 : 0);
-  if (modes != 1 || !options.positional.empty()) {
+  const int modes = (options.Has("folded") ? 1 : 0) +
+                    (options.Has("top") ? 1 : 0) +
+                    (options.Has("json") ? 1 : 0);
+  if (modes != 1 || !options.positional().empty()) {
     std::fprintf(stderr,
                  "usage: yhc profile --folded|--top[=N]|--json [--out <path>] "
                  "[--tasks N] [--epoch N] [--nodes N] [--steps N] "
                  "[--severity X]\n");
     return 2;
   }
-  size_t top_n = 10;
-  if (options.flags.count("top") != 0 && !options.flags.at("top").empty()) {
-    auto parsed = ParseUint64(options.flags.at("top"));
-    if (!parsed.ok() || *parsed == 0) {
-      std::fprintf(stderr, "bad --top (want a positive count)\n");
-      return 2;
-    }
-    top_n = static_cast<size_t>(*parsed);
+  const size_t top_n = options.TopN(10);
+  if (!options.ok()) {
+    return options.UsageError();
   }
 
   obs::CycleProfiler profiler;
@@ -902,9 +920,9 @@ int CmdProfileAttribution(const Options& options) {
                profiler.sites().size());
 
   std::string doc;
-  if (options.flags.count("folded") != 0) {
+  if (options.Has("folded")) {
     doc = obs::ToFoldedStacks(profiler);
-  } else if (options.flags.count("top") != 0) {
+  } else if (options.Has("top")) {
     doc = obs::ToTopTable(profiler, top_n);
   } else {
     doc = obs::ToProfileJson(profiler);
@@ -921,16 +939,16 @@ int CmdProfileAttribution(const Options& options) {
 // Cycle-domain flight recording: run the adaptation scenario with a
 // TraceRecorder attached and export Chrome trace-event JSON (loadable in
 // Perfetto / chrome://tracing).
-int CmdTrace(const Options& options) {
+int CmdTrace(Options& options) {
   obs::TraceConfig trace_config;
-  auto capacity = FlagU64(options, "capacity", trace_config.capacity);
-  auto mask = FlagU64(options, "mask", obs::kDefaultTraceMask);
-  if (!capacity.ok() || !mask.ok() || *capacity == 0) {
-    std::fprintf(stderr, "bad --capacity/--mask\n");
-    return 2;
+  const uint64_t capacity =
+      options.PositiveU64("capacity", trace_config.capacity);
+  const uint64_t mask = options.U64("mask", obs::kDefaultTraceMask);
+  if (!options.ok()) {
+    return options.UsageError();
   }
-  trace_config.capacity = *capacity;
-  trace_config.mask = static_cast<uint32_t>(*mask);
+  trace_config.capacity = capacity;
+  trace_config.mask = static_cast<uint32_t>(mask);
   obs::TraceRecorder recorder(trace_config);
 
   double cycles_per_ns = 1.0;
@@ -957,21 +975,21 @@ int CmdTrace(const Options& options) {
 // Metrics snapshots: run the adaptation scenario with a MetricsRegistry
 // attached and print it as JSON and/or Prometheus text — or, with two
 // positional snapshot files, diff them without running anything.
-int CmdMetrics(const Options& options) {
-  if (options.positional.size() == 2) {
+int CmdMetrics(Options& options) {
+  if (options.positional().size() == 2) {
     // Diff mode: yhc metrics <a.json> <b.json>
     std::map<std::string, double> parsed[2];
     for (int i = 0; i < 2; ++i) {
-      std::ifstream in(options.positional[i]);
+      std::ifstream in(options.positional()[i]);
       if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", options.positional[i].c_str());
+        std::fprintf(stderr, "cannot open %s\n", options.positional()[i].c_str());
         return 1;
       }
       std::ostringstream text;
       text << in.rdbuf();
       auto snapshot = obs::ParseMetricsSnapshot(text.str());
       if (!snapshot.ok()) {
-        std::fprintf(stderr, "%s: %s\n", options.positional[i].c_str(),
+        std::fprintf(stderr, "%s: %s\n", options.positional()[i].c_str(),
                      snapshot.status().ToString().c_str());
         return 1;
       }
@@ -980,19 +998,16 @@ int CmdMetrics(const Options& options) {
     std::fputs(obs::DiffSnapshots(parsed[0], parsed[1]).c_str(), stdout);
     return 0;
   }
-  if (!options.positional.empty()) {
+  if (!options.positional().empty()) {
     std::fprintf(stderr,
                  "usage: yhc metrics [--format json|prom|both] [--out <path>]\n"
                  "       yhc metrics <a.json> <b.json>   (diff two snapshots)\n");
     return 2;
   }
-  std::string format = "both";
-  if (options.flags.count("format") != 0) {
-    format = options.flags.at("format");
-    if (format != "json" && format != "prom" && format != "both") {
-      std::fprintf(stderr, "bad --format (want json|prom|both)\n");
-      return 2;
-    }
+  const std::string format =
+      options.Choice("format", "both", {"json", "prom", "both"});
+  if (!options.ok()) {
+    return options.UsageError();
   }
 
   obs::MetricsRegistry registry;
@@ -1039,6 +1054,10 @@ void PrintUsage(std::FILE* out) {
                "        [--adapt 0|1] [--threshold X]\n"
                "        serve a drifting workload from a stale binary and\n"
                "        hot-swap re-instrumentation online (docs/ONLINE.md)\n"
+               "  serve [--shards N] [--tasks N] [--epoch N] [--severity X]\n"
+               "        [--store <path>] [--warm-start 0|1] [--threshold X]\n"
+               "        sharded multi-core serving: N cores, one shared\n"
+               "        profile store, staggered hot-swaps (docs/ONLINE.md)\n"
                "  trace [--out <path>] [--mask M] [--capacity N] [--tasks N]\n"
                "        run the adapt scenario with the cycle-domain flight\n"
                "        recorder on; emit Chrome/Perfetto trace-event JSON\n"
@@ -1054,13 +1073,13 @@ int Usage() {
   return 2;
 }
 
-int CmdHelp(const Options& options) {
+int CmdHelp(Options& options) {
   static const char* kCommands[] = {"asm",        "dis",   "cfg",     "interval",
                                     "run",        "profile", "instrument",
-                                    "chaos",      "adapt", "trace",   "metrics",
-                                    "help"};
-  if (!options.positional.empty()) {
-    const std::string& topic = options.positional.front();
+                                    "chaos",      "adapt", "serve",   "trace",
+                                    "metrics",    "help"};
+  if (!options.positional().empty()) {
+    const std::string& topic = options.positional().front();
     bool known = false;
     for (const char* command : kCommands) {
       known = known || topic == command;
@@ -1084,7 +1103,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
-  auto options = ParseArgs(argc, argv);
+  auto options = yieldhide::cli::Options::Parse(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
     return 2;
@@ -1116,6 +1135,9 @@ int main(int argc, char** argv) {
   }
   if (command == "adapt") {
     return CmdAdapt(*options);
+  }
+  if (command == "serve") {
+    return CmdServe(*options);
   }
   if (command == "trace") {
     return CmdTrace(*options);
