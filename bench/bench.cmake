@@ -25,6 +25,7 @@ yh_bench(bench_c10_sampling)
 yh_bench(bench_n1_native_interleave)
 yh_bench(bench_c11_inline_level)
 yh_bench(bench_r1_fault_matrix)
+yh_bench(bench_r2_serving_faults)
 yh_bench(bench_a1_adaptation)
 yh_bench(bench_a2_sharded)
 yh_bench(bench_o1_observability)

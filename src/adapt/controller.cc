@@ -37,10 +37,28 @@ void AdaptController::PushGeneration(core::PipelineArtifacts artifacts,
   generation->backmap = ReverseAddrMap(lineage_.back()->binary.addr_map,
                                        lineage_.back()->binary.program.size());
   generations_.push_back(std::move(generation));
+  current_index_ = generations_.size() - 1;
+}
+
+void AdaptController::QuarantineGeneration(int id,
+                                           uint64_t profile_fingerprint) {
+  if (id < 0 || static_cast<size_t>(id) >= generations_.size()) {
+    return;
+  }
+  if (!generations_[static_cast<size_t>(id)]->quarantined) {
+    generations_[static_cast<size_t>(id)]->quarantined = true;
+    ++quarantined_generations_;
+  }
+  PoisonProfile(profile_fingerprint);
+  // Revert the reference to the newest healthy generation; generation 0 (the
+  // offline build) is never quarantined, so this always terminates.
+  while (current_index_ > 0 && generations_[current_index_]->quarantined) {
+    --current_index_;
+  }
 }
 
 const instrument::InstrumentedProgram& AdaptController::binary() const {
-  return lineage_.back()->binary;
+  return current_generation().binary();
 }
 
 const profile::LoadProfile& AdaptController::reference_loads() const {
@@ -48,7 +66,7 @@ const profile::LoadProfile& AdaptController::reference_loads() const {
 }
 
 const core::PipelineArtifacts& AdaptController::current_artifacts() const {
-  return *lineage_.back();
+  return *current_generation().artifacts;
 }
 
 AdaptController::Decision AdaptController::Observe(
@@ -116,7 +134,7 @@ Result<AdaptController::SwapPlan> AdaptController::RebuildFromLoads(
   // Block structure is a property of the original binary's control flow and
   // the scavenger pass re-derives placements from it each rebuild; carry the
   // reference blocks forward (online LBR re-collection is an open item).
-  merged.blocks = lineage_.back()->profile.blocks;
+  merged.blocks = current_generation().artifacts->profile.blocks;
 
   YH_ASSIGN_OR_RETURN(
       core::PipelineArtifacts rebuilt,

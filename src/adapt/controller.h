@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/adapt/backmap.h"
@@ -52,6 +53,10 @@ struct AdaptControllerConfig {
 struct BinaryGeneration {
   int id = 0;                // 0 = the initial offline artifacts
   size_t built_epoch = 0;    // group epoch the rebuild happened in
+  // Rolled back by the guard: never reused by other shards and never the
+  // controller's reference again (the lineage entry itself stays alive so
+  // in-flight schedulers cannot dangle).
+  bool quarantined = false;
   const core::PipelineArtifacts* artifacts = nullptr;
   profile::LoadProfile reference_loads;
   // Original load site → covering primary-yield address in this binary.
@@ -99,9 +104,30 @@ class AdaptController {
   const BinaryGeneration& generation(size_t id) const {
     return *generations_[id];
   }
+  // The generation currently anchoring drift scoring and rebuild merges.
+  // Normally the newest; after a guard rollback it reverts to the newest
+  // NON-quarantined generation, so the next rebuild is not anchored on the
+  // reference profile of a binary that just regressed.
   const BinaryGeneration& current_generation() const {
-    return *generations_.back();
+    return *generations_[current_index_];
   }
+
+  // --- guard support ---------------------------------------------------------
+  // Rollback bookkeeping: marks generation `id` quarantined, reverts the
+  // controller's reference to the newest healthy generation, and poisons the
+  // fingerprint of the evidence the bad generation was built from so the
+  // same profile cannot be rebuilt next epoch.
+  void QuarantineGeneration(int id, uint64_t profile_fingerprint);
+
+  // The poisoned-profile registry (fingerprints from guard::FingerprintLoads).
+  void PoisonProfile(uint64_t fingerprint) {
+    poison_registry_.insert(fingerprint);
+  }
+  bool IsPoisonedProfile(uint64_t fingerprint) const {
+    return poison_registry_.count(fingerprint) != 0;
+  }
+  size_t poisoned_profiles() const { return poison_registry_.size(); }
+  int quarantined_generations() const { return quarantined_generations_; }
 
   // Scores this epoch's evidence and applies the threshold + cool-down.
   Decision Observe(const OnlineProfile& online,
@@ -161,6 +187,12 @@ class AdaptController {
   // Generation metadata parallel to lineage_ (unique_ptr so references handed
   // to shards stay stable as the vector grows).
   std::vector<std::unique_ptr<BinaryGeneration>> generations_;
+  // Index of the reference generation in generations_ (see
+  // current_generation()).
+  size_t current_index_ = 0;
+  // Fingerprints of evidence profiles whose builds were rolled back.
+  std::set<uint64_t> poison_registry_;
+  int quarantined_generations_ = 0;
   int epochs_since_swap_ = 0;
   int swaps_ = 0;
 };

@@ -21,6 +21,38 @@
 
 namespace yieldhide::adapt {
 
+// --- durable on-disk container ----------------------------------------------
+//
+// The persisted store is wrapped in a versioned, checksummed container so a
+// truncated, bit-rotted, or future-format file is REJECTED at load (the
+// caller falls back to a cold start) instead of half-loading:
+//
+//   yhstore v<version> len=<payload bytes>\n     <- versioned header
+//   <payload: profile_io text serialization>
+//   yhstore-end crc=<16-hex FNV-1a64 of payload>\n   <- checksum footer
+//
+// Saves are atomic: the container is written to "<path>.tmp" and renamed
+// over the target, so a crash mid-save leaves the previous good file intact.
+
+inline constexpr int kStoreFormatVersion = 1;
+
+// FNV-1a 64-bit over `bytes` (exposed so tests can forge/verify footers).
+uint64_t StoreChecksum(std::string_view bytes);
+
+// Wraps `data` in the container format / parses and verifies a container.
+// ParseStoreFile returns typed errors: InvalidArgument for a garbled header,
+// checksum mismatch, or trailing garbage; OutOfRange for a short read
+// (payload or footer truncated mid-byte); FailedPrecondition for a valid
+// container written by a FUTURE format version.
+std::string SerializeStoreFile(const profile::ProfileData& data);
+Result<profile::ProfileData> ParseStoreFile(std::string_view bytes);
+
+// File wrappers: atomic write-rename save, and a load that distinguishes
+// NotFound (no file: normal day-1 cold start) from every corruption error
+// ParseStoreFile reports.
+Status SaveStoreFile(const profile::ProfileData& data, const std::string& path);
+Result<profile::ProfileData> LoadStoreFile(const std::string& path);
+
 struct SharedProfileStoreConfig {
   // Multiplier applied to the merged view once per GROUP epoch (matches
   // OnlineProfileConfig so an N=1 group's store tracks the shard's local
@@ -56,7 +88,11 @@ class SharedProfileStore {
   // block section: block structure belongs to the binary lineage (it is
   // re-derived from the original's control flow at every rebuild), not to
   // the evidence. Loading an empty or missing file is an error; merging into
-  // a non-empty store is allowed (evidence just adds up).
+  // a non-empty store is allowed (evidence just adds up). All files travel
+  // in the versioned+checksummed container above: saves are atomic
+  // write-rename, and WarmStartFrom rejects corrupt/truncated/future-version
+  // files with the typed ParseStoreFile errors so the caller can fall back
+  // to a cold start instead of crashing or silently half-loading.
   Status SaveTo(const std::string& path) const;
   // Persists the store blended with `reference` (the merged profile the
   // serving binary was BUILT from) at `reference_share` of the combined

@@ -1,6 +1,11 @@
 #include "src/adapt/server_group.h"
 
+#include <algorithm>
+#include <map>
+#include <set>
+
 #include "src/common/strings.h"
+#include "src/obs/sparse_histogram.h"
 
 namespace yieldhide::adapt {
 
@@ -8,6 +13,19 @@ namespace {
 // Share of the persisted profile's mass supplied by the serving generation's
 // reference (vs the store's raw recent tail) at shutdown.
 constexpr double kPersistReferenceShare = 0.65;
+
+// Aggregate p99 hidden latency across all of a shard profiler's sites
+// (0 when no profiler is attached or nothing was recorded).
+uint64_t AggregateHiddenLatencyP99(const obs::CycleProfiler* profiler) {
+  if (profiler == nullptr) {
+    return 0;
+  }
+  obs::SparseHistogram merged;
+  for (const auto& [site, cycles] : profiler->sites()) {
+    merged.Merge(cycles.hidden_latency);
+  }
+  return merged.count() == 0 ? 0 : merged.P99();
+}
 }  // namespace
 
 StaggerPolicy::StaggerPolicy(size_t shard_count, int min_epochs_between_swaps)
@@ -73,6 +91,7 @@ Status ServerGroupConfig::Validate() const {
   if (generation_reuse_epochs < 0) {
     return InvalidArgumentError("generation_reuse_epochs must be >= 0");
   }
+  YH_RETURN_IF_ERROR(guard.Validate());
   return Status::Ok();
 }
 
@@ -82,6 +101,15 @@ std::string GroupReport::Summary() const {
       "warm_start=%s",
       shards.size(), group_epochs, rebuilds, installs, reuse_installs,
       warm_started ? "yes" : "no");
+  if (canaries + promotes + rollbacks + poison_blocked + rebuild_retries +
+          watchdog_fires + store_fallbacks >
+      0) {
+    out += StrFormat(
+        "\nguard: canaries=%d promotes=%d rollbacks=%d poison_blocked=%d "
+        "rebuild_retries=%d watchdog_fires=%d store_fallbacks=%d",
+        canaries, promotes, rollbacks, poison_blocked, rebuild_retries,
+        watchdog_fires, store_fallbacks);
+  }
   for (size_t i = 0; i < shards.size(); ++i) {
     out += StrFormat("\n[shard %zu] %s", i, shards[i].Summary().c_str());
   }
@@ -136,16 +164,30 @@ Result<GroupReport> ServerGroup::Run() {
   GroupReport report;
 
   if (!config_.profile_path.empty() && config_.warm_start) {
-    // Seed this run from the previous run's merged evidence. A missing or
-    // unreadable file is the normal day-1 cold start, and a failed rebuild
+    // Seed this run from the previous run's merged evidence. A MISSING file
+    // is the normal day-1 cold start; a present-but-rejected file (corrupt,
+    // truncated, future version — the typed ParseStoreFile errors) is a
+    // counted fallback: the run still cold-starts instead of crashing or
+    // half-loading, and the incident is visible. Either way a failed rebuild
     // leaves the offline build serving — degraded, never down.
-    if (store_.WarmStartFrom(config_.profile_path).ok()) {
+    const Status warm = store_.WarmStartFrom(config_.profile_path);
+    if (warm.ok()) {
       Result<AdaptController::SwapPlan> plan = controller_.RebuildFromLoads(
           store_.loads(), /*old_site_stats=*/{}, controller_.site_index(),
           /*built_epoch=*/0);
       if (plan.ok()) {
         report.warm_started = true;
         ++report.rebuilds;
+      }
+    } else if (warm.code() != StatusCode::kNotFound) {
+      ++report.store_fallbacks;
+      report.guard_log.push_back(
+          {/*epoch=*/0, /*shard=*/0, /*generation_id=*/-1,
+           GuardEventKind::kStoreFallback});
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceGuard)) {
+        trace_->Record(obs::TraceEventType::kStoreFallback, /*cycle=*/0,
+                       /*ctx_id=*/-1, /*ip=*/0,
+                       static_cast<uint64_t>(warm.code()));
       }
     }
   }
@@ -171,6 +213,52 @@ Result<GroupReport> ServerGroup::Run() {
   std::vector<bool> boundary(config_.shards, false);
   size_t group_epoch = 0;
 
+  const GuardConfig& guard = config_.guard;
+  const faultinject::ServingFaultHooks& hooks = config_.fault_hooks;
+  const uint64_t tasks_per_epoch =
+      static_cast<uint64_t>(config_.shard.tasks_per_epoch);
+
+  // Canary state: at most one fresh generation is under evaluation at a
+  // time, and every other swap is frozen while it is — which is what bounds
+  // a regressed generation's exposure to one shard for one window.
+  struct CanaryState {
+    bool active = false;
+    size_t shard = 0;
+    int generation_id = 0;
+    const BinaryGeneration* previous = nullptr;  // rollback target
+    uint64_t evidence_fingerprint = 0;
+  } canary;
+  GenerationHealth health(guard);
+
+  // Rebuild retry-with-backoff state (guard only).
+  int consecutive_rebuild_failures = 0;
+  size_t rebuild_allowed_epoch = 0;
+  uint64_t last_failed_fingerprint = 0;
+
+  // Evidence fingerprints whose rebuilds are blocked (rolled back earlier),
+  // with the epoch the block expires. The lineage's quarantine record is
+  // permanent; this TTL is what lets a static workload adapt again after a
+  // transient environmental regression.
+  std::map<uint64_t, size_t> poison_until;
+  // Generations built from fault-degraded evidence (kRegression): serving on
+  // one costs hooks.cursed_penalty extra cycles every epoch.
+  std::set<int> cursed_generations;
+
+  // Trailing per-shard cycles/op over the last confirmation window: the
+  // canary baseline when no peer shard serves through the window.
+  std::vector<std::deque<double>> trailing_cpo(config_.shards);
+  std::vector<uint64_t> epoch_cycles(config_.shards, 0);
+
+  auto log_guard = [&](size_t shard, int generation_id, GuardEventKind kind,
+                       obs::TraceEventType type, uint64_t cycle,
+                       uint64_t arg) {
+    report.guard_log.push_back({group_epoch, shard, generation_id, kind});
+    if (YH_TRACE_ENABLED(trace_, obs::kTraceGuard)) {
+      trace_->Record(type, cycle, static_cast<int32_t>(shard),
+                     /*ip=*/0, arg);
+    }
+  };
+
   while (true) {
     bool active = false;
     for (size_t i = 0; i < config_.shards; ++i) {
@@ -187,11 +275,13 @@ Result<GroupReport> ServerGroup::Run() {
     store_.BeginEpoch();
     stagger.BeginEpoch();
     boundary.assign(config_.shards, false);
+    epoch_cycles.assign(config_.shards, 0);
 
     for (size_t i = 0; i < config_.shards; ++i) {
       if (!running[i]) {
         continue;
       }
+      const uint64_t epoch_start = machines_[i]->now();
       profile::LoadProfile evidence;
       Result<Shard::EpochOutcome> outcome =
           shards[i]->RunEpochTasks(/*adapting=*/true, &evidence);
@@ -206,26 +296,162 @@ Result<GroupReport> ServerGroup::Run() {
         continue;
       }
       boundary[i] = true;
+      if (hooks.corrupt_evidence) {
+        hooks.corrupt_evidence(group_epoch, evidence);
+      }
       store_.Contribute(evidence);
       stagger.Observe(i, config_.shard.adapt_enabled &&
                              outcome.value().score.score >=
                                  config_.shard.controller.drift_threshold);
+      const uint64_t served = machines_[i]->now() - epoch_start;
+      if (hooks.cursed_penalty > 0.0 &&
+          cursed_generations.count(shards[i]->generation()->id) > 0) {
+        // This shard serves a generation built from degraded evidence: the
+        // regression the canary comparison exists to catch.
+        machines_[i]->AdvanceClock(static_cast<uint64_t>(
+            hooks.cursed_penalty * static_cast<double>(served)));
+      }
+      if (hooks.stall_cycles) {
+        // A stalled shard burns wall-clock past the boundary; the group sees
+        // the inflated epoch (and the watchdog below reacts), the shard's
+        // own telemetry stays clean.
+        const uint64_t stall = hooks.stall_cycles(i, group_epoch, served);
+        if (stall > 0) {
+          machines_[i]->AdvanceClock(stall);
+        }
+      }
+      epoch_cycles[i] = machines_[i]->now() - epoch_start;
     }
 
-    // At most one shard swaps per group epoch (the stagger invariant). A
-    // fresh-enough generation built for an earlier shard is reused outright;
+    // Epoch watchdog: a shard whose epoch ran far past the group median is
+    // stalled — shed its swap-queue slot so the one-per-epoch stagger budget
+    // is never parked on a shard that cannot take it.
+    if (guard.enabled && guard.watchdog_factor > 0.0) {
+      std::vector<uint64_t> durations;
+      for (size_t i = 0; i < config_.shards; ++i) {
+        if (boundary[i]) {
+          durations.push_back(epoch_cycles[i]);
+        }
+      }
+      if (durations.size() >= 2) {
+        std::sort(durations.begin(), durations.end());
+        const uint64_t median = durations[durations.size() / 2];
+        for (size_t i = 0; i < config_.shards; ++i) {
+          if (boundary[i] && static_cast<double>(epoch_cycles[i]) >
+                                 guard.watchdog_factor *
+                                     static_cast<double>(median)) {
+            stagger.Withdraw(i);
+            ++report.watchdog_fires;
+            log_guard(i, -1, GuardEventKind::kWatchdogFire,
+                      obs::TraceEventType::kWatchdogFire, machines_[i]->now(),
+                      epoch_cycles[i]);
+          }
+        }
+      }
+    }
+
+    // Canary bookkeeping: accumulate this epoch's canary-vs-peer evidence;
+    // when the confirmation window closes (or the canary shard finishes
+    // serving early), render the verdict.
+    bool rolled_back_this_epoch = false;
+    if (canary.active) {
+      if (boundary[canary.shard]) {
+        health.ObserveCanaryEpoch(epoch_cycles[canary.shard], tasks_per_epoch);
+      }
+      for (size_t i = 0; i < config_.shards; ++i) {
+        if (i != canary.shard && boundary[i]) {
+          health.ObservePeerEpoch(epoch_cycles[i], tasks_per_epoch);
+        }
+      }
+      if (health.window_complete() || !running[canary.shard]) {
+        uint64_t peer_p99 = 0;
+        obs::SparseHistogram peers;
+        for (size_t i = 0; i < config_.shards; ++i) {
+          if (i != canary.shard && profilers_[i] != nullptr) {
+            for (const auto& [site, cycles] : profilers_[i]->sites()) {
+              peers.Merge(cycles.hidden_latency);
+            }
+          }
+        }
+        if (peers.count() > 0) {
+          peer_p99 = peers.P99();
+        }
+        health.SetHiddenLatencyP99(
+            AggregateHiddenLatencyP99(profilers_[canary.shard]), peer_p99);
+        const GenerationHealth::Verdict verdict = health.Judge();
+        Shard& shard = *shards[canary.shard];
+        if (verdict.promote) {
+          ++report.promotes;
+          log_guard(canary.shard, canary.generation_id,
+                    GuardEventKind::kPromote,
+                    obs::TraceEventType::kCanaryPromote,
+                    machines_[canary.shard]->now(),
+                    static_cast<uint64_t>(canary.generation_id));
+          // The promoted generation spreads group-wide through the normal
+          // reuse path as peers hit their drift thresholds.
+        } else if (running[canary.shard] && canary.previous != nullptr) {
+          // Roll back: reinstall the last good generation on the canary
+          // shard and quarantine the regressed one — including poisoning the
+          // fingerprint of the evidence it was built from, so the same bad
+          // profile cannot be rebuilt next epoch.
+          std::map<isa::Addr, runtime::YieldSiteStats> carried =
+              AdaptController::TranslateSiteStats(
+                  shard.generation()->site_index, canary.previous->site_index,
+                  shard.site_stats());
+          if (shard.InstallGeneration(canary.previous, std::move(carried))
+                  .ok()) {
+            ++report.installs;
+            report.swap_log.emplace_back(group_epoch, canary.shard);
+            stagger.MarkSwapped(canary.shard);
+            rolled_back_this_epoch = true;
+          }
+          controller_.QuarantineGeneration(canary.generation_id,
+                                           canary.evidence_fingerprint);
+          poison_until[canary.evidence_fingerprint] =
+              group_epoch + static_cast<size_t>(guard.poison_ttl_epochs);
+          ++report.rollbacks;
+          log_guard(canary.shard, canary.generation_id,
+                    GuardEventKind::kRollback,
+                    obs::TraceEventType::kCanaryRollback,
+                    machines_[canary.shard]->now(),
+                    static_cast<uint64_t>(canary.generation_id));
+        } else {
+          // The canary shard finished serving mid-window with healthy (or
+          // no) evidence; nothing left to install on, nothing to condemn.
+          ++report.promotes;
+          log_guard(canary.shard, canary.generation_id,
+                    GuardEventKind::kPromote,
+                    obs::TraceEventType::kCanaryPromote,
+                    machines_[canary.shard]->now(),
+                    static_cast<uint64_t>(canary.generation_id));
+        }
+        report.guard_log.back().ratio =
+            verdict.baseline_cycles_per_op > 0.0
+                ? verdict.canary_cycles_per_op / verdict.baseline_cycles_per_op
+                : 0.0;
+        canary.active = false;
+      }
+    }
+
+    // At most one shard swaps per group epoch (the stagger invariant), and
+    // none at all while a canary is under evaluation — freezing the swap
+    // lane is what bounds a bad generation to one shard. A fresh-enough
+    // HEALTHY generation built for an earlier shard is reused outright;
     // otherwise rebuild from the SHARED store, so the new binary reflects
     // what the whole group has seen — not just the swapping shard.
-    std::optional<size_t> chosen = stagger.TakeSwap();
+    std::optional<size_t> chosen;
+    if (!canary.active && !rolled_back_this_epoch) {
+      chosen = stagger.TakeSwap();
+    }
     if (chosen.has_value()) {
       Shard& shard = *shards[*chosen];
-      shard.TraceSwapBegin();
       const BinaryGeneration& newest = controller_.current_generation();
       const bool reusable =
-          newest.id > shard.generation()->id &&
+          !newest.quarantined && newest.id > shard.generation()->id &&
           group_epoch - newest.built_epoch <=
               static_cast<size_t>(config_.generation_reuse_epochs);
       if (reusable) {
+        shard.TraceSwapBegin();
         std::map<isa::Addr, runtime::YieldSiteStats> carried =
             AdaptController::TranslateSiteStats(shard.generation()->site_index,
                                                 newest.site_index,
@@ -236,21 +462,103 @@ Result<GroupReport> ServerGroup::Run() {
           report.swap_log.emplace_back(group_epoch, *chosen);
           stagger.MarkSwapped(*chosen);
         }
+      } else if (guard.enabled && group_epoch < rebuild_allowed_epoch) {
+        // Still inside a failed rebuild's backoff: skip the attempt without
+        // counting a failure. The shard re-queues at the next boundary while
+        // its drift persists, and keeps serving the last good generation.
       } else {
-        Result<AdaptController::SwapPlan> plan = controller_.RebuildFromLoads(
-            store_.loads(), shard.site_stats(), shard.generation()->site_index,
-            group_epoch);
-        if (!plan.ok()) {
-          shard.OnRebuildFailed();
+        profile::LoadProfile rebuild_evidence = store_.loads();
+        const bool degraded =
+            hooks.degrade_build && hooks.degrade_build(group_epoch);
+        if (degraded) {
+          rebuild_evidence = faultinject::InvertLoads(rebuild_evidence,
+                                                      group_epoch + 1);
+        }
+        const uint64_t fingerprint = FingerprintLoads(rebuild_evidence);
+        const auto poison = poison_until.find(fingerprint);
+        const bool poisoned = guard.enabled && poison != poison_until.end() &&
+                              group_epoch < poison->second;
+        const bool retries_exhausted =
+            guard.enabled &&
+            consecutive_rebuild_failures >= guard.max_rebuild_retries &&
+            fingerprint == last_failed_fingerprint;
+        if (poisoned || retries_exhausted) {
+          // Keep serving the last good generation: this evidence either
+          // built a generation that was rolled back, or failed to build too
+          // many times in a row. New evidence (a new fingerprint) re-arms
+          // the rebuild path.
+          ++report.poison_blocked;
+          log_guard(*chosen, -1, GuardEventKind::kPoisonBlocked,
+                    obs::TraceEventType::kRebuildRetry,
+                    machines_[*chosen]->now(), /*arg=*/0);
         } else {
-          ++report.rebuilds;
-          if (shard
-                  .InstallGeneration(&controller_.current_generation(),
-                                     std::move(plan.value().carried_site_stats))
-                  .ok()) {
-            ++report.installs;
-            report.swap_log.emplace_back(group_epoch, *chosen);
-            stagger.MarkSwapped(*chosen);
+          shard.TraceSwapBegin();
+          const bool injected_failure =
+              hooks.fail_rebuild && hooks.fail_rebuild(group_epoch);
+          Result<AdaptController::SwapPlan> plan =
+              injected_failure
+                  ? Result<AdaptController::SwapPlan>(UnavailableError(
+                        "injected rebuild failure (kRebuildFail)"))
+                  : controller_.RebuildFromLoads(
+                        rebuild_evidence, shard.site_stats(),
+                        shard.generation()->site_index, group_epoch);
+          if (!plan.ok()) {
+            shard.OnRebuildFailed();
+            if (guard.enabled) {
+              ++consecutive_rebuild_failures;
+              ++report.rebuild_retries;
+              last_failed_fingerprint = fingerprint;
+              const int shift =
+                  std::min(consecutive_rebuild_failures - 1, 10);
+              const int backoff =
+                  std::min(guard.retry_backoff_epochs << shift,
+                           guard.max_backoff_epochs);
+              rebuild_allowed_epoch = group_epoch + 1 +
+                                      static_cast<size_t>(backoff);
+              log_guard(*chosen, -1, GuardEventKind::kRebuildRetry,
+                        obs::TraceEventType::kRebuildRetry,
+                        machines_[*chosen]->now(),
+                        static_cast<uint64_t>(backoff));
+            }
+          } else {
+            consecutive_rebuild_failures = 0;
+            ++report.rebuilds;
+            if (degraded) {
+              cursed_generations.insert(controller_.current_generation().id);
+            }
+            const BinaryGeneration* previous = shard.generation();
+            if (shard
+                    .InstallGeneration(&controller_.current_generation(),
+                                       std::move(plan.value()
+                                                     .carried_site_stats))
+                    .ok()) {
+              ++report.installs;
+              report.swap_log.emplace_back(group_epoch, *chosen);
+              stagger.MarkSwapped(*chosen);
+              if (guard.enabled) {
+                // The fresh generation starts life as a canary on this one
+                // shard; its trailing cycles/op is the no-peer baseline.
+                canary.active = true;
+                canary.shard = *chosen;
+                canary.generation_id = controller_.current_generation().id;
+                canary.previous = previous;
+                canary.evidence_fingerprint = fingerprint;
+                double fallback = 0.0;
+                if (!trailing_cpo[*chosen].empty()) {
+                  for (const double cpo : trailing_cpo[*chosen]) {
+                    fallback += cpo;
+                  }
+                  fallback /= static_cast<double>(trailing_cpo[*chosen].size());
+                }
+                health.Arm(fallback);
+                ++report.canaries;
+                log_guard(*chosen, canary.generation_id,
+                          GuardEventKind::kCanaryBegin,
+                          obs::TraceEventType::kCanaryBegin,
+                          machines_[*chosen]->now(),
+                          static_cast<uint64_t>(canary.generation_id));
+              }
+            }
           }
         }
       }
@@ -259,6 +567,14 @@ Result<GroupReport> ServerGroup::Run() {
     for (size_t i = 0; i < config_.shards; ++i) {
       if (boundary[i]) {
         shards[i]->FinishEpochBoundary(/*adapting=*/true, controller_);
+        if (tasks_per_epoch > 0) {
+          trailing_cpo[i].push_back(static_cast<double>(epoch_cycles[i]) /
+                                    static_cast<double>(tasks_per_epoch));
+          while (trailing_cpo[i].size() >
+                 static_cast<size_t>(guard.confirmation_window)) {
+            trailing_cpo[i].pop_front();
+          }
+        }
       }
     }
     ++group_epoch;
@@ -271,6 +587,25 @@ Result<GroupReport> ServerGroup::Run() {
       return shard_report.status();
     }
     report.shards.push_back(std::move(shard_report).value());
+  }
+
+  if (metrics_ != nullptr) {
+    // Group-level guard counters (unlabeled: guard decisions are group
+    // scoped; the shard involved rides in the guard_log and trace events).
+    metrics_->GetCounter("yh_guard_canary_total")
+        ->Set(static_cast<uint64_t>(report.canaries));
+    metrics_->GetCounter("yh_guard_promote_total")
+        ->Set(static_cast<uint64_t>(report.promotes));
+    metrics_->GetCounter("yh_guard_rollback_total")
+        ->Set(static_cast<uint64_t>(report.rollbacks));
+    metrics_->GetCounter("yh_guard_poison_blocked_total")
+        ->Set(static_cast<uint64_t>(report.poison_blocked));
+    metrics_->GetCounter("yh_guard_rebuild_retries_total")
+        ->Set(static_cast<uint64_t>(report.rebuild_retries));
+    metrics_->GetCounter("yh_guard_watchdog_fires_total")
+        ->Set(static_cast<uint64_t>(report.watchdog_fires));
+    metrics_->GetCounter("yh_store_load_fallback_total")
+        ->Set(static_cast<uint64_t>(report.store_fallbacks));
   }
 
   if (!config_.profile_path.empty()) {

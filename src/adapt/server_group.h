@@ -24,8 +24,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/adapt/guard.h"
 #include "src/adapt/profile_store.h"
 #include "src/adapt/shard.h"
+#include "src/faultinject/serving_faults.h"
 
 namespace yieldhide::adapt {
 
@@ -78,6 +80,13 @@ struct ServerGroupConfig {
   // warm_start) seed this run from the previous one's file if present.
   std::string profile_path;
   bool warm_start = true;
+  // Guarded deployment (guard.h): canary + rollback, rebuild backoff, epoch
+  // watchdog. Disabled by default — an unguarded group behaves exactly as
+  // before this layer existed.
+  GuardConfig guard;
+  // Chaos testing only: injected serving-layer faults (benches, `yhc serve
+  // --fault`). Empty hooks in production.
+  faultinject::ServingFaultHooks fault_hooks;
 
   // Single validation path for the CLI and the benches: named errors, first
   // failure wins. Delegates per-shard fields to AdaptiveServerConfig.
@@ -94,7 +103,20 @@ struct GroupReport {
   int reuse_installs = 0;  // installs that reused an existing generation
   bool warm_started = false;
   // (group epoch, shard) per successful install — the stagger audit trail.
+  // Rollback re-installs appear here too: they occupy the epoch's one swap
+  // slot like any other install.
   std::vector<std::pair<size_t, size_t>> swap_log;
+
+  // Guard activity (empty when the guard is disabled). guard_log is the
+  // decision audit trail benches assert exposure bounds against.
+  int canaries = 0;
+  int promotes = 0;
+  int rollbacks = 0;
+  int poison_blocked = 0;   // rebuilds skipped on a poisoned fingerprint
+  int rebuild_retries = 0;  // failed rebuild attempts that scheduled backoff
+  int watchdog_fires = 0;
+  int store_fallbacks = 0;  // corrupt/truncated store files rejected at load
+  std::vector<GuardEvent> guard_log;
 
   std::string Summary() const;
 };

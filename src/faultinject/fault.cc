@@ -18,6 +18,16 @@ const char* FaultClassName(FaultClass fault) {
       return "period_alias";
     case FaultClass::kStaleBinary:
       return "stale";
+    case FaultClass::kRebuildFail:
+      return "rebuild_fail";
+    case FaultClass::kBackmapCorrupt:
+      return "backmap";
+    case FaultClass::kRegression:
+      return "regress";
+    case FaultClass::kShardStall:
+      return "stall";
+    case FaultClass::kStoreCorrupt:
+      return "store_corrupt";
   }
   return "unknown";
 }
@@ -47,7 +57,8 @@ Result<FaultSpec> ParseFaultSpec(std::string_view spec) {
   if (!found) {
     return InvalidArgumentError(
         "unknown fault class '" + std::string(name) +
-        "' (want ip_alias, skid, drop, period_alias, or stale)");
+        "' (want ip_alias, skid, drop, period_alias, stale, rebuild_fail, "
+        "backmap, regress, stall, or store_corrupt)");
   }
   return out;
 }

@@ -35,9 +35,40 @@ enum class FaultClass : uint8_t {
   // edits: instruction insertion, block moves, address shifts), so profile
   // IPs no longer name the instructions they were measured on.
   kStaleBinary,
+
+  // --- serving-class faults (the online rebuild/swap/persistence path) ---
+  // These model failures of the serving control plane rather than of the
+  // sample stream; MakeServingFaultHooks() in serving_faults.h turns them
+  // into deterministic hooks for ServerGroup. Severity scales the outage
+  // window (the first ceil(severity * kServingOutageEpochs) group epochs).
+
+  // The rebuild service is down: every rebuild attempt inside the outage
+  // window fails (compile farm outage, instrumenter crash, timeout).
+  kRebuildFail,
+  // The reverse address map is corrupt: back-mapped evidence is re-keyed to
+  // wrong original addresses before it reaches the shared store.
+  kBackmapCorrupt,
+  // The rebuild "succeeds" but consumes inverted evidence and produces a
+  // generation that regresses instead of improves (the canary's reason to
+  // exist).
+  kRegression,
+  // One shard stalls far past the epoch deadline (noisy neighbour, cgroup
+  // throttling), holding its swap slot while the group waits.
+  kShardStall,
+  // The persisted profile store is corrupted on disk (truncation, bit rot)
+  // between save and the next warm start.
+  kStoreCorrupt,
 };
 
-inline constexpr int kNumFaultClasses = 5;
+inline constexpr int kNumFaultClasses = 10;
+
+// First serving-class enumerator; classes at or past this line target the
+// serving control plane, not the sample pipeline.
+inline constexpr FaultClass kFirstServingFaultClass = FaultClass::kRebuildFail;
+
+inline bool IsServingFaultClass(FaultClass fault) {
+  return static_cast<int>(fault) >= static_cast<int>(kFirstServingFaultClass);
+}
 
 const char* FaultClassName(FaultClass fault);
 
@@ -50,8 +81,9 @@ struct FaultSpec {
 };
 
 // Parses "class:severity" (e.g. "stale:0.3", "skid:1.0"). Accepted class
-// names: ip_alias, skid, drop, period_alias, stale. Severity is clamped to
-// [0, 1]; a bare class name defaults to severity 0.5.
+// names: ip_alias, skid, drop, period_alias, stale, rebuild_fail, backmap,
+// regress, stall, store_corrupt. Severity is clamped to [0, 1]; a bare class
+// name defaults to severity 0.5.
 Result<FaultSpec> ParseFaultSpec(std::string_view spec);
 
 // Parses a comma-separated list of specs ("stale:0.3,skid:1.0"), applied in

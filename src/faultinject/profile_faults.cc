@@ -135,6 +135,14 @@ std::vector<pmu::PebsSample> CorruptSamples(std::vector<pmu::PebsSample> samples
       }
       break;
     }
+    case FaultClass::kRebuildFail:
+    case FaultClass::kBackmapCorrupt:
+    case FaultClass::kRegression:
+    case FaultClass::kShardStall:
+    case FaultClass::kStoreCorrupt:
+      // Serving-class faults target the rebuild/swap/persistence control
+      // plane (serving_faults.h), not the sample stream.
+      break;
   }
   return samples;
 }
@@ -233,6 +241,14 @@ profile::LoadProfile CorruptLoads(const profile::LoadProfile& loads,
       }
       break;
     }
+    case FaultClass::kRebuildFail:
+    case FaultClass::kBackmapCorrupt:
+    case FaultClass::kRegression:
+    case FaultClass::kShardStall:
+    case FaultClass::kStoreCorrupt:
+      // Serving-class faults do not touch an offline profile.
+      out = loads;
+      break;
   }
   return out;
 }
@@ -264,8 +280,14 @@ profile::ProfileData CorruptProfile(const profile::ProfileData& data,
     case FaultClass::kSkidStorm:
     case FaultClass::kBufferDrop:
     case FaultClass::kPeriodAlias:
+    case FaultClass::kRebuildFail:
+    case FaultClass::kBackmapCorrupt:
+    case FaultClass::kRegression:
+    case FaultClass::kShardStall:
+    case FaultClass::kStoreCorrupt:
       // LBR records branch addresses precisely and rides its own buffer;
-      // these classes corrupt only the PEBS load/stall side.
+      // these classes corrupt only the PEBS load/stall side (and the
+      // serving classes corrupt nothing offline at all).
       out.blocks = data.blocks;
       break;
   }

@@ -1,0 +1,158 @@
+#include "src/faultinject/serving_faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace yieldhide::faultinject {
+namespace {
+
+// An epoch is inside the outage window of `spec` iff epoch < window length.
+bool OutageActive(const FaultSpec& spec, size_t group_epoch) {
+  return group_epoch < static_cast<size_t>(ServingOutageEpochs(spec.severity));
+}
+
+}  // namespace
+
+int ServingOutageEpochs(double severity) {
+  const double s = std::clamp(severity, 0.0, 1.0);
+  return static_cast<int>(std::ceil(s * kServingOutageEpochs));
+}
+
+Result<ServingFaultHooks> MakeServingFaultHooks(
+    const std::vector<FaultSpec>& specs, isa::Addr code_size) {
+  ServingFaultHooks hooks;
+  const isa::Addr limit = std::max<isa::Addr>(1, code_size);
+  for (const FaultSpec& spec : specs) {
+    if (!IsServingFaultClass(spec.fault)) {
+      return InvalidArgumentError(
+          std::string("fault class '") + FaultClassName(spec.fault) +
+          "' is not a serving-layer fault (use the profile/sample injectors)");
+    }
+    switch (spec.fault) {
+      case FaultClass::kRebuildFail:
+        hooks.fail_rebuild = [spec](size_t epoch) {
+          return OutageActive(spec, epoch);
+        };
+        break;
+      case FaultClass::kBackmapCorrupt:
+        hooks.corrupt_evidence = [spec, limit](size_t epoch,
+                                               profile::LoadProfile& evidence) {
+          if (!OutageActive(spec, epoch)) {
+            return;
+          }
+          // A corrupt reverse map is systematically wrong, not noisy: every
+          // affected site lands on the same wrong (but in-range) original
+          // address for the whole outage. Severity = fraction of sites
+          // re-keyed.
+          profile::LoadProfile out;
+          for (const auto& [ip, site] : evidence.sites()) {
+            Rng r(spec.seed ^ ((ip + 0x9d) * 0x9e3779b97f4a7c15ull));
+            const isa::Addr where =
+                r.NextBool(spec.severity)
+                    ? static_cast<isa::Addr>((ip * 2654435761ull + spec.seed) %
+                                             limit)
+                    : ip;
+            out.AccumulateSite(where, site);
+          }
+          evidence = std::move(out);
+        };
+        break;
+      case FaultClass::kRegression:
+        hooks.degrade_build = [spec](size_t epoch) {
+          return OutageActive(spec, epoch);
+        };
+        // The part of the bad build the canary actually measures: serving on
+        // a generation built from inverted evidence costs up to twice the
+        // cycles at full severity — far past any sane regression threshold.
+        hooks.cursed_penalty = 1.0 * std::clamp(spec.severity, 0.0, 1.0);
+        break;
+      case FaultClass::kShardStall:
+        hooks.stall_cycles = [spec](size_t shard, size_t epoch,
+                                    uint64_t epoch_cycles) -> uint64_t {
+          // One victim shard (deterministic in the seed) stalls for several
+          // epochs' worth of extra cycles — far past any sane deadline.
+          const size_t victim = spec.seed % 4;
+          if (shard != victim || !OutageActive(spec, epoch)) {
+            return 0;
+          }
+          return static_cast<uint64_t>(8.0 * spec.severity *
+                                       static_cast<double>(epoch_cycles));
+        };
+        break;
+      case FaultClass::kStoreCorrupt:
+        // File-level: applied with CorruptStoreFile before warm start.
+        break;
+      default:
+        break;
+    }
+  }
+  return hooks;
+}
+
+profile::LoadProfile InvertLoads(const profile::LoadProfile& loads,
+                                 uint64_t seed) {
+  profile::LoadProfile out;
+  for (const auto& [ip, site] : loads.sites()) {
+    if (site.L2MissProbability() < 0.2) {
+      // Fast load: manufacture saturated miss evidence so the instrumenter
+      // plants a yield that will blow on (nearly) every visit.
+      profile::SiteProfile fake;
+      fake.est_executions = std::max(site.est_executions, 1.0);
+      fake.est_l1_misses = fake.est_executions * 0.95;
+      fake.est_l2_misses = fake.est_executions * 0.9;
+      fake.est_l3_misses = fake.est_executions * 0.5;
+      fake.est_stall_cycles = fake.est_executions * 30.0;
+      out.AccumulateSite(ip, fake);
+    }
+    // True stall sites are dropped: their misses go uncovered.
+  }
+  if (out.sites().empty()) {
+    // Degenerate input (every site genuinely misses): re-key everything one
+    // slot over so the yields land on the wrong instructions instead.
+    for (const auto& [ip, site] : loads.sites()) {
+      out.AccumulateSite(ip + 1 + (seed % 3), site);
+    }
+  }
+  return out;
+}
+
+Status CorruptStoreFile(const std::string& path, const FaultSpec& spec) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("store file not found: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  in.close();
+
+  Rng rng(spec.seed);
+  const double sev = std::clamp(spec.severity, 0.0, 1.0);
+  // Truncate up to half the file at full severity...
+  const size_t cut = static_cast<size_t>(sev * 0.5 * bytes.size());
+  bytes.resize(bytes.size() - std::min(cut, bytes.size()));
+  // ...and flip bits in roughly sev * 1% of the remaining bytes.
+  const size_t flips =
+      static_cast<size_t>(sev * 0.01 * bytes.size()) + (sev > 0 ? 1 : 0);
+  for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
+    const size_t at = rng.NextBelow(bytes.size());
+    bytes[at] = static_cast<char>(bytes[at] ^ (1u << rng.NextBelow(8)));
+  }
+
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return InternalError("cannot rewrite store file: " + path);
+  }
+  outf.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  outf.close();
+  if (!outf) {
+    return InternalError("short write rewriting store file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace yieldhide::faultinject

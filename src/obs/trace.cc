@@ -32,6 +32,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "swap";
     case kTracePmu:
       return "pmu";
+    case kTraceGuard:
+      return "guard";
     default:
       return "multi";
   }
@@ -61,6 +63,18 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "swap_commit";
     case TraceEventType::kPmuSample:
       return "pmu_sample";
+    case TraceEventType::kCanaryBegin:
+      return "canary_begin";
+    case TraceEventType::kCanaryPromote:
+      return "canary_promote";
+    case TraceEventType::kCanaryRollback:
+      return "canary_rollback";
+    case TraceEventType::kRebuildRetry:
+      return "rebuild_retry";
+    case TraceEventType::kWatchdogFire:
+      return "watchdog_fire";
+    case TraceEventType::kStoreFallback:
+      return "store_fallback";
   }
   return "unknown";
 }
@@ -85,6 +99,13 @@ TraceCategory TraceEventCategory(TraceEventType type) {
       return kTraceSwap;
     case TraceEventType::kPmuSample:
       return kTracePmu;
+    case TraceEventType::kCanaryBegin:
+    case TraceEventType::kCanaryPromote:
+    case TraceEventType::kCanaryRollback:
+    case TraceEventType::kRebuildRetry:
+    case TraceEventType::kWatchdogFire:
+    case TraceEventType::kStoreFallback:
+      return kTraceGuard;
   }
   return kTraceSched;
 }

@@ -43,7 +43,8 @@ enum TraceCategory : uint32_t {
   kTraceDrift = 1u << 4,       // drift-score updates
   kTraceSwap = 1u << 5,        // hot-swap begin / commit
   kTracePmu = 1u << 6,         // PMU sample captures
-  kTraceAllCategories = (1u << 7) - 1,
+  kTraceGuard = 1u << 7,       // canary/rollback/watchdog guard decisions
+  kTraceAllCategories = (1u << 8) - 1,
 };
 
 const char* TraceCategoryName(TraceCategory category);
@@ -72,6 +73,12 @@ enum class TraceEventType : uint8_t {
   kSwapBegin,        // rebuild decided; arg = drift score in millionths
   kSwapCommit,       // new binary installed; arg = swap ordinal
   kPmuSample,        // one PEBS capture; ip = sampled ip, arg = event kind
+  kCanaryBegin,      // fresh generation on canary shard; ctx = shard, arg = gen
+  kCanaryPromote,    // canary cleared the window; ctx = shard, arg = gen
+  kCanaryRollback,   // canary regressed, last good reinstalled; arg = gen
+  kRebuildRetry,     // rebuild failed, retry scheduled; arg = backoff epochs
+  kWatchdogFire,     // stalled shard shed its swap slot; ctx = shard
+  kStoreFallback,    // persisted store rejected, cold start; arg = status code
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <random>
 #include <set>
+#include <sstream>
 
 #include "src/adapt/backmap.h"
 #include "src/adapt/controller.h"
@@ -553,6 +555,38 @@ TEST(StaggerPolicyTest, RandomSchedulesNeverOverlapAndDrainBounded) {
   }
 }
 
+// A canary install and its rollback reinstall both restart the shard's
+// cool-down: the shard re-enters the FIFO only after a full cool-down from
+// the ROLLBACK epoch, and queues behind shards that asked in the meantime.
+TEST(StaggerPolicyTest, RollbackRestartsCoolDownAndReentersFifo) {
+  constexpr int kMinGap = 2;
+  StaggerPolicy policy(/*shard_count=*/2, kMinGap);
+  // Epoch 0: shard 0 takes the slot for its canary install.
+  policy.BeginEpoch();
+  EXPECT_TRUE(policy.Observe(0, true));
+  ASSERT_EQ(policy.TakeSwap(), std::optional<size_t>(0));
+  policy.MarkSwapped(0);
+  // Epoch 1: the verdict is a rollback; the reinstall occupies this epoch's
+  // slot and restarts the cool-down from here, not from the canary install.
+  policy.BeginEpoch();
+  policy.MarkSwapped(0);
+  // Epochs 2-3: shard 0 is still cooling down (1 and 2 boundaries since the
+  // rollback, neither strictly more than the gap); shard 1 swaps meanwhile.
+  policy.BeginEpoch();
+  EXPECT_FALSE(policy.Observe(0, true));
+  EXPECT_TRUE(policy.Observe(1, true));
+  ASSERT_EQ(policy.TakeSwap(), std::optional<size_t>(1));
+  policy.MarkSwapped(1);
+  policy.BeginEpoch();
+  EXPECT_FALSE(policy.Observe(0, true));
+  EXPECT_EQ(policy.TakeSwap(), std::nullopt);
+  // Epoch 4: strictly more than kMinGap boundaries since the rollback — the
+  // shard re-enters the queue and takes the slot again.
+  policy.BeginEpoch();
+  EXPECT_TRUE(policy.Observe(0, true));
+  EXPECT_EQ(policy.TakeSwap(), std::optional<size_t>(0));
+}
+
 // --- SharedProfileStore -----------------------------------------------------------
 
 profile::SiteProfile Site(double execs, double l2, double stall) {
@@ -638,6 +672,106 @@ TEST(SharedProfileStoreTest, SaveMergedWithKeepsRepairedSitesAtReferenceRatio) {
   const double total = ref_mass + loaded.loads().ForIp(1).est_executions;
   EXPECT_NEAR(ref_mass / total, 0.65, 0.01);
   std::remove(path.c_str());
+}
+
+// --- store container: typed load errors -------------------------------------------
+
+// A store file with real evidence, as raw bytes, plus the offset where the
+// container payload begins (one past the header's newline).
+struct StoreFileBytes {
+  std::string path;
+  std::string bytes;
+  size_t payload_start = 0;
+};
+
+StoreFileBytes SavedStoreFile(const std::string& name) {
+  SharedProfileStore store(SharedProfileStoreConfig{});
+  profile::LoadProfile evidence;
+  evidence.AccumulateSite(11, Site(100, 60, 4000));
+  evidence.AccumulateSite(23, Site(50, 2, 10));
+  store.BeginEpoch();
+  store.Contribute(evidence);
+  StoreFileBytes file;
+  file.path = std::string(::testing::TempDir()) + name;
+  EXPECT_TRUE(store.SaveTo(file.path).ok());
+  std::ifstream in(file.path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  file.bytes = text.str();
+  file.payload_start = file.bytes.find('\n') + 1;
+  EXPECT_GT(file.payload_start, 1u);
+  return file;
+}
+
+void RewriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SharedProfileStoreTest, LoadReportsShortReadsAsOutOfRange) {
+  StoreFileBytes file = SavedStoreFile("yh_store_short.profile");
+  // Truncation anywhere past the header — mid-payload or mid-footer — is a
+  // SHORT READ, typed so callers can tell it from a garbled file. (Only the
+  // footer's trailing newline itself is optional.)
+  for (const size_t keep : {file.payload_start + 2, file.bytes.size() / 2,
+                            file.bytes.size() - 3}) {
+    RewriteFile(file.path, file.bytes.substr(0, keep));
+    const auto loaded = LoadStoreFile(file.path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange)
+        << loaded.status();
+    EXPECT_NE(loaded.status().message().find("short read"), std::string::npos)
+        << loaded.status();
+    // The store wrapper rejects it the same way and stays cold.
+    SharedProfileStore store(SharedProfileStoreConfig{});
+    EXPECT_EQ(store.WarmStartFrom(file.path).code(), StatusCode::kOutOfRange);
+    EXPECT_FALSE(store.warm_started());
+  }
+  std::remove(file.path.c_str());
+}
+
+TEST(SharedProfileStoreTest, LoadReportsBitRotAsInvalidArgument) {
+  StoreFileBytes file = SavedStoreFile("yh_store_rot.profile");
+  std::string rotten = file.bytes;
+  rotten[file.payload_start + 1] ^= 0x01;  // one flipped payload bit
+  RewriteFile(file.path, rotten);
+  const auto loaded = LoadStoreFile(file.path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+      << loaded.status();
+  std::remove(file.path.c_str());
+}
+
+TEST(SharedProfileStoreTest, LoadReportsFutureVersionAsFailedPrecondition) {
+  StoreFileBytes file = SavedStoreFile("yh_store_future.profile");
+  // A well-formed container from a future format version: same length, same
+  // checksum, bumped version digit.
+  std::string future = file.bytes;
+  const size_t v = future.find(" v");
+  ASSERT_NE(v, std::string::npos);
+  future[v + 2] = '9';
+  RewriteFile(file.path, future);
+  const auto loaded = LoadStoreFile(file.path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition)
+      << loaded.status();
+  std::remove(file.path.c_str());
+}
+
+TEST(SharedProfileStoreTest, MissingFileIsNotFoundAndSaveLeavesNoTemp) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "yh_store_atomic.profile";
+  std::remove(path.c_str());
+  // NotFound is the one load error that means "normal day-1 cold start".
+  EXPECT_EQ(LoadStoreFile(path).status().code(), StatusCode::kNotFound);
+
+  StoreFileBytes file = SavedStoreFile("yh_store_atomic.profile");
+  // The atomic write-rename leaves no .tmp debris behind.
+  std::ifstream tmp(file.path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  // And what it renamed into place parses back cleanly.
+  EXPECT_TRUE(LoadStoreFile(file.path).ok());
+  std::remove(file.path.c_str());
 }
 
 // --- ServerGroup end-to-end -------------------------------------------------------

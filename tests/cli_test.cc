@@ -172,6 +172,61 @@ TEST(CliTest, ServeBadShardsExitsTwo) {
   EXPECT_NE(r.stderr_text.find("bad --shards"), std::string::npos);
 }
 
+TEST(CliTest, ServeNegativeShardsExitsTwo) {
+  const CommandResult r = RunYhc("serve --shards=-2", "serve_neg_shards");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --shards"), std::string::npos);
+}
+
+TEST(CliTest, ServeBadGuardWindowExitsTwo) {
+  const CommandResult r =
+      RunYhc("serve --guard 1 --guard-window 0", "serve_bad_guard_window");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --guard-window"), std::string::npos);
+}
+
+TEST(CliTest, ServeBadGuardRatioExitsTwoWithNamedError) {
+  const CommandResult r =
+      RunYhc(std::string("serve --guard 1 --guard-ratio 0.5 ") + kSmallRun,
+             "serve_bad_guard_ratio");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("regression_ratio"), std::string::npos);
+}
+
+TEST(CliTest, ServeUnknownFaultClassExitsTwo) {
+  const CommandResult r = RunYhc(
+      std::string("serve --fault bogus:1.0 ") + kSmallRun, "serve_bad_fault");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("unknown fault class 'bogus'"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeRejectsPipelineFaultClasses) {
+  // The sample-stream classes belong to `yhc chaos`; serve takes only the
+  // serving-layer classes.
+  const CommandResult r =
+      RunYhc(std::string("serve --fault ip_alias:0.5 ") + kSmallRun,
+             "serve_pipeline_fault");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("not a serving-layer fault"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeGuardedRunReportsGuardActivityAndExitsZero) {
+  const std::string out = TempPath("serve_guarded.out");
+  const CommandResult r = RunYhc(
+      std::string("serve --shards 2 --guard 1 --tasks 16 --epoch 4 "
+                  "--nodes 16384 --steps 200 > ") + out,
+      "serve_guarded");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  // The decision audit trail and the summary's guard counters both surface.
+  EXPECT_NE(text.find("canary_begin"), std::string::npos);
+  EXPECT_NE(text.find("promote"), std::string::npos);
+  EXPECT_NE(text.find("guard: canaries="), std::string::npos);
+  EXPECT_NE(text.find("results correct"), std::string::npos);
+}
+
 TEST(CliTest, ServeUnknownFlagExitsTwoWithNamedError) {
   const CommandResult r = RunYhc("serve --frobnicate 3", "serve_bad_flag");
   EXPECT_EQ(r.exit_code, 2);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adapt/profile_store.h"
 #include "src/common/rng.h"
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
@@ -164,6 +165,60 @@ TEST(ProfileTextFuzzTest, SurvivesRandomCharacterMutations) {
   }
 }
 
+// --- Profile-store container ------------------------------------------------------
+
+// The versioned+checksummed container around the persisted SharedProfileStore
+// (docs/ROBUSTNESS.md). Contract: any strict prefix is a typed error (only
+// the footer's trailing newline is optional), and anything the parser DOES
+// accept carries a checksum-verified, unmodified payload.
+
+TEST(StoreContainerFuzzTest, RejectsTruncationAtEveryPrefix) {
+  const std::string full = adapt::SerializeStoreFile(SampleProfile());
+  for (size_t len = 0; len + 1 < full.size(); ++len) {
+    const auto result = adapt::ParseStoreFile(full.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes accepted";
+    EXPECT_TRUE(result.status().code() == StatusCode::kInvalidArgument ||
+                result.status().code() == StatusCode::kOutOfRange)
+        << result.status();
+  }
+  // The complete container (with or without the optional trailing newline)
+  // round-trips.
+  EXPECT_TRUE(adapt::ParseStoreFile(full).ok());
+  EXPECT_TRUE(adapt::ParseStoreFile(full.substr(0, full.size() - 1)).ok());
+}
+
+TEST(StoreContainerFuzzTest, SurvivesRandomByteMutations) {
+  const std::string full = adapt::SerializeStoreFile(SampleProfile());
+  const size_t sample_sites = SampleProfile().loads.sites().size();
+  Rng rng(kFuzzSeed + 3);
+  for (int round = 0; round < kMutationRounds; ++round) {
+    std::string mutated = full;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // bit flip
+          mutated[pos] = static_cast<char>(
+              mutated[pos] ^ static_cast<char>(1u << rng.NextBelow(8)));
+          break;
+        case 1:  // random byte
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        default:  // truncate the tail
+          mutated.resize(pos);
+          break;
+      }
+    }
+    const auto result = adapt::ParseStoreFile(mutated);
+    if (result.ok()) {
+      // The checksum guarantees an accepted mutant kept its payload intact
+      // (e.g. only a version downgrade or the optional newline changed).
+      EXPECT_EQ(result->loads.sites().size(), sample_sites);
+      (void)adapt::SerializeStoreFile(*result);
+    }
+  }
+}
+
 // --- Yield side-table text --------------------------------------------------------
 
 std::map<isa::Addr, instrument::YieldInfo> SampleYields() {
@@ -231,6 +286,20 @@ TEST_F(FileFuzzTest, LoadProgramHandlesGarbageAndPartialWords) {
   EXPECT_FALSE(isa::LoadProgram(path).ok());
   // Missing file is an error, not a crash.
   EXPECT_FALSE(isa::LoadProgram(TempPath("does_not_exist.yh")).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FileFuzzTest, LoadStoreFileHandlesGarbageEmptyAndMissing) {
+  const std::string path = TempPath("store.profile");
+  WriteBytes(path, std::string(64, '\x5a'));
+  EXPECT_FALSE(adapt::LoadStoreFile(path).ok());
+  WriteBytes(path, "");
+  EXPECT_FALSE(adapt::LoadStoreFile(path).ok());
+  // Missing is the one case callers treat as a normal cold start.
+  EXPECT_EQ(adapt::LoadStoreFile(TempPath("no_such_store.profile"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
   std::remove(path.c_str());
 }
 

@@ -39,6 +39,7 @@
 #include "src/faultinject/drift.h"
 #include "src/faultinject/fault.h"
 #include "src/faultinject/profile_faults.h"
+#include "src/faultinject/serving_faults.h"
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
 #include "src/obs/metrics.h"
@@ -645,9 +646,17 @@ int CmdServe(Options& options) {
   const double severity = options.UnitDouble("severity", 1.0);
   const double threshold = options.Double("threshold", 0.25);
   const std::string store_path = options.Str("store", "");
+  const uint64_t guard_on = options.U64("guard", 0);
+  const uint64_t guard_window = options.PositiveU64("guard-window", 3);
+  // The adapt scenario's single hot loop prices hiding at roughly 2x wall
+  // cycles per op (every primary load yields), so the canary threshold sits
+  // above that; sharded production workloads tune it per deployment.
+  const double guard_ratio = options.Double("guard-ratio", 2.5);
+  const std::string fault_list = options.Str("fault", "");
   options.RejectUnknownFlags(
       "serve", {"shards", "tasks", "epoch", "flip", "nodes", "steps", "adapt",
-                "warm-start", "severity", "threshold", "store"});
+                "warm-start", "severity", "threshold", "store", "guard",
+                "guard-window", "guard-ratio", "fault"});
   if (!options.ok()) {
     return options.UsageError();
   }
@@ -673,10 +682,45 @@ int CmdServe(Options& options) {
   config.shard.dual.hide_window_cycles = 300;
   config.profile_path = store_path;
   config.warm_start = warm != 0;
+  config.guard.enabled = guard_on != 0;
+  config.guard.confirmation_window = static_cast<int>(guard_window);
+  config.guard.regression_ratio = guard_ratio;
   const Status valid = config.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "%s\n", valid.ToString().c_str());
     return 2;
+  }
+
+  // Serving-layer chaos (docs/ROBUSTNESS.md): --fault takes the serving
+  // fault classes (rebuild_fail, backmap, regress, stall, store_corrupt);
+  // the pipeline classes belong to `yhc chaos`.
+  if (!fault_list.empty()) {
+    auto specs = faultinject::ParseFaultList(fault_list);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   specs.status().ToString().c_str());
+      return 2;
+    }
+    auto hooks = faultinject::MakeServingFaultHooks(
+        *specs, static_cast<isa::Addr>(chase.program().size()));
+    if (!hooks.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   hooks.status().ToString().c_str());
+      return 2;
+    }
+    config.fault_hooks = std::move(hooks).value();
+    for (const faultinject::FaultSpec& spec : *specs) {
+      if (spec.fault == faultinject::FaultClass::kStoreCorrupt &&
+          !store_path.empty()) {
+        // Rot the persisted store before the warm start reads it; a missing
+        // file just means there is nothing to corrupt yet.
+        const Status rotted = faultinject::CorruptStoreFile(store_path, spec);
+        if (rotted.ok()) {
+          std::printf("store file %s corrupted (severity %.2f)\n",
+                      store_path.c_str(), spec.severity);
+        }
+      }
+    }
   }
 
   // One simulated core per shard, each with its own memory image of the
@@ -755,6 +799,9 @@ int CmdServe(Options& options) {
     std::fprintf(stderr, "%d/%d results WRONG after sharded adaptation\n",
                  wrong, static_cast<int>(shards) * n);
     return 1;
+  }
+  for (const adapt::GuardEvent& event : report->guard_log) {
+    std::printf("guard: %s\n", event.ToString().c_str());
   }
   std::printf("%s\n", report->Summary().c_str());
   std::printf("%d/%d results correct; stagger ok (%zu installs, %d rebuilds)\n",
@@ -1056,8 +1103,13 @@ void PrintUsage(std::FILE* out) {
                "        hot-swap re-instrumentation online (docs/ONLINE.md)\n"
                "  serve [--shards N] [--tasks N] [--epoch N] [--severity X]\n"
                "        [--store <path>] [--warm-start 0|1] [--threshold X]\n"
+               "        [--guard 0|1] [--guard-window N] [--guard-ratio X]\n"
+               "        [--fault <class:sev>[,...]]\n"
                "        sharded multi-core serving: N cores, one shared\n"
-               "        profile store, staggered hot-swaps (docs/ONLINE.md)\n"
+               "        profile store, staggered hot-swaps (docs/ONLINE.md);\n"
+               "        --guard canaries fresh generations with rollback, and\n"
+               "        --fault injects serving faults: rebuild_fail, backmap,\n"
+               "        regress, stall, store_corrupt (docs/ROBUSTNESS.md)\n"
                "  trace [--out <path>] [--mask M] [--capacity N] [--tasks N]\n"
                "        run the adapt scenario with the cycle-domain flight\n"
                "        recorder on; emit Chrome/Perfetto trace-event JSON\n"
