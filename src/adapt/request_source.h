@@ -1,0 +1,54 @@
+// RequestSource: the open-loop request-injection seam between the serving
+// front end (src/serve/) and a Shard's scheduler (docs/SERVING.md).
+//
+// A shard with a source installed no longer serves a pre-loaded task deque;
+// instead, whenever its primary queue is empty at a task-boundary safe
+// point, it polls the source. The source owns the arrival process, the
+// bounded admission queue, and per-request latency accounting; the shard
+// owns the epoch cadence and the scheduler. Poll() may:
+//
+//   * harvest completed requests from the scheduler's progress report,
+//   * admit newly due arrivals (or shed them when the queue is full),
+//   * dispatch the queue head as ONE primary task via AddPrimaryTask,
+//   * advance the machine clock across idle gaps to the next arrival,
+//   * donate idle cycles to in-flight scavenger requests via
+//     DrainScavengers.
+//
+// Scavenger lifecycle notifications (wired by Shard::SetRequestSource onto
+// DualModeScheduler::SetScavengerLifecycleHooks) let the source track
+// requests served CONCURRENTLY by scavenger coroutines — the open-loop form
+// of the paper's "scavengers are other requests" deployment — including the
+// guarded-swap hazard: a rollback retires live scavengers, and the source
+// must restart their requests without losing or double-counting them.
+#ifndef YIELDHIDE_SRC_ADAPT_REQUEST_SOURCE_H_
+#define YIELDHIDE_SRC_ADAPT_REQUEST_SOURCE_H_
+
+#include <cstdint>
+
+#include "src/runtime/dual_mode.h"
+#include "src/sim/machine.h"
+
+namespace yieldhide::adapt {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  // Called at safe points when the shard's primary queue is empty. Returns
+  // false once the source is exhausted — no arrivals left, nothing queued,
+  // nothing in flight — which the shard treats exactly like a drained task
+  // deque (it finishes serving). A false return must leave every admitted
+  // request accounted (completed or reported in-flight).
+  virtual bool Poll(sim::Machine& machine,
+                    runtime::DualModeScheduler& scheduler) = 0;
+
+  // A factory-supplied scavenger context was installed (ctx id `ctx_id`).
+  virtual void OnScavengerSpawn(int ctx_id, uint64_t now) = 0;
+  // A scavenger left the pool: completed=true at halt (its request finished
+  // at `now`), completed=false when a swap/rollback killed it mid-flight.
+  virtual void OnScavengerRetire(int ctx_id, uint64_t now, bool completed) = 0;
+};
+
+}  // namespace yieldhide::adapt
+
+#endif  // YIELDHIDE_SRC_ADAPT_REQUEST_SOURCE_H_

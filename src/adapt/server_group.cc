@@ -128,7 +128,8 @@ ServerGroup::ServerGroup(const isa::Program* original,
       tasks_(config.shards),
       factories_(config.shards),
       scavenger_binaries_(config.shards, nullptr),
-      profilers_(config.shards, nullptr) {}
+      profilers_(config.shards, nullptr),
+      request_sources_(config.shards, nullptr) {}
 
 void ServerGroup::AddTask(size_t shard,
                           runtime::DualModeScheduler::ContextSetup setup) {
@@ -153,6 +154,10 @@ void ServerGroup::SetScavengerFactory(
 void ServerGroup::SetScavengerBinary(
     size_t shard, const instrument::InstrumentedProgram* binary) {
   scavenger_binaries_[shard] = binary;
+}
+
+void ServerGroup::SetRequestSource(size_t shard, RequestSource* source) {
+  request_sources_[shard] = source;
 }
 
 Result<GroupReport> ServerGroup::Run() {
@@ -204,6 +209,9 @@ Result<GroupReport> ServerGroup::Run() {
         i, machines_[i], config_.shard, &controller_.current_generation(),
         scavenger_binaries_[i], factories_[i], std::move(tasks_[i]), trace_,
         metrics_, profilers_[i], std::move(labels)));
+    if (request_sources_[i] != nullptr) {
+      shards.back()->SetRequestSource(request_sources_[i]);
+    }
   }
   tasks_.assign(config_.shards, {});
 

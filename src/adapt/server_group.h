@@ -140,6 +140,11 @@ class ServerGroup {
                            runtime::DualModeScheduler::ScavengerFactory factory);
   void SetScavengerBinary(size_t shard,
                           const instrument::InstrumentedProgram* binary);
+  // Open-loop serving: installs a per-shard request source (must outlive
+  // Run()). A shard with a source polls it whenever its primary queue is
+  // empty instead of relying on pre-loaded AddTask work; see
+  // Shard::SetRequestSource. Call before Run().
+  void SetRequestSource(size_t shard, RequestSource* source);
 
   // Serves every shard's queue to completion in lockstep group epochs,
   // staggering swaps (see file comment), then saves the store if configured.
@@ -158,6 +163,7 @@ class ServerGroup {
   std::vector<runtime::DualModeScheduler::ScavengerFactory> factories_;
   std::vector<const instrument::InstrumentedProgram*> scavenger_binaries_;
   std::vector<obs::CycleProfiler*> profilers_;
+  std::vector<RequestSource*> request_sources_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

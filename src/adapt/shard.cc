@@ -106,6 +106,7 @@ Shard::Shard(size_t id, sim::Machine* machine,
   scheduler_->SetObservability(trace_, metrics_);
   scheduler_->SetMetricsLabels(labels_);
   if (profiler != nullptr) {
+    profiler_ = profiler;
     scheduler_->SetProfiler(profiler);
   }
   if (factory) {
@@ -219,12 +220,36 @@ Result<Shard::EpochOutcome> Shard::RunEpochTasks(
   const size_t tasks_per_epoch =
       config_.tasks_per_epoch < 1 ? 1
                                   : static_cast<size_t>(config_.tasks_per_epoch);
-  Result<size_t> ran = scheduler_->RunTasks(tasks_per_epoch);
-  if (!ran.ok()) {
-    return ran.status();
+  size_t done = 0;
+  while (done < tasks_per_epoch) {
+    if (scheduler_->pending_tasks() == 0 && request_source_ != nullptr) {
+      // Open-loop serving: the source harvests completions, admits due
+      // arrivals, and dispatches the queue head (possibly after advancing
+      // the clock across an idle gap or donating it to in-flight scavenger
+      // requests). False = stream exhausted and everything accounted.
+      if (!request_source_->Poll(*machine_, *scheduler_)) {
+        break;
+      }
+      if (scheduler_->pending_tasks() == 0) {
+        break;  // source admitted nothing despite claiming liveness
+      }
+    }
+    Result<size_t> ran = scheduler_->RunTasks(tasks_per_epoch - done);
+    if (!ran.ok()) {
+      return ran.status();
+    }
+    if (ran.value() == 0) {
+      break;  // closed-loop deque drained
+    }
+    done += ran.value();
   }
   EpochOutcome outcome;
-  if (ran.value() < tasks_per_epoch) {
+  if (done < tasks_per_epoch) {
+    if (request_source_ != nullptr) {
+      // Final poll so the last completions' respond stages are charged and
+      // harvested before the shard reports itself done.
+      request_source_->Poll(*machine_, *scheduler_);
+    }
     // Queue ran dry mid-epoch: no full boundary. Finish() flushes the
     // trailing partial epoch (telemetry-only).
     return outcome;
@@ -235,6 +260,21 @@ Result<Shard::EpochOutcome> Shard::RunEpochTasks(
   outcome.score.divergence = epoch_.drift_divergence;
   outcome.score.score = epoch_.drift;
   return outcome;
+}
+
+void Shard::SetRequestSource(RequestSource* source) {
+  request_source_ = source;
+  if (source == nullptr) {
+    scheduler_->SetScavengerLifecycleHooks(nullptr, nullptr);
+    return;
+  }
+  scheduler_->SetScavengerLifecycleHooks(
+      [source](int ctx_id, uint64_t now) {
+        source->OnScavengerSpawn(ctx_id, now);
+      },
+      [source](int ctx_id, uint64_t now, bool completed) {
+        source->OnScavengerRetire(ctx_id, now, completed);
+      });
 }
 
 void Shard::TraceSwapBegin() {
@@ -356,6 +396,12 @@ void Shard::FinishEpochBoundary(bool adapting,
   last_starved_ = after.bursts_starved;
   last_busy_ = after.burst_busy_cycles;
   epoch_start_ = machine_->now();
+  if (profiler_ != nullptr) {
+    // Per-epoch attribution slice: sweep the residue first so the slice sits
+    // on an exact cycle partition, then snapshot cumulative class totals.
+    profiler_->SyncToClock(machine_->now());
+    profiler_->SnapshotEpoch(report_.epochs.size(), machine_->now());
+  }
   report_.epochs.push_back(epoch_);
 }
 

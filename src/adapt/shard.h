@@ -29,6 +29,7 @@
 
 #include "src/adapt/controller.h"
 #include "src/adapt/online_profile.h"
+#include "src/adapt/request_source.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler/profiler.h"
 #include "src/obs/trace.h"
@@ -144,6 +145,13 @@ class Shard {
   Result<EpochOutcome> RunEpochTasks(bool adapting,
                                      profile::LoadProfile* epoch_evidence);
 
+  // Installs the open-loop request source (must outlive the shard) and wires
+  // the scheduler's scavenger lifecycle hooks to it. With a source installed
+  // the epoch loop polls it whenever the primary queue runs empty; the
+  // source exhausting mid-epoch ends the shard's run exactly like a drained
+  // task deque. Call before the first RunEpochTasks.
+  void SetRequestSource(RequestSource* source);
+
   // Records the kSwapBegin trace event with this epoch's drift score; the
   // group calls it before attempting the rebuild, mirroring the pre-split
   // event order (swap-begin precedes the rebuild that may fail).
@@ -193,7 +201,9 @@ class Shard {
   OnlineProfile online_;
   obs::TraceRecorder* trace_;
   obs::MetricsRegistry* metrics_;
+  obs::CycleProfiler* profiler_ = nullptr;
   obs::Labels labels_;
+  RequestSource* request_source_ = nullptr;
 
   double rate_scale_ = 1.0;
   int quiet_epochs_ = 0;

@@ -1,5 +1,6 @@
 #include "src/cli/options.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string_view>
 
@@ -110,6 +111,19 @@ double Options::Double(const std::string& name, double fallback) {
   Result<double> parsed = ParseDouble(it->second);
   if (!parsed.ok()) {
     Fail("bad --" + name);
+    return fallback;
+  }
+  return *parsed;
+}
+
+double Options::PositiveDouble(const std::string& name, double fallback) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  Result<double> parsed = ParseDouble(it->second);
+  if (!parsed.ok() || !(*parsed > 0.0) || !std::isfinite(*parsed)) {
+    Fail("bad --" + name + " (want > 0)");
     return fallback;
   }
   return *parsed;

@@ -59,6 +59,8 @@ class Options {
   double Double(const std::string& name, double fallback);
   // Rejects values outside [0, 1]: "bad --name (want 0..1)".
   double UnitDouble(const std::string& name, double fallback);
+  // Rejects zero, negatives, and non-finite values: "bad --name (want > 0)".
+  double PositiveDouble(const std::string& name, double fallback);
   // Enumerated value: "bad --name (want a|b|c)".
   std::string Choice(const std::string& name, const std::string& fallback,
                      std::initializer_list<const char*> allowed);

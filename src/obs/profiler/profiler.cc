@@ -243,10 +243,34 @@ std::array<uint64_t, kNumCycleClasses> CycleProfiler::class_totals() const {
   return totals;
 }
 
+void CycleProfiler::SnapshotEpoch(uint64_t epoch, uint64_t now_cycles) {
+  EpochSlice slice;
+  slice.epoch = epoch;
+  slice.end_cycle = now_cycles;
+  slice.class_totals = class_totals();
+  epoch_slices_.push_back(slice);
+}
+
+std::array<uint64_t, kNumCycleClasses> CycleProfiler::EpochDelta(
+    size_t index) const {
+  std::array<uint64_t, kNumCycleClasses> delta{};
+  if (index >= epoch_slices_.size()) {
+    return delta;
+  }
+  delta = epoch_slices_[index].class_totals;
+  if (index > 0) {
+    for (size_t i = 0; i < kNumCycleClasses; ++i) {
+      delta[i] -= epoch_slices_[index - 1].class_totals[i];
+    }
+  }
+  return delta;
+}
+
 void CycleProfiler::Reset() {
   const instrument::InstrumentedProgram* binary = binary_;
   sites_.clear();
   stream_sites_.clear();
+  epoch_slices_.clear();
   external_ = &sites_[kExternalSite];
   classified_ = 0;
   run_begin_ = 0;

@@ -168,6 +168,24 @@ class CycleProfiler {
   // Keyed by ORIGINAL-binary site address (kExternalSite for residue).
   const std::map<uint64_t, SiteCycles>& sites() const { return sites_; }
 
+  // --- per-epoch attribution slices ---
+  // A drift event's cost shows up as a before/after delta between epoch
+  // slices instead of a diluted whole-run average. The owner (Shard) calls
+  // SnapshotEpoch at each epoch boundary AFTER SyncToClock; the slice stores
+  // the CUMULATIVE class totals at that cycle, so the per-epoch cost of class
+  // c in epoch slices[i] is `slices[i].class_totals[c] -
+  // slices[i-1].class_totals[c]` (EpochDelta computes it).
+  struct EpochSlice {
+    uint64_t epoch = 0;      // caller-supplied ordinal
+    uint64_t end_cycle = 0;  // machine clock at the snapshot
+    std::array<uint64_t, kNumCycleClasses> class_totals{};
+  };
+  void SnapshotEpoch(uint64_t epoch, uint64_t now_cycles);
+  const std::vector<EpochSlice>& epoch_slices() const { return epoch_slices_; }
+  // Class totals accrued WITHIN slice `index` (delta to the previous slice,
+  // or to run start for index 0).
+  std::array<uint64_t, kNumCycleClasses> EpochDelta(size_t index) const;
+
   void Reset();
 
  private:
@@ -193,6 +211,7 @@ class CycleProfiler {
   uint64_t run_begin_ = 0;
   bool running_ = false;
   uint64_t classified_ = 0;
+  std::vector<EpochSlice> epoch_slices_;
 
   SiteCycles* burst_site_ = nullptr;
   bool burst_useful_ = false;

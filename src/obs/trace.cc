@@ -34,6 +34,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "pmu";
     case kTraceGuard:
       return "guard";
+    case kTraceServe:
+      return "serve";
     default:
       return "multi";
   }
@@ -75,6 +77,16 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "watchdog_fire";
     case TraceEventType::kStoreFallback:
       return "store_fallback";
+    case TraceEventType::kRequestAdmit:
+      return "request_admit";
+    case TraceEventType::kRequestShed:
+      return "request_shed";
+    case TraceEventType::kRequestDispatch:
+      return "request_dispatch";
+    case TraceEventType::kRequestComplete:
+      return "request_complete";
+    case TraceEventType::kRequestRequeue:
+      return "request_requeue";
   }
   return "unknown";
 }
@@ -106,6 +118,12 @@ TraceCategory TraceEventCategory(TraceEventType type) {
     case TraceEventType::kWatchdogFire:
     case TraceEventType::kStoreFallback:
       return kTraceGuard;
+    case TraceEventType::kRequestAdmit:
+    case TraceEventType::kRequestShed:
+    case TraceEventType::kRequestDispatch:
+    case TraceEventType::kRequestComplete:
+    case TraceEventType::kRequestRequeue:
+      return kTraceServe;
   }
   return kTraceSched;
 }

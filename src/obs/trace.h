@@ -44,7 +44,8 @@ enum TraceCategory : uint32_t {
   kTraceSwap = 1u << 5,        // hot-swap begin / commit
   kTracePmu = 1u << 6,         // PMU sample captures
   kTraceGuard = 1u << 7,       // canary/rollback/watchdog guard decisions
-  kTraceAllCategories = (1u << 8) - 1,
+  kTraceServe = 1u << 8,       // request lifecycle (admit/shed/dispatch/done)
+  kTraceAllCategories = (1u << 9) - 1,
 };
 
 const char* TraceCategoryName(TraceCategory category);
@@ -79,6 +80,13 @@ enum class TraceEventType : uint8_t {
   kRebuildRetry,     // rebuild failed, retry scheduled; arg = backoff epochs
   kWatchdogFire,     // stalled shard shed its swap slot; ctx = shard
   kStoreFallback,    // persisted store rejected, cold start; arg = status code
+  kRequestAdmit,     // request entered a shard's bounded queue; arg = req id
+  kRequestShed,      // queue full, request dropped at admission; arg = req id
+  kRequestDispatch,  // handle stage started; ctx = serving context (primary
+                     // task id or scavenger id), arg = req id
+  kRequestComplete,  // respond stage finished; arg = req id, ip = latency
+  kRequestRequeue,   // serving context killed mid-flight (swap/rollback);
+                     // request returned to the queue head; arg = req id
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -50,6 +50,12 @@ void DualModeScheduler::SetTaskBoundaryHook(TaskBoundaryHook hook) {
   boundary_hook_ = std::move(hook);
 }
 
+void DualModeScheduler::SetScavengerLifecycleHooks(ScavengerSpawnHook spawn,
+                                                   ScavengerRetireHook retire) {
+  spawn_hook_ = std::move(spawn);
+  retire_hook_ = std::move(retire);
+}
+
 void DualModeScheduler::SeedSiteStats(std::map<isa::Addr, YieldSiteStats> stats) {
   seeded_site_stats_ = std::move(stats);
 }
@@ -211,6 +217,11 @@ void DualModeScheduler::RetireScavengers() {
         trace_->Record(obs::TraceEventType::kScavengerRetire, machine_->now(),
                        scavenger.ctx.id, 0, 0);
       }
+      if (retire_hook_) {
+        // Killed mid-flight (binary swap / rollback): its work item did NOT
+        // finish — the serving layer may restart it.
+        retire_hook_(scavenger.ctx.id, machine_->now(), /*completed=*/false);
+      }
     }
   }
   scavengers_.clear();
@@ -316,16 +327,28 @@ bool DualModeScheduler::YieldLooksUseful(const sim::CpuContext& primary,
   return !any_prefetch;
 }
 
-bool DualModeScheduler::SpawnScavenger() {
-  if (!factory_ || scavengers_.size() >= config_.max_scavengers) {
-    return false;
+int DualModeScheduler::SpawnScavenger() {
+  if (!factory_) {
+    return -1;
+  }
+  size_t slot = scavengers_.size();
+  if (slot >= config_.max_scavengers) {
+    // Pool at its cap: reuse an exhausted slot, if any (its occupant halted
+    // and its accounting was already flushed).
+    slot = 0;
+    while (slot < scavengers_.size() && !scavengers_[slot].exhausted) {
+      ++slot;
+    }
+    if (slot >= scavengers_.size()) {
+      return -1;  // every slot holds a live scavenger
+    }
   }
   std::optional<ContextSetup> setup = factory_();
   if (!setup.has_value()) {
-    return false;
+    return -1;
   }
   Scavenger scavenger;
-  scavenger.ctx.id = kScavengerCtxIdBase + static_cast<int>(scavengers_.size());
+  scavenger.ctx.id = kScavengerCtxIdBase + static_cast<int>(slot);
   scavenger.ctx.ResetArchState(scavenger_binary_->program.entry());
   scavenger.ctx.cyield_enabled = true;  // scavenger mode: CYIELDs fire
   (*setup)(scavenger.ctx);
@@ -333,9 +356,17 @@ bool DualModeScheduler::SpawnScavenger() {
     trace_->Record(obs::TraceEventType::kScavengerSpawn, machine_->now(),
                    scavenger.ctx.id, 0, 0);
   }
-  scavengers_.push_back(std::move(scavenger));
+  const int ctx_id = scavenger.ctx.id;
+  if (slot == scavengers_.size()) {
+    scavengers_.push_back(std::move(scavenger));
+  } else {
+    scavengers_[slot] = std::move(scavenger);
+  }
   ++report_.scavengers_spawned;
-  return true;
+  if (spawn_hook_) {
+    spawn_hook_(ctx_id, machine_->now());
+  }
+  return static_cast<int>(slot);
 }
 
 int DualModeScheduler::AcquireScavenger(const std::vector<bool>* ran_this_burst) {
@@ -354,8 +385,9 @@ int DualModeScheduler::AcquireScavenger(const std::vector<bool>* ran_this_burst)
   // Every pool member already ran this burst (or halted): scale the pool on
   // demand so the chain keeps consuming fresh cycles instead of resuming a
   // scavenger whose own prefetch is still in flight.
-  if (SpawnScavenger()) {
-    return static_cast<int>(scavengers_.size() - 1);
+  const int spawned = SpawnScavenger();
+  if (spawned >= 0) {
+    return spawned;
   }
   // Pool at its cap: wrap to the least-recently-run live scavenger.
   for (size_t i = 0; i < scavengers_.size(); ++i) {
@@ -388,7 +420,7 @@ void DualModeScheduler::BeginRun() {
     AnnounceQuarantineToProfiler();  // seeded carry-over tables
   }
   for (size_t i = 0; i < config_.initial_scavengers; ++i) {
-    if (!SpawnScavenger()) {
+    if (SpawnScavenger() < 0) {
       break;
     }
   }
@@ -461,6 +493,11 @@ Status DualModeScheduler::RunScavengerBurst() {
           trace_->Record(obs::TraceEventType::kScavengerRetire,
                          machine_->now(), scavenger.ctx.id, 0, 0);
         }
+        if (retire_hook_) {
+          // Its work item finished; notify BEFORE the slot (and ctx id) is
+          // reused by the respawn below.
+          retire_hook_(scavenger.ctx.id, machine_->now(), /*completed=*/true);
+        }
         if (factory_) {
           std::optional<ContextSetup> setup = factory_();
           if (setup.has_value()) {
@@ -474,6 +511,9 @@ Status DualModeScheduler::RunScavengerBurst() {
             if (YH_TRACE_ENABLED(trace_, obs::kTraceScavenger)) {
               trace_->Record(obs::TraceEventType::kScavengerSpawn,
                              machine_->now(), scavenger.ctx.id, 0, 0);
+            }
+            if (spawn_hook_) {
+              spawn_hook_(scavenger.ctx.id, machine_->now());
             }
           }
         }
@@ -665,6 +705,39 @@ Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
     ++completed;
   }
   return completed;
+}
+
+Result<uint64_t> DualModeScheduler::DrainScavengers(uint64_t max_cycles) {
+  if (in_task_) {
+    return FailedPreconditionError(
+        "scavenger drain requested with a primary task in flight");
+  }
+  if (!started_) {
+    BeginRun();
+  }
+  const uint64_t start = machine_->now();
+  while (machine_->now() - start < max_cycles) {
+    bool any_live = false;
+    for (const Scavenger& scavenger : scavengers_) {
+      if (!scavenger.exhausted && !scavenger.ctx.halted) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      break;
+    }
+    YH_RETURN_IF_ERROR(RunScavengerBurst());
+  }
+  // Safe point: settle the observability bill exactly as a task boundary
+  // does, so drained cycles land on the same honest clock.
+  ChargeTraceOverhead();
+  ChargeProfilerOverhead();
+  if (profiler_ != nullptr) {
+    profiler_->SyncToClock(machine_->now());
+  }
+  PublishMetrics();
+  return machine_->now() - start;
 }
 
 Result<DualModeReport> DualModeScheduler::Finalize() {

@@ -135,6 +135,18 @@ class DualModeScheduler {
   // no task in flight — so the hook may call SwapBinaries() and
   // SetScavengerPoolCap(). This is where the online adaptation loop lives.
   using TaskBoundaryHook = std::function<void(size_t tasks_completed)>;
+  // Scavenger lifecycle notifications (the serving front end's bookkeeping
+  // seam). `spawn` fires whenever a factory-supplied context is installed
+  // into a pool slot — initial spawn, on-demand growth, and the in-place
+  // respawn after a halt — AFTER the factory returned, so the factory's
+  // caller-side state (e.g. "which request did I just hand out") can be
+  // bound to the context id. `retire` fires when a context leaves the pool:
+  // completed=true at halt (its work item finished at `now`), completed=false
+  // when live scavengers are retired wholesale (binary swap / rollback) —
+  // the work item did NOT finish and the caller may restart it elsewhere.
+  using ScavengerSpawnHook = std::function<void(int ctx_id, uint64_t now)>;
+  using ScavengerRetireHook =
+      std::function<void(int ctx_id, uint64_t now, bool completed)>;
 
   // Primary tasks and scavengers may run different binaries (a latency-
   // sensitive service interleaving with an unrelated batch job); both share
@@ -150,6 +162,9 @@ class DualModeScheduler {
   void SetScavengerFactory(ScavengerFactory factory);
   // Installs the between-tasks safe-point callback (see TaskBoundaryHook).
   void SetTaskBoundaryHook(TaskBoundaryHook hook);
+  // Installs the scavenger lifecycle callbacks (either may be empty).
+  void SetScavengerLifecycleHooks(ScavengerSpawnHook spawn,
+                                  ScavengerRetireHook retire);
 
   // Attaches a flight recorder and/or metrics registry (either may be null;
   // both may outlive or be detached between runs). Trace yield/quarantine
@@ -232,6 +247,14 @@ class DualModeScheduler {
   // Primary tasks still queued (not yet started).
   size_t pending_tasks() const { return primary_tasks_.size(); }
 
+  // Idle-loop donation (open-loop serving): with no primary task in flight,
+  // run scavenger bursts back-to-back until every pool slot is exhausted or
+  // `max_cycles` have elapsed — a real event loop resumes ready coroutines
+  // while the request queue is empty instead of parking the core. Chains may
+  // still pull fresh work from the factory, exactly as inside a primary
+  // burst. Returns the cycles consumed; legal only at a safe point.
+  Result<uint64_t> DrainScavengers(uint64_t max_cycles);
+
  private:
   struct Scavenger {
     sim::CpuContext ctx;
@@ -252,7 +275,12 @@ class DualModeScheduler {
   // its own in-flight prefetch), spawning a new one on demand when the burst
   // would otherwise wrap — the paper's on-demand scaling of the pool.
   int AcquireScavenger(const std::vector<bool>* ran_this_burst = nullptr);
-  bool SpawnScavenger();
+  // Installs a fresh factory context into a pool slot and returns its index,
+  // or -1 (no factory, factory dry, or pool full of LIVE scavengers). At the
+  // cap an EXHAUSTED slot is reused: a slot whose factory came up dry at halt
+  // time (e.g. a momentarily empty request queue) must not block the pool
+  // forever once work exists again.
+  int SpawnScavenger();
   // Flushes accounting of live scavengers into the report and empties the
   // pool (used when the scavenger binary is swapped out from under them).
   void RetireScavengers();
@@ -286,6 +314,8 @@ class DualModeScheduler {
   std::deque<ContextSetup> primary_tasks_;
   ScavengerFactory factory_;
   TaskBoundaryHook boundary_hook_;
+  ScavengerSpawnHook spawn_hook_;
+  ScavengerRetireHook retire_hook_;
   std::vector<Scavenger> scavengers_;
   size_t scavenger_cursor_ = 0;
   std::map<isa::Addr, YieldSiteStats> seeded_site_stats_;

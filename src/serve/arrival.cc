@@ -1,0 +1,85 @@
+#include "src/serve/arrival.h"
+
+#include <cmath>
+
+namespace yieldhide::serve {
+
+Status ArrivalConfig::Validate() const {
+  if (!(rate_per_kcycle > 0.0) || !std::isfinite(rate_per_kcycle)) {
+    return InvalidArgumentError("arrival rate must be a positive finite "
+                                "number of requests per kilocycle");
+  }
+  if (horizon_cycles == 0) {
+    return InvalidArgumentError("arrival horizon must be positive");
+  }
+  if (kind == Kind::kBurst) {
+    if (!(quiet_rate_multiplier > 0.0) || !(burst_rate_multiplier > 0.0)) {
+      return InvalidArgumentError("burst/quiet rate multipliers must be "
+                                  "positive");
+    }
+    if (mean_quiet_cycles == 0 || mean_burst_cycles == 0) {
+      return InvalidArgumentError("mean state dwell cycles must be positive");
+    }
+  }
+  return Status::Ok();
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.kind == ArrivalConfig::Kind::kBurst) {
+    // Start in the quiet state with a fresh dwell draw.
+    in_burst_ = false;
+    state_until_ = ExpGap(1.0 / static_cast<double>(config_.mean_quiet_cycles));
+  }
+}
+
+double ArrivalProcess::ExpGap(double rate_per_cycle) {
+  // Inverse-CDF exponential; 1 - U in (0, 1] keeps log() finite.
+  return -std::log(1.0 - rng_.NextDouble()) / rate_per_cycle;
+}
+
+std::optional<uint64_t> ArrivalProcess::Next() {
+  const double base_rate = config_.rate_per_kcycle / 1000.0;
+  if (config_.kind == ArrivalConfig::Kind::kPoisson) {
+    clock_ += ExpGap(base_rate);
+  } else {
+    // MMPP: exponential dwells make the state memoryless, so a gap that
+    // crosses a state boundary is redrawn from the boundary at the new
+    // state's rate without bias.
+    while (true) {
+      const double rate = base_rate * (in_burst_ ? config_.burst_rate_multiplier
+                                                 : config_.quiet_rate_multiplier);
+      const double gap = ExpGap(rate);
+      if (clock_ + gap <= state_until_) {
+        clock_ += gap;
+        break;
+      }
+      clock_ = state_until_;
+      in_burst_ = !in_burst_;
+      const uint64_t mean_dwell =
+          in_burst_ ? config_.mean_burst_cycles : config_.mean_quiet_cycles;
+      state_until_ =
+          clock_ + ExpGap(1.0 / static_cast<double>(mean_dwell));
+      if (clock_ >= static_cast<double>(config_.horizon_cycles)) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (clock_ >= static_cast<double>(config_.horizon_cycles)) {
+    return std::nullopt;
+  }
+  // Two close continuous-time draws may floor to the same integer cycle;
+  // the discrete sequence is promised strictly increasing, so bump.
+  uint64_t cycle = static_cast<uint64_t>(clock_);
+  if (emitted_ && cycle <= last_cycle_) {
+    cycle = last_cycle_ + 1;
+    if (cycle >= config_.horizon_cycles) {
+      return std::nullopt;
+    }
+  }
+  last_cycle_ = cycle;
+  emitted_ = true;
+  return cycle;
+}
+
+}  // namespace yieldhide::serve

@@ -1,0 +1,279 @@
+#include "src/serve/front_end.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace yieldhide::serve {
+
+Status FrontEndConfig::Validate() const {
+  YH_RETURN_IF_ERROR(arrival.Validate());
+  if (queue_capacity == 0) {
+    return InvalidArgumentError("serve queue capacity must be positive");
+  }
+  return Status::Ok();
+}
+
+std::string FrontEndReport::Summary() const {
+  std::ostringstream out;
+  out << "offered=" << counters.offered << " admitted=" << counters.admitted
+      << " shed=" << counters.shed << " completed=" << counters.completed
+      << " (primary=" << counters.completed_primary
+      << " scavenger=" << counters.completed_scavenger
+      << ") requeued=" << counters.requeued
+      << " in_flight=" << counters.in_flight;
+  if (latency.count() > 0) {
+    out << " latency_p50=" << latency.P50()
+        << " p99=" << latency.P99()
+        << " p999=" << latency.ValueAtQuantile(0.999);
+  }
+  return out.str();
+}
+
+ShardFrontEnd::ShardFrontEnd(const FrontEndConfig& config, Handler handler,
+                             obs::TraceRecorder* trace,
+                             obs::MetricsRegistry* metrics, obs::Labels labels)
+    : config_(config),
+      handler_(std::move(handler)),
+      arrivals_(config.arrival),
+      ingress_(StagePipeline::DefaultIngress()),
+      egress_(StagePipeline::DefaultEgress()),
+      trace_(trace),
+      metrics_(metrics),
+      labels_(std::move(labels)) {
+  next_arrival_ = arrivals_.Next();
+}
+
+void ShardFrontEnd::SetPipelines(StagePipeline ingress, StagePipeline egress) {
+  ingress_ = std::move(ingress);
+  egress_ = std::move(egress);
+}
+
+void ShardFrontEnd::Harvest(sim::Machine& machine,
+                            const runtime::DualModeScheduler& scheduler) {
+  // Primary completions are FIFO against dispatch order (one task in flight
+  // at a time); merge them with halted scavenger requests by finish cycle so
+  // responds serialize on the core in the order the work actually finished.
+  struct Done {
+    uint64_t finish = 0;
+    Request request;
+    bool scavenged = false;
+  };
+  std::vector<Done> done;
+  const auto& completions = scheduler.progress().run.completions;
+  while (completions_consumed_ < completions.size() &&
+         !dispatched_primary_.empty()) {
+    const runtime::CompletionRecord& record =
+        completions[completions_consumed_++];
+    done.push_back(Done{record.end_cycle, dispatched_primary_.front(), false});
+    dispatched_primary_.pop_front();
+  }
+  for (const auto& [request, halt_cycle] : scav_done_) {
+    done.push_back(Done{halt_cycle, request, true});
+  }
+  scav_done_.clear();
+  std::sort(done.begin(), done.end(), [](const Done& a, const Done& b) {
+    return std::tie(a.finish, a.request.id) < std::tie(b.finish, b.request.id);
+  });
+  for (const Done& item : done) {
+    egress_.Charge(machine, item.request.id);
+    const uint64_t latency = machine.now() - item.request.arrival_cycle;
+    latency_.Record(latency);
+    ++counters_.completed;
+    if (item.scavenged) {
+      ++counters_.completed_scavenger;
+    } else {
+      ++counters_.completed_primary;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetHistogram("yh_serve_latency_cycles", labels_)
+          ->Record(latency);
+    }
+    if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+      trace_->Record(obs::TraceEventType::kRequestComplete, machine.now(),
+                     item.scavenged ? 1 : 0, latency, item.request.id);
+    }
+  }
+}
+
+void ShardFrontEnd::AdmitDue(sim::Machine& machine) {
+  while (next_arrival_.has_value() && *next_arrival_ <= machine.now()) {
+    Request request{next_id_++, *next_arrival_};
+    ++counters_.offered;
+    if (queue_.size() >= config_.queue_capacity) {
+      ++counters_.shed;
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+        trace_->Record(obs::TraceEventType::kRequestShed, machine.now(), 0, 0,
+                       request.id);
+      }
+    } else {
+      // The event loop reads and parses the connection before queuing it.
+      ingress_.Charge(machine, request.id);
+      ++counters_.admitted;
+      queue_.push_back(request);
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+        trace_->Record(obs::TraceEventType::kRequestAdmit, machine.now(), 0, 0,
+                       request.id);
+      }
+    }
+    next_arrival_ = arrivals_.Next();
+  }
+}
+
+bool ShardFrontEnd::Poll(sim::Machine& machine,
+                         runtime::DualModeScheduler& scheduler) {
+  if (!status_.ok()) {
+    return false;
+  }
+  Harvest(machine, scheduler);
+  AdmitDue(machine);
+  while (true) {
+    if (!queue_.empty()) {
+      // Dispatch exactly one head request; the next task boundary polls
+      // again, so admissions track completions at request granularity.
+      Request request = queue_.front();
+      queue_.pop_front();
+      dispatched_primary_.push_back(request);
+      if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+        trace_->Record(obs::TraceEventType::kRequestDispatch, machine.now(),
+                       -1, 0, request.id);
+      }
+      scheduler.AddPrimaryTask(handler_(request.id));
+      PublishMetrics();
+      return true;
+    }
+    if (!scavenger_held_.empty()) {
+      // Idle event loop: donate cycles to in-flight scavenger requests until
+      // the next arrival is due (or in bounded chunks past the horizon).
+      uint64_t budget = config_.drain_chunk_cycles;
+      if (next_arrival_.has_value() && *next_arrival_ > machine.now()) {
+        budget = *next_arrival_ - machine.now();
+      }
+      Result<uint64_t> drained = scheduler.DrainScavengers(budget);
+      if (!drained.ok()) {
+        status_ = drained.status();
+        return false;
+      }
+      Harvest(machine, scheduler);
+      AdmitDue(machine);
+      if (drained.value() == 0 && queue_.empty() &&
+          !scavenger_held_.empty()) {
+        // No scavenger progress possible (e.g. the pool was cleared under
+        // us): don't spin — skip ahead if arrivals remain, otherwise stop
+        // with the stuck requests reported as in-flight.
+        if (!next_arrival_.has_value()) {
+          PublishMetrics();
+          return false;
+        }
+        machine.AdvanceClockTo(*next_arrival_);
+        AdmitDue(machine);
+      }
+      continue;
+    }
+    if (next_arrival_.has_value()) {
+      // Nothing runnable: skip the idle gap to the next arrival.
+      machine.AdvanceClockTo(*next_arrival_);
+      AdmitDue(machine);
+      continue;
+    }
+    PublishMetrics();
+    return false;  // exhausted: no queue, nothing in flight, no arrivals
+  }
+}
+
+void ShardFrontEnd::OnScavengerSpawn(int ctx_id, uint64_t now) {
+  if (!staged_.has_value()) {
+    return;  // someone else's factory fed this slot
+  }
+  scavenger_held_[ctx_id] = *staged_;
+  if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+    trace_->Record(obs::TraceEventType::kRequestDispatch, now, ctx_id, 0,
+                   staged_->id);
+  }
+  staged_.reset();
+}
+
+void ShardFrontEnd::OnScavengerRetire(int ctx_id, uint64_t now,
+                                      bool completed) {
+  auto it = scavenger_held_.find(ctx_id);
+  if (it == scavenger_held_.end()) {
+    return;
+  }
+  if (completed) {
+    // Respond is charged at the next safe point (Harvest); the halt cycle
+    // orders it against other finishers.
+    scav_done_.emplace_back(it->second, now);
+  } else {
+    // Killed mid-flight by a swap or rollback: restart at the queue HEAD —
+    // admitted exactly once, completed exactly once, never lost. The head
+    // slot (not the tail) keeps its queueing discipline close to arrival
+    // order; capacity does not apply, the request was already admitted.
+    ++counters_.requeued;
+    queue_.push_front(it->second);
+    if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
+      trace_->Record(obs::TraceEventType::kRequestRequeue, now, ctx_id, 0,
+                     it->second.id);
+    }
+  }
+  scavenger_held_.erase(it);
+}
+
+runtime::DualModeScheduler::ScavengerFactory
+ShardFrontEnd::MakeScavengerFactory() {
+  return [this]() -> std::optional<runtime::DualModeScheduler::ContextSetup> {
+    if (!config_.scavengers_serve || queue_.empty()) {
+      return std::nullopt;
+    }
+    staged_ = queue_.front();
+    queue_.pop_front();
+    // The dispatch trace fires in OnScavengerSpawn, which knows the cycle.
+    return handler_(staged_->id);
+  };
+}
+
+FrontEndReport ShardFrontEnd::report() const {
+  FrontEndReport report;
+  report.counters = counters_;
+  report.counters.in_flight =
+      queue_.size() + dispatched_primary_.size() + scavenger_held_.size() +
+      scav_done_.size() + (staged_.has_value() ? 1 : 0);
+  report.latency = latency_;
+  return report;
+}
+
+void ShardFrontEnd::PublishMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->GetCounter("yh_serve_offered_total", labels_)
+      ->Set(counters_.offered);
+  metrics_->GetCounter("yh_serve_admitted_total", labels_)
+      ->Set(counters_.admitted);
+  metrics_->GetCounter("yh_serve_shed_total", labels_)->Set(counters_.shed);
+  metrics_->GetCounter("yh_serve_completed_total", labels_)
+      ->Set(counters_.completed);
+  metrics_->GetCounter("yh_serve_requeued_total", labels_)
+      ->Set(counters_.requeued);
+  metrics_->GetGauge("yh_serve_queue_depth", labels_)
+      ->Set(static_cast<double>(queue_.size()));
+  if (latency_.count() > 0) {
+    metrics_->GetGauge("yh_serve_latency_p50", labels_)
+        ->Set(static_cast<double>(latency_.P50()));
+    metrics_->GetGauge("yh_serve_latency_p99", labels_)
+        ->Set(static_cast<double>(latency_.P99()));
+    metrics_->GetGauge("yh_serve_latency_p999", labels_)
+        ->Set(static_cast<double>(latency_.ValueAtQuantile(0.999)));
+  }
+  for (const auto& [stage, cycles] : ingress_.stage_cycles()) {
+    obs::Labels labels = labels_;
+    labels.emplace_back("stage", stage);
+    metrics_->GetCounter("yh_serve_stage_cycles_total", labels)->Set(cycles);
+  }
+  for (const auto& [stage, cycles] : egress_.stage_cycles()) {
+    obs::Labels labels = labels_;
+    labels.emplace_back("stage", stage);
+    metrics_->GetCounter("yh_serve_stage_cycles_total", labels)->Set(cycles);
+  }
+}
+
+}  // namespace yieldhide::serve

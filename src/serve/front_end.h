@@ -1,0 +1,169 @@
+// ShardFrontEnd: the per-shard open-loop serving front end (docs/SERVING.md).
+//
+// Implements adapt::RequestSource over one ArrivalProcess, one bounded
+// admission queue, and the staged connection pipeline:
+//
+//   arrival --admit/shed--> [bounded queue] --handle--> primary coroutine
+//                                \--(scavengers_serve)--> scavenger slots
+//
+// The event-loop model, all at scheduler safe points:
+//   * HARVEST: finished requests (primary completions and scavenger halts)
+//     get their egress stages charged in finish order and their end-to-end
+//     latency recorded (arrival cycle -> respond done) into an
+//     obs::SparseHistogram.
+//   * ADMIT: arrivals due by `now` enter the queue — ingress stages (accept,
+//     buffered-read, parse) are charged as the event loop reads the
+//     connection — or are SHED when the queue is at capacity. Shedding is
+//     the overload contract: the queue bounds latency, drops are counted.
+//   * DISPATCH: the queue head becomes ONE primary task, so every task
+//     boundary is a fresh poll. Queued requests behind the head are served
+//     CONCURRENTLY by the scavenger pool (MakeScavengerFactory): the
+//     open-loop form of the paper's "scavengers are other requests"
+//     deployment — a miss in request A's handler donates its stall window to
+//     requests B, C, ... instead of to unrelated batch work.
+//   * IDLE: with nothing queued, idle gaps are donated to in-flight
+//     scavenger requests (DrainScavengers) and then skipped to the next
+//     arrival.
+//
+// Guarded-swap interplay: a rollback retires live scavengers mid-request;
+// the retire hook re-queues those requests at the queue HEAD (restart, not
+// loss), so admitted == completed + in_flight holds through any swap storm.
+#ifndef YIELDHIDE_SRC_SERVE_FRONT_END_H_
+#define YIELDHIDE_SRC_SERVE_FRONT_END_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/adapt/request_source.h"
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sparse_histogram.h"
+#include "src/obs/trace.h"
+#include "src/runtime/dual_mode.h"
+#include "src/serve/arrival.h"
+#include "src/serve/pipeline.h"
+#include "src/sim/machine.h"
+
+namespace yieldhide::serve {
+
+struct FrontEndConfig {
+  ArrivalConfig arrival;
+  // Bounded waiting room (requests admitted but not yet dispatched).
+  // Arrivals beyond it are shed at admission.
+  size_t queue_capacity = 32;
+  // Serve queued requests on scavenger slots during the head request's miss
+  // windows. Off = the queue drains strictly through the primary (the
+  // uninstrumented-baseline shape).
+  bool scavengers_serve = true;
+  // Idle-donation chunk when no future arrival bounds the drain.
+  uint64_t drain_chunk_cycles = 1u << 16;
+
+  Status Validate() const;
+};
+
+struct FrontEndCounters {
+  uint64_t offered = 0;    // admitted + shed
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;  // completed_primary + completed_scavenger
+  uint64_t completed_primary = 0;
+  uint64_t completed_scavenger = 0;
+  uint64_t requeued = 0;   // restarts after a swap/rollback killed a slot
+  uint64_t in_flight = 0;  // queued + dispatched + scavenger-held, at report
+};
+
+struct FrontEndReport {
+  FrontEndCounters counters;
+  obs::SparseHistogram latency;  // end-to-end, cycles
+  // The ledger the unit tests and the S1 gate assert:
+  //   offered == admitted + shed, admitted == completed + in_flight.
+  bool ConservationHolds() const {
+    return counters.offered == counters.admitted + counters.shed &&
+           counters.admitted == counters.completed + counters.in_flight;
+  }
+  std::string Summary() const;
+};
+
+class ShardFrontEnd : public adapt::RequestSource {
+ public:
+  // Builds the primary-task setup serving one request (the HANDLE stage's
+  // application logic, e.g. PhasedChase::SetupFor of a per-request index).
+  using Handler =
+      std::function<runtime::DualModeScheduler::ContextSetup(uint64_t id)>;
+
+  // `trace` and `metrics` may be null. `labels` follows the shard labeling
+  // convention ({{"shard","<id>"}} only in multi-shard groups).
+  ShardFrontEnd(const FrontEndConfig& config, Handler handler,
+                obs::TraceRecorder* trace, obs::MetricsRegistry* metrics,
+                obs::Labels labels);
+
+  // adapt::RequestSource:
+  bool Poll(sim::Machine& machine,
+            runtime::DualModeScheduler& scheduler) override;
+  void OnScavengerSpawn(int ctx_id, uint64_t now) override;
+  void OnScavengerRetire(int ctx_id, uint64_t now, bool completed) override;
+
+  // The scavenger supply: pops the next waiting request and serves it on a
+  // scavenger slot. Returns nullopt while the queue is empty (or when
+  // scavengers_serve is off) — the pool refills on demand once requests
+  // queue again. Install via ServerGroup::SetScavengerFactory.
+  runtime::DualModeScheduler::ScavengerFactory MakeScavengerFactory();
+
+  // Replace the modeled protocol (defaults: StagePipeline::DefaultIngress /
+  // DefaultEgress). Call before serving starts.
+  void SetPipelines(StagePipeline ingress, StagePipeline egress);
+
+  // Counters + latency histogram; in_flight is computed at call time.
+  FrontEndReport report() const;
+  const StagePipeline& ingress() const { return ingress_; }
+  const StagePipeline& egress() const { return egress_; }
+  // First scheduler error observed (serving stops on it); Ok() in practice.
+  const Status& status() const { return status_; }
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    uint64_t arrival_cycle = 0;
+  };
+
+  // Charges egress + records latency for every finished request, in finish
+  // order (primary completions FIFO-matched against dispatch order).
+  void Harvest(sim::Machine& machine,
+               const runtime::DualModeScheduler& scheduler);
+  // Admits every arrival due by now; charges ingress or sheds.
+  void AdmitDue(sim::Machine& machine);
+  void PublishMetrics();
+
+  FrontEndConfig config_;
+  Handler handler_;
+  ArrivalProcess arrivals_;
+  std::optional<uint64_t> next_arrival_;
+  uint64_t next_id_ = 0;
+
+  std::deque<Request> queue_;               // admitted, waiting
+  std::deque<Request> dispatched_primary_;  // FIFO with primary completions
+  size_t completions_consumed_ = 0;
+  std::map<int, Request> scavenger_held_;   // ctx id -> in-flight request
+  std::optional<Request> staged_;           // popped by factory, pre-spawn
+  std::vector<std::pair<Request, uint64_t>> scav_done_;  // halted, un-responded
+
+  StagePipeline ingress_;
+  StagePipeline egress_;
+  FrontEndCounters counters_;
+  obs::SparseHistogram latency_;
+  Status status_ = Status::Ok();
+
+  obs::TraceRecorder* trace_;
+  obs::MetricsRegistry* metrics_;
+  obs::Labels labels_;
+};
+
+}  // namespace yieldhide::serve
+
+#endif  // YIELDHIDE_SRC_SERVE_FRONT_END_H_

@@ -245,6 +245,43 @@ TEST(CliTest, ServeTwoShardsReportsStaggerAndExitsZero) {
   EXPECT_NE(text.find("results correct"), std::string::npos);
 }
 
+// --- open-loop serving (serve --arrival ...) ---------------------------------
+
+TEST(CliTest, ServeOpenLoopBadArrivalExitsTwoWithNamedError) {
+  const CommandResult r =
+      RunYhc("serve --arrival bogus", "serve_bad_arrival");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --arrival (want poisson|burst)"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeOpenLoopBadRateExitsTwoWithNamedError) {
+  const CommandResult r =
+      RunYhc("serve --arrival poisson --rate -1", "serve_bad_rate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --rate (want > 0)"), std::string::npos);
+}
+
+TEST(CliTest, ServeOpenLoopBadDurationExitsTwo) {
+  const CommandResult r =
+      RunYhc("serve --arrival poisson --duration nope", "serve_bad_duration");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --duration"), std::string::npos);
+}
+
+TEST(CliTest, ServeOpenLoopRunReportsLedgerAndExitsZero) {
+  const std::string out = TempPath("serve_open_loop.out");
+  const CommandResult r = RunYhc(
+      std::string("serve --arrival poisson --rate 0.05 --duration 300000 "
+                  "--nodes 4096 --steps 120 > ") + out,
+      "serve_open_loop");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("arrival=poisson"), std::string::npos);
+  EXPECT_NE(text.find("ledger"), std::string::npos);
+  EXPECT_NE(text.find("conservation ok"), std::string::npos);
+}
+
 TEST(CliTest, ProfileFoldedStacksAreWellFormed) {
   const std::string out = TempPath("profile.folded");
   const CommandResult r = RunYhc(

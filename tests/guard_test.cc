@@ -7,9 +7,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/adapt/controller.h"
 #include "src/adapt/guard.h"
@@ -19,6 +21,7 @@
 #include "src/faultinject/fault.h"
 #include "src/faultinject/serving_faults.h"
 #include "src/obs/metrics.h"
+#include "src/serve/front_end.h"
 #include "src/workloads/phased_chase.h"
 
 namespace yieldhide::adapt {
@@ -666,6 +669,75 @@ TEST(GuardedServerGroupTest, CorruptStoreFallsBackToColdStartAndCountsIt) {
         << "task " << i;
   }
   std::remove(path.c_str());
+}
+
+// --- guard x open-loop serving interplay ------------------------------------------
+
+// A canary rollback in the middle of an open-loop load sweep must neither
+// lose nor double-count in-flight requests: the front end's conservation
+// ledger (offered == admitted + shed, admitted == completed + in_flight)
+// has to balance across the swap, and any request yanked off a retiring
+// scavenger has to be requeued, not dropped.
+TEST(GuardedServerGroupTest, RollbackMidServingConservesInFlightRequests) {
+  auto twin = SmallPhased(0.0);
+  auto config = SmallPipeline();
+  auto stale = StaleArtifacts(twin, config);
+  auto drifted = SmallPhased(1.0, /*flip=*/0);
+
+  sim::Machine m0(config.machine);
+  sim::Machine m1(config.machine);
+  drifted.InitMemory(m0.memory());
+  drifted.InitMemory(m1.memory());
+
+  ServerGroupConfig group_config = GuardedGroupConfig(config, /*shards=*/2);
+  // Early builds consume inverted evidence: the canary generation regresses
+  // hard and the guard rolls it back while requests are still arriving.
+  group_config.fault_hooks.degrade_build = [](size_t epoch) {
+    return epoch < 2;
+  };
+  group_config.fault_hooks.cursed_penalty = 8.0;
+  ServerGroup group(&drifted.program(), stale, {&m0, &m1}, group_config);
+  obs::MetricsRegistry metrics;
+  group.SetObservability(nullptr, &metrics);
+
+  std::vector<std::unique_ptr<serve::ShardFrontEnd>> fronts;
+  for (size_t s = 0; s < 2; ++s) {
+    serve::FrontEndConfig fe;
+    fe.arrival.rate_per_kcycle = 0.08;
+    fe.arrival.horizon_cycles = 900'000;
+    fe.arrival.seed = 11 + s;
+    fe.queue_capacity = 8;
+    fronts.push_back(std::make_unique<serve::ShardFrontEnd>(
+        fe,
+        [&drifted](uint64_t id) {
+          return drifted.SetupFor(static_cast<int>(id));
+        },
+        nullptr, &metrics,
+        obs::Labels{{"shard", std::to_string(s)}}));
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // The cursed canary was rolled back mid-sweep...
+  EXPECT_GE(report->rollbacks, 1);
+  EXPECT_GE(group.controller().quarantined_generations(), 1);
+  // ...and the request ledger still balances on every shard: nothing lost,
+  // nothing double-counted, nothing stranded in flight at the end.
+  uint64_t completed_total = 0;
+  for (size_t s = 0; s < 2; ++s) {
+    const serve::FrontEndReport fr = fronts[s]->report();
+    EXPECT_TRUE(fr.ConservationHolds())
+        << "shard " << s << ": " << fr.Summary();
+    EXPECT_EQ(fr.counters.in_flight, 0u) << "shard " << s;
+    EXPECT_GT(fr.counters.completed, 0u) << "shard " << s;
+    // One latency sample per completion, exactly.
+    EXPECT_EQ(fr.latency.count(), fr.counters.completed) << "shard " << s;
+    EXPECT_TRUE(fronts[s]->status().ok()) << fronts[s]->status();
+    completed_total += fr.counters.completed;
+  }
+  EXPECT_GT(completed_total, 0u);
 }
 
 }  // namespace

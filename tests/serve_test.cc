@@ -1,0 +1,465 @@
+// Tests for the open-loop serving layer (src/serve): the deterministic
+// arrival processes, the staged connection pipeline, the ShardFrontEnd's
+// bounded queue / shed accounting / conservation ledger, scavenger-served
+// queued requests, and the per-epoch attribution slices the serving path
+// feeds into CycleProfiler.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/adapt/server_group.h"
+#include "src/core/pipeline.h"
+#include "src/obs/profiler/profiler.h"
+#include "src/runtime/annotate.h"
+#include "src/runtime/dual_mode.h"
+#include "src/serve/arrival.h"
+#include "src/serve/front_end.h"
+#include "src/serve/pipeline.h"
+#include "src/workloads/phased_chase.h"
+
+namespace yieldhide::serve {
+namespace {
+
+std::vector<uint64_t> Drain(ArrivalProcess& process, size_t cap = 100000) {
+  std::vector<uint64_t> out;
+  while (out.size() < cap) {
+    auto next = process.Next();
+    if (!next.has_value()) {
+      break;
+    }
+    out.push_back(*next);
+  }
+  return out;
+}
+
+TEST(ArrivalTest, FixedSeedReproducesTheExactSequence) {
+  ArrivalConfig config;
+  config.rate_per_kcycle = 0.5;
+  config.horizon_cycles = 200'000;
+  config.seed = 42;
+  ArrivalProcess a(config);
+  ArrivalProcess b(config);
+  const auto seq_a = Drain(a);
+  const auto seq_b = Drain(b);
+  ASSERT_FALSE(seq_a.empty());
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(ArrivalTest, DifferentSeedsDiverge) {
+  ArrivalConfig config;
+  config.rate_per_kcycle = 0.5;
+  config.horizon_cycles = 200'000;
+  config.seed = 1;
+  ArrivalProcess a(config);
+  config.seed = 2;
+  ArrivalProcess b(config);
+  EXPECT_NE(Drain(a), Drain(b));
+}
+
+TEST(ArrivalTest, StrictlyIncreasingAndBoundedByHorizon) {
+  for (const auto kind :
+       {ArrivalConfig::Kind::kPoisson, ArrivalConfig::Kind::kBurst}) {
+    ArrivalConfig config;
+    config.kind = kind;
+    config.rate_per_kcycle = 1.0;
+    config.horizon_cycles = 300'000;
+    config.seed = 7;
+    ArrivalProcess process(config);
+    const auto seq = Drain(process);
+    ASSERT_GT(seq.size(), 10u);
+    for (size_t i = 1; i < seq.size(); ++i) {
+      EXPECT_GT(seq[i], seq[i - 1]) << "at " << i;
+    }
+    EXPECT_LT(seq.back(), config.horizon_cycles);
+    // Exhausted stays exhausted.
+    EXPECT_FALSE(process.Next().has_value());
+  }
+}
+
+TEST(ArrivalTest, MeanRateTracksConfiguredRate) {
+  ArrivalConfig config;
+  config.rate_per_kcycle = 2.0;  // 1 per 500 cycles
+  config.horizon_cycles = 1'000'000;
+  config.seed = 3;
+  ArrivalProcess process(config);
+  const auto seq = Drain(process);
+  const double expected = 2.0 * 1'000'000 / 1000.0;
+  EXPECT_NEAR(static_cast<double>(seq.size()), expected, 0.1 * expected);
+}
+
+TEST(ArrivalTest, BurstStreamIsBurstierThanPoisson) {
+  // Same mean horizon and seed discipline; the MMPP must produce a larger
+  // maximum arrivals-per-window count than the flat process.
+  ArrivalConfig config;
+  config.rate_per_kcycle = 0.5;
+  config.horizon_cycles = 2'000'000;
+  config.seed = 11;
+  ArrivalProcess poisson(config);
+  config.kind = ArrivalConfig::Kind::kBurst;
+  ArrivalProcess burst(config);
+  auto max_per_window = [](const std::vector<uint64_t>& seq) {
+    constexpr uint64_t kWindow = 20'000;
+    size_t best = 0, lo = 0;
+    for (size_t hi = 0; hi < seq.size(); ++hi) {
+      while (seq[hi] - seq[lo] > kWindow) {
+        ++lo;
+      }
+      best = std::max(best, hi - lo + 1);
+    }
+    return best;
+  };
+  EXPECT_GT(max_per_window(Drain(burst)), max_per_window(Drain(poisson)));
+}
+
+TEST(ArrivalTest, ValidateNamesEachBadField) {
+  ArrivalConfig config;
+  config.rate_per_kcycle = 0.0;
+  EXPECT_NE(config.Validate().ToString().find("rate"), std::string::npos);
+  config.rate_per_kcycle = 1.0;
+  config.horizon_cycles = 0;
+  EXPECT_NE(config.Validate().ToString().find("horizon"), std::string::npos);
+  config.horizon_cycles = 1000;
+  config.kind = ArrivalConfig::Kind::kBurst;
+  config.burst_rate_multiplier = -1.0;
+  EXPECT_NE(config.Validate().ToString().find("multiplier"),
+            std::string::npos);
+  config.burst_rate_multiplier = 4.0;
+  config.mean_burst_cycles = 0;
+  EXPECT_NE(config.Validate().ToString().find("dwell"), std::string::npos);
+  config.mean_burst_cycles = 1000;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(StagePipelineTest, ChargesEveryStageAndAccumulatesTotals) {
+  sim::Machine machine(sim::MachineConfig::SmallTest());
+  StagePipeline pipeline = StagePipeline::DefaultIngress();
+  const uint64_t before = machine.now();
+  const uint64_t charged = pipeline.Charge(machine, /*request_id=*/0);
+  EXPECT_EQ(charged, 60u + 140u + 90u);
+  EXPECT_EQ(machine.now() - before, charged);
+  pipeline.Charge(machine, 1);
+  EXPECT_EQ(pipeline.stage_cycles().at("parse"), 180u);
+}
+
+TEST(FrontEndConfigTest, ValidateNamesBadQueueCapacity) {
+  FrontEndConfig config;
+  config.queue_capacity = 0;
+  EXPECT_NE(config.Validate().ToString().find("queue"), std::string::npos);
+  config.queue_capacity = 4;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// ---------- end-to-end scaffolding on the SmallTest machine ----------------
+
+workloads::PhasedChase SmallChase() {
+  workloads::PhasedChase::Config wc;
+  wc.num_nodes = 4096;  // 256 KiB per ring > SmallTest L3: true misses
+  wc.steps_per_task = 120;
+  wc.severity = 0.0;
+  return workloads::PhasedChase::Make(wc).value();
+}
+
+struct LoopResult {
+  FrontEndReport report;
+  runtime::DualModeReport run;
+};
+
+// Drives a ShardFrontEnd against a bare DualModeScheduler (the bench_s1
+// harness in miniature).
+LoopResult RunLoop(const workloads::PhasedChase& chase,
+                   const instrument::InstrumentedProgram& binary,
+                   const FrontEndConfig& config) {
+  sim::Machine machine(sim::MachineConfig::SmallTest());
+  chase.InitMemory(machine.memory());
+  runtime::DualModeConfig dm;
+  dm.max_scavengers = 3;
+  dm.hide_window_cycles = 300;
+  runtime::DualModeScheduler sched(&binary, &binary, &machine, dm);
+  ShardFrontEnd fe(
+      config,
+      [&chase](uint64_t id) { return chase.SetupFor(static_cast<int>(id)); },
+      nullptr, nullptr, {});
+  sched.SetScavengerFactory(fe.MakeScavengerFactory());
+  sched.SetScavengerLifecycleHooks(
+      [&fe](int ctx_id, uint64_t now) { fe.OnScavengerSpawn(ctx_id, now); },
+      [&fe](int ctx_id, uint64_t now, bool completed) {
+        fe.OnScavengerRetire(ctx_id, now, completed);
+      });
+  while (fe.Poll(machine, sched)) {
+    auto ran = sched.RunTasks(1);
+    EXPECT_TRUE(ran.ok()) << ran.status();
+    if (!ran.ok()) {
+      break;
+    }
+  }
+  EXPECT_TRUE(fe.status().ok()) << fe.status();
+  auto run = sched.Finalize();
+  EXPECT_TRUE(run.ok()) << run.status();
+  return LoopResult{fe.report(), run.ok() ? *run : runtime::DualModeReport{}};
+}
+
+FrontEndConfig LoopConfig(double rate_per_kcycle, uint64_t horizon,
+                          size_t queue_cap, bool scavenge) {
+  FrontEndConfig config;
+  config.arrival.rate_per_kcycle = rate_per_kcycle;
+  config.arrival.horizon_cycles = horizon;
+  config.arrival.seed = 5;
+  config.queue_capacity = queue_cap;
+  config.scavengers_serve = scavenge;
+  return config;
+}
+
+instrument::InstrumentedProgram BaselineBinary(
+    const workloads::PhasedChase& chase) {
+  return runtime::AnnotateManualYields(chase.program(),
+                                       sim::MachineConfig::SmallTest().cost);
+}
+
+TEST(ShardFrontEndTest, CompletesEveryAdmittedRequestAtModestLoad) {
+  auto chase = SmallChase();
+  auto binary = BaselineBinary(chase);
+  auto out =
+      RunLoop(chase, binary, LoopConfig(0.02, 800'000, 16, /*scavenge=*/true));
+  const FrontEndCounters& c = out.report.counters;
+  EXPECT_GT(c.offered, 5u);
+  EXPECT_EQ(c.shed, 0u);
+  EXPECT_EQ(c.completed, c.admitted);
+  EXPECT_EQ(c.in_flight, 0u);
+  EXPECT_TRUE(out.report.ConservationHolds());
+  EXPECT_EQ(out.report.latency.count(), c.completed);
+}
+
+TEST(ShardFrontEndTest, BoundedQueueShedsUnderOverloadAndLedgerBalances) {
+  auto chase = SmallChase();
+  auto binary = BaselineBinary(chase);
+  // Offered load far past capacity with a 4-deep queue: sheds are the
+  // overload contract, and offered == admitted + shed must hold exactly.
+  auto out =
+      RunLoop(chase, binary, LoopConfig(0.5, 600'000, 4, /*scavenge=*/false));
+  const FrontEndCounters& c = out.report.counters;
+  EXPECT_GT(c.shed, 0u);
+  EXPECT_EQ(c.offered, c.admitted + c.shed);
+  EXPECT_EQ(c.completed + c.in_flight, c.admitted);
+  EXPECT_EQ(c.in_flight, 0u);  // the drain loop finishes what it admitted
+  EXPECT_TRUE(out.report.ConservationHolds());
+}
+
+TEST(ShardFrontEndTest, FixedSeedReproducesCountersAndQuantiles) {
+  auto chase = SmallChase();
+  auto binary = BaselineBinary(chase);
+  const auto config = LoopConfig(0.05, 600'000, 8, /*scavenge=*/true);
+  auto first = RunLoop(chase, binary, config);
+  auto second = RunLoop(chase, binary, config);
+  EXPECT_EQ(first.report.counters.offered, second.report.counters.offered);
+  EXPECT_EQ(first.report.counters.admitted, second.report.counters.admitted);
+  EXPECT_EQ(first.report.counters.shed, second.report.counters.shed);
+  EXPECT_EQ(first.report.counters.completed,
+            second.report.counters.completed);
+  EXPECT_EQ(first.report.latency.P50(), second.report.latency.P50());
+  EXPECT_EQ(first.report.latency.P99(), second.report.latency.P99());
+  EXPECT_EQ(first.report.latency.ValueAtQuantile(0.999),
+            second.report.latency.ValueAtQuantile(0.999));
+}
+
+TEST(ShardFrontEndTest, ScavengersServeQueuedRequestsOnlyWhenEnabled) {
+  auto chase = SmallChase();
+  // The instrumented binary: its prefetch+yield sites are what open the
+  // miss windows queued requests ride in.
+  core::PipelineConfig pipeline;
+  pipeline.machine = sim::MachineConfig::SmallTest();
+  pipeline.profile_tasks = 2;
+  // Short SmallTest profile runs need dense sampling to see the miss sites.
+  pipeline.collector.l2_miss_period = 13;
+  pipeline.collector.stall_cycles_period = 101;
+  pipeline.collector.retired_period = 29;
+  pipeline.Finalize();
+  auto artifacts = core::BuildInstrumentedForWorkload(chase, pipeline);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+  const instrument::InstrumentedProgram& binary = artifacts->binary;
+  // Enough pressure that a queue forms behind the head request.
+  const auto config = LoopConfig(0.1, 600'000, 16, /*scavenge=*/true);
+  auto with = RunLoop(chase, binary, config);
+  EXPECT_GT(with.run.scavengers_spawned, 0u);
+  EXPECT_GT(with.report.counters.completed_scavenger, 0u);
+  EXPECT_EQ(with.report.counters.completed_primary +
+                with.report.counters.completed_scavenger,
+            with.report.counters.completed);
+
+  auto off_config = config;
+  off_config.scavengers_serve = false;
+  auto without = RunLoop(chase, binary, off_config);
+  EXPECT_EQ(without.report.counters.completed_scavenger, 0u);
+  EXPECT_EQ(without.report.counters.completed,
+            without.report.counters.completed_primary);
+}
+
+TEST(ShardFrontEndTest, RequestsComputeTheExactChaseResult) {
+  auto chase = SmallChase();
+  auto binary = BaselineBinary(chase);
+  sim::Machine machine(sim::MachineConfig::SmallTest());
+  chase.InitMemory(machine.memory());
+  runtime::DualModeConfig dm;
+  dm.max_scavengers = 3;
+  runtime::DualModeScheduler sched(&binary, &binary, &machine, dm);
+  ShardFrontEnd fe(
+      LoopConfig(0.05, 400'000, 8, true),
+      [&chase](uint64_t id) { return chase.SetupFor(static_cast<int>(id)); },
+      nullptr, nullptr, {});
+  sched.SetScavengerFactory(fe.MakeScavengerFactory());
+  sched.SetScavengerLifecycleHooks(
+      [&fe](int ctx_id, uint64_t now) { fe.OnScavengerSpawn(ctx_id, now); },
+      [&fe](int ctx_id, uint64_t now, bool completed) {
+        fe.OnScavengerRetire(ctx_id, now, completed);
+      });
+  while (fe.Poll(machine, sched)) {
+    ASSERT_TRUE(sched.RunTasks(1).ok());
+  }
+  ASSERT_TRUE(sched.Finalize().ok());
+  const FrontEndReport report = fe.report();
+  ASSERT_TRUE(report.ConservationHolds());
+  // Every admitted request id computed its chase exactly (ids are assigned
+  // 0.. in admission order and sheds never start executing).
+  ASSERT_GT(report.counters.completed, 0u);
+  for (uint64_t id = 0; id < report.counters.offered; ++id) {
+    // Only admitted ids ran; shed ids left their result slot untouched, so
+    // only check ids below the admitted count when nothing was shed.
+    if (report.counters.shed != 0) {
+      break;
+    }
+    const int index = static_cast<int>(id);
+    EXPECT_EQ(chase.ReadResult(machine.memory(), index),
+              chase.ExpectedResult(index))
+        << "request " << id;
+  }
+}
+
+// ---------- ServerGroup integration: the adapt-layer injection seam --------
+
+TEST(ServerGroupOpenLoopTest, ServesFromRequestSourceWithConservation) {
+  auto chase = SmallChase();
+  core::PipelineConfig pipeline;
+  pipeline.machine = sim::MachineConfig::SmallTest();
+  pipeline.profile_tasks = 2;
+  // Short SmallTest profile runs need dense sampling to see the miss sites.
+  pipeline.collector.l2_miss_period = 13;
+  pipeline.collector.stall_cycles_period = 101;
+  pipeline.collector.retired_period = 29;
+  pipeline.Finalize();
+  auto artifacts = core::BuildInstrumentedForWorkload(chase, pipeline);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+
+  constexpr size_t kShards = 2;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (size_t s = 0; s < kShards; ++s) {
+    machines.push_back(std::make_unique<sim::Machine>(pipeline.machine));
+    chase.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+  adapt::ServerGroupConfig config;
+  config.shards = kShards;
+  config.shard.controller.pipeline = pipeline;
+  config.shard.tasks_per_epoch = 4;
+  config.shard.dual.max_scavengers = 3;
+  adapt::ServerGroup group(&chase.program(), *artifacts, machine_ptrs, config);
+  obs::MetricsRegistry metrics;
+  group.SetObservability(nullptr, &metrics);
+  obs::CycleProfiler profiler;
+  profiler.OnBinary(&artifacts->binary);
+  group.SetProfiler(0, &profiler);
+
+  std::vector<std::unique_ptr<ShardFrontEnd>> fronts;
+  for (size_t s = 0; s < kShards; ++s) {
+    FrontEndConfig fe = LoopConfig(0.05, 500'000, 8, /*scavenge=*/true);
+    fe.arrival.seed = 5 + s;
+    obs::Labels labels{{"shard", std::to_string(s)}};
+    fronts.push_back(std::make_unique<ShardFrontEnd>(
+        fe,
+        [&chase](uint64_t id) {
+          return chase.SetupFor(static_cast<int>(id));
+        },
+        nullptr, &metrics, labels));
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  uint64_t completed_total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    const FrontEndReport fr = fronts[s]->report();
+    EXPECT_TRUE(fr.ConservationHolds())
+        << "shard " << s << ": " << fr.Summary();
+    EXPECT_GT(fr.counters.completed, 0u) << "shard " << s;
+    EXPECT_EQ(fr.counters.in_flight, 0u) << "shard " << s;
+    EXPECT_TRUE(fronts[s]->status().ok()) << fronts[s]->status();
+    completed_total += fr.counters.completed;
+    // The yh_serve_* surface is published per shard.
+    obs::Labels labels{{"shard", std::to_string(s)}};
+    EXPECT_EQ(metrics.GetCounter("yh_serve_completed_total", labels)->value(),
+              fr.counters.completed);
+    EXPECT_EQ(metrics.GetCounter("yh_serve_offered_total", labels)->value(),
+              fr.counters.offered);
+  }
+  EXPECT_GT(completed_total, 0u);
+  // The shard drove the profiler's per-epoch attribution slices: one slice
+  // per completed epoch, cumulative totals monotone, deltas summing to the
+  // final totals.
+  const auto& slices = profiler.epoch_slices();
+  ASSERT_GT(slices.size(), 0u);
+  EXPECT_EQ(slices.size(), report->shards[0].epochs.size());
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_GE(slices[i].end_cycle, slices[i - 1].end_cycle);
+    for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+      EXPECT_GE(slices[i].class_totals[c], slices[i - 1].class_totals[c]);
+    }
+  }
+  std::array<uint64_t, obs::kNumCycleClasses> summed{};
+  for (size_t i = 0; i < slices.size(); ++i) {
+    const auto delta = profiler.EpochDelta(i);
+    for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+      summed[c] += delta[c];
+    }
+  }
+  for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+    EXPECT_EQ(summed[c], slices.back().class_totals[c]) << "class " << c;
+  }
+}
+
+// ---------- profiler epoch slices, unit level -------------------------------
+
+TEST(CycleProfilerEpochSliceTest, DeltasRecoverPerEpochClassTotals) {
+  obs::CycleProfiler profiler;
+  profiler.OnRunBegin(0);
+  profiler.OnPrimaryStep(/*ip=*/0x10, /*issue_cycles=*/40, /*wait_cycles=*/60);
+  profiler.SyncToClock(100);
+  profiler.SnapshotEpoch(/*epoch=*/1, /*now_cycles=*/100);
+  profiler.OnPrimaryStep(0x10, 30, 20);
+  profiler.SyncToClock(150);
+  profiler.SnapshotEpoch(2, 150);
+
+  const auto& slices = profiler.epoch_slices();
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].epoch, 1u);
+  EXPECT_EQ(slices[0].end_cycle, 100u);
+  EXPECT_EQ(slices[1].end_cycle, 150u);
+
+  const auto first = profiler.EpochDelta(0);
+  const auto second = profiler.EpochDelta(1);
+  const size_t useful = static_cast<size_t>(obs::CycleClass::kIssueUseful);
+  const size_t exposed = static_cast<size_t>(obs::CycleClass::kStallExposed);
+  EXPECT_EQ(first[useful], 40u);
+  EXPECT_EQ(first[exposed], 60u);
+  EXPECT_EQ(second[useful], 30u);
+  EXPECT_EQ(second[exposed], 20u);
+  // Out-of-range delta is all zeros, not UB.
+  const auto beyond = profiler.EpochDelta(5);
+  for (const uint64_t v : beyond) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace yieldhide::serve

@@ -50,6 +50,8 @@
 #include "src/isa/program_io.h"
 #include "src/profile/profile_io.h"
 #include "src/runtime/annotate.h"
+#include "src/serve/arrival.h"
+#include "src/serve/front_end.h"
 #include "src/runtime/dual_mode.h"
 #include "src/runtime/round_robin.h"
 #include "src/workloads/phased_chase.h"
@@ -629,12 +631,163 @@ int CmdAdapt(Options& options) {
   return 0;
 }
 
+// Open-loop serving (docs/SERVING.md): requests ARRIVE on their own clock —
+// a seeded Poisson or bursty (MMPP) ArrivalProcess per shard — instead of
+// being pre-loaded, flow through the staged connection pipeline into a
+// bounded queue (overload sheds), and are handled on the shard's primary
+// coroutine group while queued requests behind the head ride the scavenger
+// slots. Reports the conservation ledger and end-to-end latency tails.
+int CmdServeOpenLoop(Options& options) {
+  const uint64_t shards = options.PositiveU64("shards", 1);
+  const uint64_t epoch = options.PositiveU64("epoch", 8);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 16);
+  const uint64_t steps = options.PositiveU64("steps", 300);
+  const uint64_t adapt_on = options.U64("adapt", 1);
+  const double severity = options.UnitDouble("severity", 0.0);
+  const double threshold = options.Double("threshold", 0.25);
+  const uint64_t guard_on = options.U64("guard", 0);
+  const uint64_t guard_window = options.PositiveU64("guard-window", 3);
+  const double guard_ratio = options.Double("guard-ratio", 2.5);
+  const std::string arrival =
+      options.Choice("arrival", "poisson", {"poisson", "burst"});
+  const double rate = options.PositiveDouble("rate", 0.02);
+  const uint64_t duration = options.PositiveU64("duration", 2'000'000);
+  const uint64_t seed = options.PositiveU64("seed", 1);
+  const uint64_t queue_cap = options.PositiveU64("queue-cap", 32);
+  const uint64_t scavenge = options.U64("scavenge", 1);
+  options.RejectUnknownFlags(
+      "serve", {"shards", "epoch", "nodes", "steps", "adapt", "severity",
+                "threshold", "guard", "guard-window", "guard-ratio", "arrival",
+                "rate", "duration", "seed", "queue-cap", "scavenge"});
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  auto scenario = BuildAdaptScenario(nodes, steps, severity, /*flip=*/0);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const workloads::PhasedChase& chase = scenario->chase;
+
+  adapt::ServerGroupConfig config;
+  config.shards = shards;
+  config.shard.controller.pipeline = scenario->pipeline;
+  config.shard.controller.drift_threshold = threshold;
+  config.shard.tasks_per_epoch = static_cast<int>(epoch);
+  config.shard.adapt_enabled = adapt_on != 0;
+  config.shard.scale_pool = adapt_on != 0;
+  config.shard.dual.max_scavengers = 4;
+  config.shard.dual.hide_window_cycles = 300;
+  config.guard.enabled = guard_on != 0;
+  config.guard.confirmation_window = static_cast<int>(guard_window);
+  config.guard.regression_ratio = guard_ratio;
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (uint64_t s = 0; s < shards; ++s) {
+    machines.push_back(
+        std::make_unique<sim::Machine>(scenario->pipeline.machine));
+    chase.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+
+  adapt::ServerGroup group(&chase.program(), scenario->stale, machine_ptrs,
+                           config);
+  obs::MetricsRegistry metrics;
+  group.SetObservability(nullptr, &metrics);
+
+  serve::FrontEndConfig fe;
+  fe.arrival.kind = arrival == "burst" ? serve::ArrivalConfig::Kind::kBurst
+                                       : serve::ArrivalConfig::Kind::kPoisson;
+  fe.arrival.rate_per_kcycle = rate;
+  fe.arrival.horizon_cycles = duration;
+  fe.queue_capacity = queue_cap;
+  fe.scavengers_serve = scavenge != 0;
+  std::vector<std::unique_ptr<serve::ShardFrontEnd>> fronts;
+  for (uint64_t s = 0; s < shards; ++s) {
+    serve::FrontEndConfig shard_fe = fe;
+    shard_fe.arrival.seed = seed + s;  // independent streams per shard
+    const Status fe_valid = shard_fe.Validate();
+    if (!fe_valid.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n", fe_valid.ToString().c_str());
+      return 2;
+    }
+    obs::Labels labels;
+    if (shards > 1) {
+      labels.push_back({"shard", std::to_string(s)});
+    }
+    fronts.push_back(std::make_unique<serve::ShardFrontEnd>(
+        shard_fe,
+        [&chase](uint64_t id) {
+          return chase.SetupFor(static_cast<int>(id));
+        },
+        nullptr, &metrics, std::move(labels)));
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+  }
+
+  auto report = group.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "open-loop serve failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("arrival=%s rate=%.4g/kcycle duration=%s seed=%llu shards=%llu "
+              "queue-cap=%llu scavenge=%llu\n",
+              arrival.c_str(), rate, WithCommas(duration).c_str(),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(shards),
+              static_cast<unsigned long long>(queue_cap),
+              static_cast<unsigned long long>(scavenge));
+  std::printf("%-6s %-8s %-9s %-6s %-10s %-9s %-9s %-9s %s\n", "shard",
+              "offered", "admitted", "shed", "completed", "p50", "p99",
+              "p999", "ledger");
+  bool conserved = true;
+  for (uint64_t s = 0; s < shards; ++s) {
+    const serve::FrontEndReport fr = fronts[s]->report();
+    const bool ok = fr.ConservationHolds() && fronts[s]->status().ok();
+    conserved = conserved && ok;
+    std::printf("%-6llu %-8llu %-9llu %-6llu %-10llu %-9llu %-9llu %-9llu %s\n",
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(fr.counters.offered),
+                static_cast<unsigned long long>(fr.counters.admitted),
+                static_cast<unsigned long long>(fr.counters.shed),
+                static_cast<unsigned long long>(fr.counters.completed),
+                static_cast<unsigned long long>(fr.latency.P50()),
+                static_cast<unsigned long long>(fr.latency.P99()),
+                static_cast<unsigned long long>(
+                    fr.latency.ValueAtQuantile(0.999)),
+                ok ? "ok" : "BROKEN");
+    std::printf("       %s\n", fr.Summary().c_str());
+  }
+  if (!conserved) {
+    std::fprintf(stderr, "request conservation VIOLATED\n");
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  std::printf("conservation ok across %llu shard(s)\n",
+              static_cast<unsigned long long>(shards));
+  return 0;
+}
+
 // Sharded serving (docs/ONLINE.md): the CmdAdapt scenario on a ServerGroup —
 // N simulated cores serve independent slices of the drifting request stream,
 // evidence merges in the SharedProfileStore, and swaps stagger so no two
 // shards rebuild in the same epoch. --store <path> persists the merged
 // profile across runs (the next invocation warm-starts from it).
+// With --arrival the command switches to the OPEN-LOOP front end
+// (CmdServeOpenLoop, docs/SERVING.md).
 int CmdServe(Options& options) {
+  if (options.Has("arrival")) {
+    return CmdServeOpenLoop(options);
+  }
   const uint64_t shards = options.PositiveU64("shards", 4);
   const uint64_t tasks = options.PositiveU64("tasks", 32);  // per shard
   const uint64_t epoch = options.PositiveU64("epoch", 8);
@@ -1110,6 +1263,15 @@ void PrintUsage(std::FILE* out) {
                "        --guard canaries fresh generations with rollback, and\n"
                "        --fault injects serving faults: rebuild_fail, backmap,\n"
                "        regress, stall, store_corrupt (docs/ROBUSTNESS.md)\n"
+               "  serve --arrival poisson|burst [--rate R] [--duration E]\n"
+               "        [--seed N] [--queue-cap N] [--scavenge 0|1]\n"
+               "        [--shards N] [--epoch N] [--guard 0|1]\n"
+               "        OPEN-LOOP serving: seeded arrivals (R requests per\n"
+               "        kilocycle until cycle E) through the staged connection\n"
+               "        pipeline into a bounded queue; queued requests ride\n"
+               "        the scavenger slots during the head request's miss\n"
+               "        windows; prints the shed/completed ledger and p50/p99/\n"
+               "        p999 end-to-end latency (docs/SERVING.md)\n"
                "  trace [--out <path>] [--mask M] [--capacity N] [--tasks N]\n"
                "        run the adapt scenario with the cycle-domain flight\n"
                "        recorder on; emit Chrome/Perfetto trace-event JSON\n"
