@@ -31,3 +31,4 @@ yh_bench(bench_a2_sharded)
 yh_bench(bench_o1_observability)
 yh_bench(bench_s1_serving)
 yh_bench(bench_o2_attribution)
+yh_bench(bench_o3_spans)

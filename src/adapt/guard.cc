@@ -51,6 +51,8 @@ const char* GuardEventKindName(GuardEventKind kind) {
       return "watchdog_fire";
     case GuardEventKind::kStoreFallback:
       return "store_fallback";
+    case GuardEventKind::kSloVeto:
+      return "slo_veto";
   }
   return "unknown";
 }

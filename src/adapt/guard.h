@@ -60,6 +60,12 @@ struct GuardConfig {
   // the group median is considered stalled and sheds its swap-queue slot.
   // 0 disables the watchdog.
   double watchdog_factor = 4.0;
+  // Consult the canary shard's SLO burn-rate evaluator (obs::SloEvaluator,
+  // installed via ServerGroup::SetSloEvaluator) as an extra rollback signal:
+  // a canary whose cycles/op looks healthy is still rolled back when the
+  // shard's multi-window burn alert is ACTIVE at verdict time — the
+  // generation may be fast per op yet wrecking tail latency.
+  bool consult_slo = false;
   // How long a rolled-back generation's evidence fingerprint blocks rebuilds.
   // The lineage's quarantine record is permanent; the rebuild BLOCK expires
   // so a transient environmental regression (a stalled canary shard, a
@@ -79,6 +85,7 @@ enum class GuardEventKind : uint8_t {
   kRebuildRetry,    // rebuild failed; backoff scheduled
   kWatchdogFire,    // stalled shard shed its swap slot
   kStoreFallback,   // persisted store rejected; cold start
+  kSloVeto,         // healthy verdict overridden by an active SLO burn alert
 };
 
 const char* GuardEventKindName(GuardEventKind kind);

@@ -129,7 +129,9 @@ ServerGroup::ServerGroup(const isa::Program* original,
       factories_(config.shards),
       scavenger_binaries_(config.shards, nullptr),
       profilers_(config.shards, nullptr),
-      request_sources_(config.shards, nullptr) {}
+      request_sources_(config.shards, nullptr),
+      span_collectors_(config.shards, nullptr),
+      slo_evaluators_(config.shards, nullptr) {}
 
 void ServerGroup::AddTask(size_t shard,
                           runtime::DualModeScheduler::ContextSetup setup) {
@@ -158,6 +160,14 @@ void ServerGroup::SetScavengerBinary(
 
 void ServerGroup::SetRequestSource(size_t shard, RequestSource* source) {
   request_sources_[shard] = source;
+}
+
+void ServerGroup::SetSpanCollector(size_t shard, obs::SpanCollector* spans) {
+  span_collectors_[shard] = spans;
+}
+
+void ServerGroup::SetSloEvaluator(size_t shard, obs::SloEvaluator* slo) {
+  slo_evaluators_[shard] = slo;
 }
 
 Result<GroupReport> ServerGroup::Run() {
@@ -211,6 +221,9 @@ Result<GroupReport> ServerGroup::Run() {
         metrics_, profilers_[i], std::move(labels)));
     if (request_sources_[i] != nullptr) {
       shards.back()->SetRequestSource(request_sources_[i]);
+    }
+    if (span_collectors_[i] != nullptr) {
+      shards.back()->SetSpanCollector(span_collectors_[i]);
     }
   }
   tasks_.assign(config_.shards, {});
@@ -387,8 +400,23 @@ Result<GroupReport> ServerGroup::Run() {
         health.SetHiddenLatencyP99(
             AggregateHiddenLatencyP99(profilers_[canary.shard]), peer_p99);
         const GenerationHealth::Verdict verdict = health.Judge();
+        bool promote = verdict.promote;
+        if (promote && guard.consult_slo &&
+            slo_evaluators_[canary.shard] != nullptr &&
+            slo_evaluators_[canary.shard]->alert_active()) {
+          // Cycles/op cleared the bar, but the canary shard is burning its
+          // error budget at alert rate: the generation is fast per op and
+          // wrecking the tail. The burn alert outranks the cpo verdict.
+          promote = false;
+          ++report.slo_vetoes;
+          log_guard(canary.shard, canary.generation_id,
+                    GuardEventKind::kSloVeto,
+                    obs::TraceEventType::kCanaryRollback,
+                    machines_[canary.shard]->now(),
+                    static_cast<uint64_t>(canary.generation_id));
+        }
         Shard& shard = *shards[canary.shard];
-        if (verdict.promote) {
+        if (promote) {
           ++report.promotes;
           log_guard(canary.shard, canary.generation_id,
                     GuardEventKind::kPromote,
@@ -438,6 +466,11 @@ Result<GroupReport> ServerGroup::Run() {
                 ? verdict.canary_cycles_per_op / verdict.baseline_cycles_per_op
                 : 0.0;
         canary.active = false;
+        for (size_t s = 0; s < config_.shards; ++s) {
+          if (span_collectors_[s] != nullptr) {
+            span_collectors_[s]->EndControlWindow(machines_[s]->now());
+          }
+        }
       }
     }
 
@@ -565,6 +598,15 @@ Result<GroupReport> ServerGroup::Run() {
                           obs::TraceEventType::kCanaryBegin,
                           machines_[*chosen]->now(),
                           static_cast<uint64_t>(canary.generation_id));
+                // The swap lane freezes group-wide until the verdict: mark
+                // the confirmation window as control-plane interference on
+                // every shard's span collector.
+                for (size_t s = 0; s < config_.shards; ++s) {
+                  if (span_collectors_[s] != nullptr) {
+                    span_collectors_[s]->BeginControlWindow(
+                        machines_[s]->now());
+                  }
+                }
               }
             }
           }
@@ -612,6 +654,8 @@ Result<GroupReport> ServerGroup::Run() {
         ->Set(static_cast<uint64_t>(report.rebuild_retries));
     metrics_->GetCounter("yh_guard_watchdog_fires_total")
         ->Set(static_cast<uint64_t>(report.watchdog_fires));
+    metrics_->GetCounter("yh_guard_slo_veto_total")
+        ->Set(static_cast<uint64_t>(report.slo_vetoes));
     metrics_->GetCounter("yh_store_load_fallback_total")
         ->Set(static_cast<uint64_t>(report.store_fallbacks));
   }

@@ -28,6 +28,8 @@
 #include "src/adapt/profile_store.h"
 #include "src/adapt/shard.h"
 #include "src/faultinject/serving_faults.h"
+#include "src/obs/slo/slo.h"
+#include "src/obs/span/span.h"
 
 namespace yieldhide::adapt {
 
@@ -116,6 +118,7 @@ struct GroupReport {
   int rebuild_retries = 0;  // failed rebuild attempts that scheduled backoff
   int watchdog_fires = 0;
   int store_fallbacks = 0;  // corrupt/truncated store files rejected at load
+  int slo_vetoes = 0;       // healthy canaries rolled back on a burn alert
   std::vector<GuardEvent> guard_log;
 
   std::string Summary() const;
@@ -145,6 +148,14 @@ class ServerGroup {
   // empty instead of relying on pre-loaded AddTask work; see
   // Shard::SetRequestSource. Call before Run().
   void SetRequestSource(size_t shard, RequestSource* source);
+  // Request-scoped span attribution: wires the collector into the shard's
+  // scheduler, and marks canary confirmation windows on EVERY registered
+  // collector as control-plane interference (SpanClass::kFreeze) — the swap
+  // lane is frozen group-wide while a canary is in flight. Call before Run().
+  void SetSpanCollector(size_t shard, obs::SpanCollector* spans);
+  // SLO burn-rate evaluator per shard; with GuardConfig::consult_slo the
+  // canary shard's active alert vetoes an otherwise-healthy promotion.
+  void SetSloEvaluator(size_t shard, obs::SloEvaluator* slo);
 
   // Serves every shard's queue to completion in lockstep group epochs,
   // staggering swaps (see file comment), then saves the store if configured.
@@ -164,6 +175,8 @@ class ServerGroup {
   std::vector<const instrument::InstrumentedProgram*> scavenger_binaries_;
   std::vector<obs::CycleProfiler*> profilers_;
   std::vector<RequestSource*> request_sources_;
+  std::vector<obs::SpanCollector*> span_collectors_;
+  std::vector<obs::SloEvaluator*> slo_evaluators_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -145,6 +145,12 @@ class Shard {
   Result<EpochOutcome> RunEpochTasks(bool adapting,
                                      profile::LoadProfile* epoch_evidence);
 
+  // Wires request-scoped span attribution into this shard's scheduler (the
+  // front end feeds the same collector its admission/harvest transitions).
+  void SetSpanCollector(obs::SpanCollector* spans) {
+    scheduler_->SetSpanCollector(spans);
+  }
+
   // Installs the open-loop request source (must outlive the shard) and wires
   // the scheduler's scavenger lifecycle hooks to it. With a source installed
   // the epoch loop polls it whenever the primary queue runs empty; the

@@ -35,7 +35,7 @@ struct ParseSpec {
   // Flags that never consume the following token; an optional value uses the
   // --key=value form (--top=20). The defaults cover the `yhc profile` output
   // modes so `yhc profile --json out.json` keeps `out.json` positional.
-  std::vector<std::string> presence = {"folded", "top", "json"};
+  std::vector<std::string> presence = {"folded", "top", "json", "perfetto"};
 };
 
 class Options {

@@ -164,6 +164,9 @@ class CycleProfiler {
 
   // --- results ---
   uint64_t classified_cycles() const { return classified_; }
+  // The cycle OnRunBegin anchored at. After the final SyncToClock the
+  // partition identity reads: classified_cycles() == now - run_begin_cycle().
+  uint64_t run_begin_cycle() const { return run_begin_; }
   std::array<uint64_t, kNumCycleClasses> class_totals() const;
   // Keyed by ORIGINAL-binary site address (kExternalSite for residue).
   const std::map<uint64_t, SiteCycles>& sites() const { return sites_; }

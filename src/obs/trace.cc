@@ -36,6 +36,10 @@ const char* TraceCategoryName(TraceCategory category) {
       return "guard";
     case kTraceServe:
       return "serve";
+    case kTraceSpan:
+      return "span";
+    case kTraceSlo:
+      return "slo";
     default:
       return "multi";
   }
@@ -87,6 +91,14 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "request_complete";
     case TraceEventType::kRequestRequeue:
       return "request_requeue";
+    case TraceEventType::kSpanBegin:
+      return "span_begin";
+    case TraceEventType::kSpanEnd:
+      return "span_end";
+    case TraceEventType::kSloAlertFire:
+      return "slo_alert_fire";
+    case TraceEventType::kSloAlertClear:
+      return "slo_alert_clear";
   }
   return "unknown";
 }
@@ -124,6 +136,12 @@ TraceCategory TraceEventCategory(TraceEventType type) {
     case TraceEventType::kRequestComplete:
     case TraceEventType::kRequestRequeue:
       return kTraceServe;
+    case TraceEventType::kSpanBegin:
+    case TraceEventType::kSpanEnd:
+      return kTraceSpan;
+    case TraceEventType::kSloAlertFire:
+    case TraceEventType::kSloAlertClear:
+      return kTraceSlo;
   }
   return kTraceSched;
 }

@@ -45,7 +45,9 @@ enum TraceCategory : uint32_t {
   kTracePmu = 1u << 6,         // PMU sample captures
   kTraceGuard = 1u << 7,       // canary/rollback/watchdog guard decisions
   kTraceServe = 1u << 8,       // request lifecycle (admit/shed/dispatch/done)
-  kTraceAllCategories = (1u << 9) - 1,
+  kTraceSpan = 1u << 9,        // request-scoped span phase begin/end
+  kTraceSlo = 1u << 10,        // SLO burn-rate alert fire / clear
+  kTraceAllCategories = (1u << 11) - 1,
 };
 
 const char* TraceCategoryName(TraceCategory category);
@@ -87,6 +89,13 @@ enum class TraceEventType : uint8_t {
   kRequestComplete,  // respond stage finished; arg = req id, ip = latency
   kRequestRequeue,   // serving context killed mid-flight (swap/rollback);
                      // request returned to the queue head; arg = req id
+  kSpanBegin,        // request entered a span phase; ip = req id, arg = span
+                     // class (obs::SpanClass), ctx = serving context
+  kSpanEnd,          // request completed (span tree closed); ip = req id,
+                     // arg = end-to-end latency cycles
+  kSloAlertFire,     // multi-window burn alert raised; arg = fast burn rate
+                     // in millionths, ctx = shard
+  kSloAlertClear,    // burn alert cleared; arg = fast burn rate in millionths
 };
 
 const char* TraceEventTypeName(TraceEventType type);

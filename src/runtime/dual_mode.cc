@@ -77,6 +77,10 @@ void DualModeScheduler::SetProfiler(obs::CycleProfiler* profiler) {
   }
 }
 
+void DualModeScheduler::SetSpanCollector(obs::SpanCollector* spans) {
+  spans_ = spans;
+}
+
 void DualModeScheduler::RebuildYieldSiteOrigins() {
   yield_site_origin_.clear();
   const std::vector<isa::Addr>& fwd = primary_binary_->addr_map.forward();
@@ -119,6 +123,19 @@ void DualModeScheduler::ChargeProfilerOverhead() {
   if (cost > 0) {
     // The profiler's SyncToClock sweeps this advance into sched_overhead at
     // the next safe point — watching bills itself.
+    machine_->AdvanceClock(cost);
+  }
+}
+
+void DualModeScheduler::ChargeSpanOverhead() {
+  if (spans_ == nullptr) {
+    return;
+  }
+  const uint64_t cost = spans_->TakeUnchargedOverheadCycles();
+  if (cost > 0) {
+    // Charged after OnPrimaryTaskEnd, so the charge never inflates the
+    // request that just finished; queued requests absorb it as wait time —
+    // watching the spans is itself on the clock.
     machine_->AdvanceClock(cost);
   }
 }
@@ -475,6 +492,10 @@ Status DualModeScheduler::RunScavengerBurst() {
       if (profiler_ != nullptr) {
         profiler_->OnScavengerStep(step.issue_cycles, step.wait_cycles);
       }
+      if (spans_ != nullptr) {
+        spans_->OnScavengerStep(scavenger.ctx.id, step.issue_cycles,
+                                step.wait_cycles);
+      }
       if (step.event == sim::StepEvent::kExecuted) {
         continue;
       }
@@ -540,6 +561,9 @@ Status DualModeScheduler::RunScavengerBurst() {
       if (profiler_ != nullptr) {
         profiler_->OnScavengerSwitch(cost);
       }
+      if (spans_ != nullptr) {
+        spans_->OnScavengerSwitch(scavenger.ctx.id, cost);
+      }
       machine_->AdvanceClock(cost);
       scavenger.ctx.switch_cycles += cost;
       scavenger.ctx.yields_taken += 1;
@@ -580,6 +604,9 @@ Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
     }
     in_task_ = true;
     const uint64_t task_start = machine_->now();
+    if (spans_ != nullptr) {
+      spans_->OnPrimaryTaskStart(task_start);
+    }
 
     while (!primary.halted) {
       if (report_.run.instructions >= config_.max_total_instructions) {
@@ -594,6 +621,9 @@ Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
       }
       if (profiler_ != nullptr) {
         profiler_->OnPrimaryStep(ip, step.issue_cycles, step.wait_cycles);
+      }
+      if (spans_ != nullptr) {
+        spans_->OnPrimaryStep(step.issue_cycles, step.wait_cycles);
       }
       if (step.event == sim::StepEvent::kYielded) {
         const uint32_t cost = SwitchCostAt(*primary_binary_, ip);
@@ -666,14 +696,27 @@ Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
         if (profiler_ != nullptr) {
           profiler_->OnPrimarySwitch(ip, cost, yield_useful);
         }
+        if (spans_ != nullptr) {
+          spans_->OnPrimarySwitch(cost);
+        }
         machine_->AdvanceClock(cost);
         primary.switch_cycles += cost;
         primary.yields_taken += 1;
         ++report_.run.yields;
+        const uint64_t burst_begin = machine_->now();
         YH_RETURN_IF_ERROR(RunScavengerBurst());
+        if (spans_ != nullptr) {
+          // The burst window is the primary's hidden (useful yield) or blown
+          // stall; scavenger-bound requests separately accrue their own exec
+          // time inside it — both per-request timelines stay exact.
+          spans_->OnPrimaryBurst(machine_->now() - burst_begin, yield_useful);
+        }
       }
     }
 
+    if (spans_ != nullptr) {
+      spans_->OnPrimaryTaskEnd(machine_->now());
+    }
     report_.run.completions.push_back(
         CompletionRecord{primary.id, task_start, machine_->now()});
     report_.primary_latency.Record(machine_->now() - task_start);
@@ -694,6 +737,7 @@ Result<size_t> DualModeScheduler::RunTasks(size_t max_tasks) {
     // anything the hook itself charges (sampling) is swept at the next sync.
     ChargeTraceOverhead();
     ChargeProfilerOverhead();
+    ChargeSpanOverhead();
     if (profiler_ != nullptr) {
       profiler_->SyncToClock(machine_->now());
     }
@@ -733,6 +777,7 @@ Result<uint64_t> DualModeScheduler::DrainScavengers(uint64_t max_cycles) {
   // does, so drained cycles land on the same honest clock.
   ChargeTraceOverhead();
   ChargeProfilerOverhead();
+  ChargeSpanOverhead();
   if (profiler_ != nullptr) {
     profiler_->SyncToClock(machine_->now());
   }
@@ -755,6 +800,7 @@ Result<DualModeReport> DualModeScheduler::Finalize() {
   }
   ChargeTraceOverhead();
   ChargeProfilerOverhead();
+  ChargeSpanOverhead();
   if (profiler_ != nullptr) {
     // Final sweep: after this, the taxonomy partitions total_cycles exactly.
     profiler_->SyncToClock(machine_->now());

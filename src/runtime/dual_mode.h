@@ -31,6 +31,7 @@
 #include "src/instrument/types.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler/profiler.h"
+#include "src/obs/span/span.h"
 #include "src/obs/sparse_histogram.h"
 #include "src/obs/trace.h"
 #include "src/runtime/report.h"
@@ -190,6 +191,14 @@ class DualModeScheduler {
   // safe points as the trace recorder's.
   void SetProfiler(obs::CycleProfiler* profiler);
 
+  // Attaches a request-scoped span collector (may be null; must outlive the
+  // run). The scheduler feeds it the primary task start/end boundaries, the
+  // per-step issue/stall split, switch costs, and burst durations — the
+  // per-REQUEST companion of the per-SITE profiler (docs/OBSERVABILITY.md).
+  // Its modeled transition cost is charged at the same safe points as the
+  // trace recorder's.
+  void SetSpanCollector(obs::SpanCollector* spans);
+
   // Pre-seeds per-site quarantine state for the next Run(), keyed by yield
   // address in the primary binary. Lets adaptation carry quarantine decisions
   // across a re-instrumentation instead of paying min_visits to re-learn them.
@@ -297,6 +306,8 @@ class DualModeScheduler {
   void ChargeTraceOverhead();
   // Charges the profiler's modeled accounting cost to the clock.
   void ChargeProfilerOverhead();
+  // Charges the span collector's modeled transition cost to the clock.
+  void ChargeSpanOverhead();
   // Re-announces the current quarantine table to the profiler (run start and
   // after swaps, when OnBinary has reset its flags).
   void AnnounceQuarantineToProfiler();
@@ -329,6 +340,7 @@ class DualModeScheduler {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Labels metric_labels_;
   obs::CycleProfiler* profiler_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
   // kPrimary yield address in the current primary binary -> original-binary
   // site (the swap-invariant key observability uses).
   std::map<isa::Addr, isa::Addr> yield_site_origin_;

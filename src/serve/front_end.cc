@@ -76,9 +76,16 @@ void ShardFrontEnd::Harvest(sim::Machine& machine,
     return std::tie(a.finish, a.request.id) < std::tie(b.finish, b.request.id);
   });
   for (const Done& item : done) {
+    const uint64_t egress_begin = machine.now();
     egress_.Charge(machine, item.request.id);
     const uint64_t latency = machine.now() - item.request.arrival_cycle;
     latency_.Record(latency);
+    if (spans_ != nullptr) {
+      spans_->OnHarvest(item.request.id, egress_begin, machine.now());
+    }
+    if (slo_ != nullptr) {
+      slo_->Record(machine.now(), latency);
+    }
     ++counters_.completed;
     if (item.scavenged) {
       ++counters_.completed_scavenger;
@@ -97,8 +104,11 @@ void ShardFrontEnd::Harvest(sim::Machine& machine,
 }
 
 void ShardFrontEnd::AdmitDue(sim::Machine& machine) {
+  // High bits namespace the id by shard seed; low 32 bits stay the dense
+  // per-shard sequence (handlers may truncate the id to index a workload).
+  const uint64_t id_namespace = (config_.id_seed & 0x3FFFFFFFull) << 32;
   while (next_arrival_.has_value() && *next_arrival_ <= machine.now()) {
-    Request request{next_id_++, *next_arrival_};
+    Request request{id_namespace | next_id_++, *next_arrival_};
     ++counters_.offered;
     if (queue_.size() >= config_.queue_capacity) {
       ++counters_.shed;
@@ -108,9 +118,14 @@ void ShardFrontEnd::AdmitDue(sim::Machine& machine) {
       }
     } else {
       // The event loop reads and parses the connection before queuing it.
+      const uint64_t ingress_begin = machine.now();
       ingress_.Charge(machine, request.id);
       ++counters_.admitted;
       queue_.push_back(request);
+      if (spans_ != nullptr) {
+        spans_->OnAdmit(request.id, request.arrival_cycle, ingress_begin,
+                        machine.now());
+      }
       if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
         trace_->Record(obs::TraceEventType::kRequestAdmit, machine.now(), 0, 0,
                        request.id);
@@ -127,6 +142,15 @@ bool ShardFrontEnd::Poll(sim::Machine& machine,
   }
   Harvest(machine, scheduler);
   AdmitDue(machine);
+  if (slo_ != nullptr) {
+    // Poll boundary: the evaluator's bookkeeping goes on the clock AFTER the
+    // just-harvested latencies were measured — watching never flatters the
+    // numbers it watches.
+    const uint64_t cost = slo_->TakeUnchargedOverheadCycles();
+    if (cost > 0) {
+      machine.AdvanceClock(cost);
+    }
+  }
   while (true) {
     if (!queue_.empty()) {
       // Dispatch exactly one head request; the next task boundary polls
@@ -134,6 +158,9 @@ bool ShardFrontEnd::Poll(sim::Machine& machine,
       Request request = queue_.front();
       queue_.pop_front();
       dispatched_primary_.push_back(request);
+      if (spans_ != nullptr) {
+        spans_->OnDispatchPrimary(request.id, machine.now());
+      }
       if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
         trace_->Record(obs::TraceEventType::kRequestDispatch, machine.now(),
                        -1, 0, request.id);
@@ -186,6 +213,9 @@ void ShardFrontEnd::OnScavengerSpawn(int ctx_id, uint64_t now) {
     return;  // someone else's factory fed this slot
   }
   scavenger_held_[ctx_id] = *staged_;
+  if (spans_ != nullptr) {
+    spans_->OnScavengerBind(ctx_id, staged_->id, now);
+  }
   if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
     trace_->Record(obs::TraceEventType::kRequestDispatch, now, ctx_id, 0,
                    staged_->id);
@@ -202,6 +232,9 @@ void ShardFrontEnd::OnScavengerRetire(int ctx_id, uint64_t now,
   if (completed) {
     // Respond is charged at the next safe point (Harvest); the halt cycle
     // orders it against other finishers.
+    if (spans_ != nullptr) {
+      spans_->OnScavengerDone(ctx_id, now);
+    }
     scav_done_.emplace_back(it->second, now);
   } else {
     // Killed mid-flight by a swap or rollback: restart at the queue HEAD —
@@ -210,6 +243,9 @@ void ShardFrontEnd::OnScavengerRetire(int ctx_id, uint64_t now,
     // order; capacity does not apply, the request was already admitted.
     ++counters_.requeued;
     queue_.push_front(it->second);
+    if (spans_ != nullptr) {
+      spans_->OnRequeue(ctx_id, now);
+    }
     if (YH_TRACE_ENABLED(trace_, obs::kTraceServe)) {
       trace_->Record(obs::TraceEventType::kRequestRequeue, now, ctx_id, 0,
                      it->second.id);
@@ -242,6 +278,9 @@ FrontEndReport ShardFrontEnd::report() const {
 }
 
 void ShardFrontEnd::PublishMetrics() {
+  if (slo_ != nullptr) {
+    slo_->PublishMetrics();
+  }
   if (metrics_ == nullptr) {
     return;
   }

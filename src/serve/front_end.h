@@ -43,6 +43,8 @@
 #include "src/adapt/request_source.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo/slo.h"
+#include "src/obs/span/span.h"
 #include "src/obs/sparse_histogram.h"
 #include "src/obs/trace.h"
 #include "src/runtime/dual_mode.h"
@@ -63,6 +65,11 @@ struct FrontEndConfig {
   bool scavengers_serve = true;
   // Idle-donation chunk when no future arrival bounds the drain.
   uint64_t drain_chunk_cycles = 1u << 16;
+  // Request-id namespace seed. Ids are `(seed_low30 << 32) | sequence`, so
+  // they are deterministic per shard (derived from the serve seed, no global
+  // counter shared across shards) while the low 32 bits stay a dense
+  // sequence for handlers that index workloads by truncated id.
+  uint64_t id_seed = 0;
 
   Status Validate() const;
 };
@@ -119,6 +126,14 @@ class ShardFrontEnd : public adapt::RequestSource {
   // DefaultEgress). Call before serving starts.
   void SetPipelines(StagePipeline ingress, StagePipeline egress);
 
+  // Optional request-scoped span attribution: the front end feeds admission,
+  // dispatch, scavenger-bind/requeue, and harvest transitions (the scheduler
+  // feeds the execution interior — wire the same collector to both).
+  void SetSpanCollector(obs::SpanCollector* spans) { spans_ = spans; }
+  // Optional SLO burn-rate evaluator: fed one Record per harvested request;
+  // its modeled bookkeeping cost is charged at the poll boundary.
+  void SetSloEvaluator(obs::SloEvaluator* slo) { slo_ = slo; }
+
   // Counters + latency histogram; in_flight is computed at call time.
   FrontEndReport report() const;
   const StagePipeline& ingress() const { return ingress_; }
@@ -162,6 +177,8 @@ class ShardFrontEnd : public adapt::RequestSource {
   obs::TraceRecorder* trace_;
   obs::MetricsRegistry* metrics_;
   obs::Labels labels_;
+  obs::SpanCollector* spans_ = nullptr;
+  obs::SloEvaluator* slo_ = nullptr;
 };
 
 }  // namespace yieldhide::serve

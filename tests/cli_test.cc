@@ -282,6 +282,108 @@ TEST(CliTest, ServeOpenLoopRunReportsLedgerAndExitsZero) {
   EXPECT_NE(text.find("conservation ok"), std::string::npos);
 }
 
+// --- request spans (`yhc spans`) and SLO monitoring (`yhc slo`) --------------
+
+// Small open-loop scenario shared by the spans/slo runs to keep tests quick.
+constexpr char kSpanRun[] =
+    "--nodes 4096 --steps 120 --rate 0.05 --duration 300000";
+
+TEST(CliTest, SpansWithoutModeExitsTwoWithUsage) {
+  const CommandResult r = RunYhc("spans", "spans_no_mode");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("usage: yhc spans"), std::string::npos);
+}
+
+TEST(CliTest, SpansConflictingModesExitTwo) {
+  const CommandResult r = RunYhc("spans --top --json", "spans_two_modes");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("usage: yhc spans"), std::string::npos);
+}
+
+TEST(CliTest, SpansUnknownFlagExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("spans --json --bogus 1", "spans_bad_flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("yhc spans: unknown flag '--bogus'"),
+            std::string::npos);
+}
+
+TEST(CliTest, SpansTopTableReportsExactClosure) {
+  const std::string out = TempPath("spans.top");
+  const CommandResult r = RunYhc(
+      std::string("spans --top=5 --out ") + out + " " + kSpanRun, "spans_top");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  // The scenario verifies the exact-sum invariant before exporting.
+  EXPECT_NE(r.stderr_text.find("exact to the cycle"), std::string::npos);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("completed requests"), std::string::npos);
+  EXPECT_NE(text.find("dominant"), std::string::npos);
+}
+
+TEST(CliTest, SpansJsonExportIsValid) {
+  const std::string out = TempPath("spans.json");
+  const CommandResult r = RunYhc(
+      std::string("spans --json --out ") + out + " " + kSpanRun, "spans_json");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"classes\""), std::string::npos);
+}
+
+TEST(CliTest, SpansPerfettoExportIsValidChromeJson) {
+  const std::string out = TempPath("spans.perfetto.json");
+  const CommandResult r =
+      RunYhc(std::string("spans --perfetto --out ") + out + " " + kSpanRun,
+             "spans_perfetto");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("yieldhide spans"), std::string::npos);
+}
+
+TEST(CliTest, SloBadObjectiveExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("slo --objective 1.5", "slo_bad_objective");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad --objective (want 0..1)"),
+            std::string::npos);
+}
+
+TEST(CliTest, SloInconsistentWindowsExitTwoWithNamedError) {
+  // Validate() rejects a slow window shorter than the fast window.
+  const CommandResult r = RunYhc(
+      "slo --window 1000 --fast-window 2000 --bucket 500", "slo_bad_windows");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("slow_window_cycles"), std::string::npos);
+}
+
+TEST(CliTest, SloRunReportsBurnRatesPerShard) {
+  const std::string out = TempPath("slo.out");
+  const CommandResult r = RunYhc(
+      std::string("slo --shards 2 --budget 200000 --out ") + out + " " +
+          kSpanRun,
+      "slo_run");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("objective"), std::string::npos);
+  EXPECT_NE(text.find("shard 0:"), std::string::npos);
+  EXPECT_NE(text.find("shard 1:"), std::string::npos);
+  EXPECT_NE(text.find("burn fast="), std::string::npos);
+}
+
+TEST(CliTest, HelpListsSpansAndSloTopics) {
+  const std::string out = TempPath("help.out");
+  const CommandResult r = RunYhc(std::string("help > ") + out, "help_spans");
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("spans --top[=N]|--json|--perfetto"), std::string::npos);
+  EXPECT_NE(text.find("slo"), std::string::npos);
+}
+
 TEST(CliTest, ProfileFoldedStacksAreWellFormed) {
   const std::string out = TempPath("profile.folded");
   const CommandResult r = RunYhc(

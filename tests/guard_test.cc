@@ -5,6 +5,7 @@
 // injected rebuild failures, regressions, shard stalls, and store rot.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "src/faultinject/fault.h"
 #include "src/faultinject/serving_faults.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler/profiler.h"
 #include "src/serve/front_end.h"
 #include "src/workloads/phased_chase.h"
 
@@ -547,6 +549,111 @@ TEST(GuardedServerGroupTest, RegressingGenerationRollsBackAndQuarantines) {
               drifted.ExpectedResult(kTasksPerShard + i))
         << "shard 1 task " << kTasksPerShard + i;
   }
+}
+
+TEST(GuardedServerGroupTest, ProfilerEpochSlicesSurviveCanaryRollback) {
+  // The rollback path re-binds the profiler to the PREVIOUS binary
+  // (scheduler swap -> OnBinary): the per-epoch attribution slices must
+  // stay cumulative-monotone across that reinstall — a reset would break
+  // monotonicity, a double-count would break the telescoping sum.
+  auto twin = SmallPhased(0.0);
+  auto config = SmallPipeline();
+  auto stale = StaleArtifacts(twin, config);
+  auto drifted = SmallPhased(1.0, /*flip=*/0);
+
+  sim::Machine m0(config.machine);
+  sim::Machine m1(config.machine);
+  drifted.InitMemory(m0.memory());
+  drifted.InitMemory(m1.memory());
+
+  ServerGroupConfig group_config = GuardedGroupConfig(config, /*shards=*/2);
+  group_config.fault_hooks.degrade_build = [](size_t epoch) {
+    return epoch < 2;
+  };
+  group_config.fault_hooks.cursed_penalty = 8.0;
+  ServerGroup group(&drifted.program(), stale, {&m0, &m1}, group_config);
+  std::vector<std::unique_ptr<obs::CycleProfiler>> profilers;
+  for (size_t s = 0; s < 2; ++s) {
+    profilers.push_back(std::make_unique<obs::CycleProfiler>());
+    profilers.back()->OnBinary(&stale.binary);
+    group.SetProfiler(s, profilers.back().get());
+  }
+  constexpr int kTasksPerShard = 24;
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < kTasksPerShard; ++i) {
+      group.AddTask(static_cast<size_t>(s),
+                    drifted.SetupFor(s * kTasksPerShard + i));
+    }
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_GE(report->rollbacks, 1);
+
+  for (size_t s = 0; s < 2; ++s) {
+    const obs::CycleProfiler& profiler = *profilers[s];
+    const auto& slices = profiler.epoch_slices();
+    ASSERT_GE(slices.size(), 2u) << "shard " << s;
+    // Cumulative totals never regress, even across the epoch whose boundary
+    // carried the cursed install and the one carrying its rollback.
+    for (size_t i = 1; i < slices.size(); ++i) {
+      EXPECT_GE(slices[i].end_cycle, slices[i - 1].end_cycle);
+      for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+        EXPECT_GE(slices[i].class_totals[c], slices[i - 1].class_totals[c])
+            << "shard " << s << " slice " << i << " class " << c;
+      }
+    }
+    // The per-epoch deltas telescope back to the final cumulative slice:
+    // nothing double-counted by the reinstall, nothing dropped.
+    std::array<uint64_t, obs::kNumCycleClasses> summed{};
+    for (size_t i = 0; i < slices.size(); ++i) {
+      const auto delta = profiler.EpochDelta(i);
+      for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+        summed[c] += delta[c];
+      }
+    }
+    uint64_t classified_in_slices = 0;
+    for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
+      EXPECT_EQ(summed[c], slices.back().class_totals[c])
+          << "shard " << s << " class " << c;
+      // The run may classify a little more after the last boundary, never
+      // less than the last snapshot.
+      EXPECT_LE(slices.back().class_totals[c], profiler.class_totals()[c])
+          << "shard " << s << " class " << c;
+      classified_in_slices += slices.back().class_totals[c];
+    }
+    EXPECT_LE(classified_in_slices, profiler.classified_cycles());
+  }
+}
+
+TEST(CycleProfilerRebindTest, OnBinaryKeepsCumulativeTotalsAndSites) {
+  // Unit-level version of the rollback property: re-binding the SAME binary
+  // (what a rollback reinstall does) must neither reset nor double the
+  // accumulated attribution, and site records must persist by original
+  // address.
+  auto twin = SmallPhased(0.0);
+  auto stale = StaleArtifacts(twin, SmallPipeline());
+
+  obs::CycleProfiler profiler;
+  profiler.OnBinary(&stale.binary);
+  profiler.OnRunBegin(0);
+  profiler.OnPrimaryStep(/*ip=*/0, /*issue_cycles=*/40, /*wait_cycles=*/60);
+  profiler.SyncToClock(100);
+  profiler.SnapshotEpoch(/*epoch=*/0, /*now_cycles=*/100);
+  const size_t sites_before = profiler.sites().size();
+
+  profiler.OnBinary(&stale.binary);  // rollback reinstall
+  profiler.OnPrimaryStep(0, 30, 20);
+  profiler.SyncToClock(150);
+  profiler.SnapshotEpoch(1, 150);
+
+  EXPECT_EQ(profiler.classified_cycles(), 150u);
+  EXPECT_EQ(profiler.sites().size(), sites_before);
+  const auto& slices = profiler.epoch_slices();
+  ASSERT_EQ(slices.size(), 2u);
+  const size_t exposed = static_cast<size_t>(obs::CycleClass::kStallExposed);
+  EXPECT_GE(slices[1].class_totals[exposed], slices[0].class_totals[exposed]);
+  const auto second = profiler.EpochDelta(1);
+  EXPECT_EQ(second[exposed], 20u);
 }
 
 TEST(GuardedServerGroupTest, RebuildFailureBacksOffAndRecovers) {

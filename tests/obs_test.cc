@@ -349,6 +349,26 @@ TEST(MetricsRegistryTest, PrometheusFormat) {
   EXPECT_NE(text.find("yh_lat_count"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, PrometheusHelpAndLabelEscaping) {
+  MetricsRegistry registry;
+  registry.GetCounter("yh_serve_shed_total")->Set(2);
+  registry.GetGauge("yh_slo_burn_rate_fast")->Set(3.5);
+  // Label values must escape backslash, quote, and line-feed — a raw newline
+  // in a value would split the exposition line in two.
+  registry.GetCounter("yh_a_total", {{"path", "a\\b\"c\nd"}})->Set(1);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# HELP yh_serve_shed_total Requests rejected because "
+                      "the queue was full.\n"
+                      "# TYPE yh_serve_shed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP yh_slo_burn_rate_fast"), std::string::npos);
+  EXPECT_NE(text.find("yh_a_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+  // Families without registered help text still get their TYPE line.
+  EXPECT_NE(text.find("# TYPE yh_a_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("# HELP yh_a_total"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ClearEmptiesRegistry) {
   MetricsRegistry registry;
   registry.GetCounter("yh_a_total");

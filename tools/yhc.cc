@@ -713,6 +713,7 @@ int CmdServeOpenLoop(Options& options) {
   for (uint64_t s = 0; s < shards; ++s) {
     serve::FrontEndConfig shard_fe = fe;
     shard_fe.arrival.seed = seed + s;  // independent streams per shard
+    shard_fe.id_seed = seed + s;       // namespaced deterministic request ids
     const Status fe_valid = shard_fe.Validate();
     if (!fe_valid.ok()) {
       std::fprintf(stderr, "yhc serve: %s\n", fe_valid.ToString().c_str());
@@ -1136,6 +1137,250 @@ int CmdProfileAttribution(Options& options) {
   return EmitDocument(options, doc);
 }
 
+// Shared by `yhc spans` / `yhc slo`: the open-loop serving scenario
+// (CmdServeOpenLoop's shape, smaller defaults) with a SpanCollector and an
+// SloEvaluator wired per shard — the front end feeds admission/harvest
+// transitions and SLO records, the scheduler feeds the execution interior.
+// Span/SLO trace events stream through a small-ring TraceRecorder's sink
+// (flush-on-half-full), which is what --perfetto renders.
+struct SpanScenarioResult {
+  std::vector<std::unique_ptr<obs::SpanCollector>> collectors;
+  std::vector<std::unique_ptr<obs::SloEvaluator>> evaluators;
+  std::vector<serve::FrontEndReport> fe_reports;
+  std::vector<obs::TraceEvent> span_events;  // kSpanBegin/kSpanEnd, drained
+  double cycles_per_ns = 1.0;
+};
+
+int RunSpanServeScenario(Options& options, const obs::SloConfig& slo_config,
+                         SpanScenarioResult* out) {
+  const uint64_t shards = options.PositiveU64("shards", 1);
+  const uint64_t epoch = options.PositiveU64("epoch", 8);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 16);
+  const uint64_t steps = options.PositiveU64("steps", 300);
+  const std::string arrival =
+      options.Choice("arrival", "poisson", {"poisson", "burst"});
+  const double rate = options.PositiveDouble("rate", 0.02);
+  const uint64_t duration = options.PositiveU64("duration", 1'000'000);
+  const uint64_t seed = options.PositiveU64("seed", 1);
+  const uint64_t queue_cap = options.PositiveU64("queue-cap", 32);
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  auto scenario = BuildAdaptScenario(nodes, steps, /*severity=*/0.0,
+                                     /*flip=*/0);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const workloads::PhasedChase& chase = scenario->chase;
+  out->cycles_per_ns = scenario->pipeline.machine.cycles_per_ns;
+
+  adapt::ServerGroupConfig config;
+  config.shards = shards;
+  config.shard.controller.pipeline = scenario->pipeline;
+  config.shard.tasks_per_epoch = static_cast<int>(epoch);
+  config.shard.adapt_enabled = false;  // steady serving; spans, not swaps
+  config.shard.scale_pool = false;
+  config.shard.dual.max_scavengers = 4;
+  config.shard.dual.hide_window_cycles = 300;
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  // Small ring + sink: the exported stream comes from the flush-on-half-full
+  // drain, not a post-run snapshot — same machinery `yhc profile` exercises.
+  obs::TraceConfig trace_config;
+  trace_config.capacity = 1 << 12;
+  trace_config.mask = obs::kTraceSpan | obs::kTraceSlo;
+  obs::TraceRecorder recorder(trace_config);
+  recorder.SetSink([out](const obs::TraceEvent& event) {
+    out->span_events.push_back(event);
+  });
+
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (uint64_t s = 0; s < shards; ++s) {
+    machines.push_back(
+        std::make_unique<sim::Machine>(scenario->pipeline.machine));
+    chase.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+
+  adapt::ServerGroup group(&chase.program(), scenario->stale, machine_ptrs,
+                           config);
+  group.SetObservability(&recorder, nullptr);
+
+  serve::FrontEndConfig fe;
+  fe.arrival.kind = arrival == "burst" ? serve::ArrivalConfig::Kind::kBurst
+                                       : serve::ArrivalConfig::Kind::kPoisson;
+  fe.arrival.rate_per_kcycle = rate;
+  fe.arrival.horizon_cycles = duration;
+  fe.queue_capacity = queue_cap;
+  std::vector<std::unique_ptr<serve::ShardFrontEnd>> fronts;
+  for (uint64_t s = 0; s < shards; ++s) {
+    serve::FrontEndConfig shard_fe = fe;
+    shard_fe.arrival.seed = seed + s;
+    shard_fe.id_seed = seed + s;
+    const Status fe_valid = shard_fe.Validate();
+    if (!fe_valid.ok()) {
+      std::fprintf(stderr, "yhc spans: %s\n", fe_valid.ToString().c_str());
+      return 2;
+    }
+    fronts.push_back(std::make_unique<serve::ShardFrontEnd>(
+        shard_fe,
+        [&chase](uint64_t id) {
+          return chase.SetupFor(static_cast<int>(id));
+        },
+        &recorder, nullptr, obs::Labels{}));
+    out->collectors.push_back(std::make_unique<obs::SpanCollector>());
+    out->collectors.back()->SetTrace(&recorder);
+    out->evaluators.push_back(std::make_unique<obs::SloEvaluator>(slo_config));
+    out->evaluators.back()->SetTrace(&recorder, static_cast<int32_t>(s));
+    fronts.back()->SetSpanCollector(out->collectors.back().get());
+    fronts.back()->SetSloEvaluator(out->evaluators.back().get());
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+    group.SetSpanCollector(s, out->collectors.back().get());
+    group.SetSloEvaluator(s, out->evaluators.back().get());
+  }
+
+  auto report = group.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "span serve scenario failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  recorder.DrainToSink();
+
+  uint64_t completed = 0;
+  for (uint64_t s = 0; s < shards; ++s) {
+    const Status exact = out->collectors[s]->VerifyExactness();
+    if (!exact.ok()) {
+      std::fprintf(stderr, "internal error: span exactness broken: %s\n",
+                   exact.ToString().c_str());
+      return 1;
+    }
+    completed += out->collectors[s]->completed_count();
+    out->fe_reports.push_back(fronts[s]->report());
+  }
+  std::fprintf(stderr,
+               "spans: %llu request span trees closed across %llu shard(s), "
+               "exact to the cycle\n",
+               static_cast<unsigned long long>(completed),
+               static_cast<unsigned long long>(shards));
+  return 0;
+}
+
+// Request-scoped span attribution over the open-loop serving scenario:
+// where did each request's latency go (docs/OBSERVABILITY.md)?
+int CmdSpans(Options& options) {
+  options.RejectUnknownFlags(
+      "spans", {"top", "json", "perfetto", "out", "shards", "epoch", "nodes",
+                "steps", "arrival", "rate", "duration", "seed", "queue-cap"});
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+  const int modes = (options.Has("top") ? 1 : 0) +
+                    (options.Has("json") ? 1 : 0) +
+                    (options.Has("perfetto") ? 1 : 0);
+  if (modes != 1 || !options.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: yhc spans --top[=N]|--json|--perfetto [--out <path>] "
+                 "[--shards N] [--arrival poisson|burst] [--rate R] "
+                 "[--duration E] [--seed N] [--queue-cap N]\n");
+    return 2;
+  }
+  const size_t top_n = options.TopN(10);
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  SpanScenarioResult result;
+  const int run = RunSpanServeScenario(options, obs::SloConfig{}, &result);
+  if (run != 0) {
+    return run;
+  }
+  std::vector<const obs::SpanCollector*> shards;
+  for (const auto& collector : result.collectors) {
+    shards.push_back(collector.get());
+  }
+  std::string doc;
+  if (options.Has("top")) {
+    doc = obs::ToSpanTopTable(shards, top_n);
+  } else if (options.Has("json")) {
+    doc = obs::ToSpanJson(shards);
+  } else {
+    doc = obs::ToPerfettoSpanJson(result.span_events, result.cycles_per_ns);
+  }
+  if (!options.Has("top")) {
+    const Status valid = obs::ValidateJson(doc);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "internal error: span export is not valid JSON: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+  }
+  return EmitDocument(options, doc);
+}
+
+// SLO burn-rate monitoring over the same scenario: rolling multi-window
+// burn rates, fire/clear transitions, per-shard compliance.
+int CmdSlo(Options& options) {
+  obs::SloConfig slo;
+  slo.latency_budget_cycles =
+      options.PositiveU64("budget", slo.latency_budget_cycles);
+  slo.objective = options.UnitDouble("objective", slo.objective);
+  slo.slow_window_cycles =
+      options.PositiveU64("window", slo.slow_window_cycles);
+  slo.fast_window_cycles =
+      options.PositiveU64("fast-window", slo.fast_window_cycles);
+  slo.fast_burn_threshold =
+      options.PositiveDouble("fast-burn", slo.fast_burn_threshold);
+  slo.slow_burn_threshold =
+      options.PositiveDouble("slow-burn", slo.slow_burn_threshold);
+  slo.bucket_cycles = options.PositiveU64("bucket", slo.bucket_cycles);
+  options.RejectUnknownFlags(
+      "slo", {"budget", "objective", "window", "fast-window", "fast-burn",
+              "slow-burn", "bucket", "out", "shards", "epoch", "nodes",
+              "steps", "arrival", "rate", "duration", "seed", "queue-cap"});
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+  if (!options.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: yhc slo [--budget N] [--objective X] [--window N] "
+                 "[--fast-window N] [--fast-burn X] [--slow-burn X] "
+                 "[--bucket N] [--out <path>] [serve scenario flags]\n");
+    return 2;
+  }
+  const Status valid = slo.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "yhc slo: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  SpanScenarioResult result;
+  const int run = RunSpanServeScenario(options, slo, &result);
+  if (run != 0) {
+    return run;
+  }
+  std::string doc = StrFormat(
+      "budget=%s cycles objective=%.4f windows fast=%s slow=%s "
+      "thresholds fast=%.1f slow=%.1f\n",
+      WithCommas(slo.latency_budget_cycles).c_str(), slo.objective,
+      WithCommas(slo.fast_window_cycles).c_str(),
+      WithCommas(slo.slow_window_cycles).c_str(), slo.fast_burn_threshold,
+      slo.slow_burn_threshold);
+  for (size_t s = 0; s < result.evaluators.size(); ++s) {
+    doc += StrFormat("shard %zu: %s\n", s,
+                     result.evaluators[s]->Summary().c_str());
+  }
+  return EmitDocument(options, doc);
+}
+
 // Cycle-domain flight recording: run the adaptation scenario with a
 // TraceRecorder attached and export Chrome trace-event JSON (loadable in
 // Perfetto / chrome://tracing).
@@ -1278,6 +1523,19 @@ void PrintUsage(std::FILE* out) {
                "        (docs/OBSERVABILITY.md)\n"
                "  metrics [--format json|prom|both] [--out <path>] [--tasks N]\n"
                "  metrics <a.json> <b.json>           diff two snapshots\n"
+               "  spans --top[=N]|--json|--perfetto [--out <path>] [--shards N]\n"
+               "        [--arrival poisson|burst] [--rate R] [--duration E]\n"
+               "        request-scoped span attribution over the open-loop\n"
+               "        serving scenario: per-request latency decomposed into\n"
+               "        queue/pipeline/scheduler/control-plane spans with an\n"
+               "        exact-sum invariant; --perfetto emits per-request\n"
+               "        tracks from the streamed kSpanBegin/kSpanEnd events\n"
+               "        (docs/OBSERVABILITY.md)\n"
+               "  slo [--budget N] [--objective X] [--window N] [--fast-window N]\n"
+               "        [--fast-burn X] [--slow-burn X] [--out <path>]\n"
+               "        SLO burn-rate monitoring over the same scenario:\n"
+               "        multi-window burn rates, alert fire/clear counts,\n"
+               "        per-shard compliance (docs/OBSERVABILITY.md)\n"
                "  help [command]                      this text\n"
                "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
 }
@@ -1291,7 +1549,7 @@ int CmdHelp(Options& options) {
   static const char* kCommands[] = {"asm",        "dis",   "cfg",     "interval",
                                     "run",        "profile", "instrument",
                                     "chaos",      "adapt", "serve",   "trace",
-                                    "metrics",    "help"};
+                                    "metrics",    "spans", "slo",     "help"};
   if (!options.positional().empty()) {
     const std::string& topic = options.positional().front();
     bool known = false;
@@ -1358,6 +1616,12 @@ int main(int argc, char** argv) {
   }
   if (command == "metrics") {
     return CmdMetrics(*options);
+  }
+  if (command == "spans") {
+    return CmdSpans(*options);
+  }
+  if (command == "slo") {
+    return CmdSlo(*options);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     return CmdHelp(*options);
