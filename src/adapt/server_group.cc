@@ -131,7 +131,8 @@ ServerGroup::ServerGroup(const isa::Program* original,
       profilers_(config.shards, nullptr),
       request_sources_(config.shards, nullptr),
       span_collectors_(config.shards, nullptr),
-      slo_evaluators_(config.shards, nullptr) {}
+      slo_evaluators_(config.shards, nullptr),
+      exemplars_(config.shards, nullptr) {}
 
 void ServerGroup::AddTask(size_t shard,
                           runtime::DualModeScheduler::ContextSetup setup) {
@@ -168,6 +169,10 @@ void ServerGroup::SetSpanCollector(size_t shard, obs::SpanCollector* spans) {
 
 void ServerGroup::SetSloEvaluator(size_t shard, obs::SloEvaluator* slo) {
   slo_evaluators_[shard] = slo;
+}
+
+void ServerGroup::SetExemplar(size_t shard, obs::ExemplarReservoir* exemplars) {
+  exemplars_[shard] = exemplars;
 }
 
 Result<GroupReport> ServerGroup::Run() {
@@ -224,6 +229,9 @@ Result<GroupReport> ServerGroup::Run() {
     }
     if (span_collectors_[i] != nullptr) {
       shards.back()->SetSpanCollector(span_collectors_[i]);
+    }
+    if (exemplars_[i] != nullptr) {
+      shards.back()->SetExemplarReservoir(exemplars_[i]);
     }
   }
   tasks_.assign(config_.shards, {});
@@ -470,6 +478,9 @@ Result<GroupReport> ServerGroup::Run() {
           if (span_collectors_[s] != nullptr) {
             span_collectors_[s]->EndControlWindow(machines_[s]->now());
           }
+          if (exemplars_[s] != nullptr) {
+            exemplars_[s]->EndControlWindow();
+          }
         }
       }
     }
@@ -605,6 +616,9 @@ Result<GroupReport> ServerGroup::Run() {
                   if (span_collectors_[s] != nullptr) {
                     span_collectors_[s]->BeginControlWindow(
                         machines_[s]->now());
+                  }
+                  if (exemplars_[s] != nullptr) {
+                    exemplars_[s]->BeginControlWindow();
                   }
                 }
               }

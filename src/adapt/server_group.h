@@ -156,6 +156,13 @@ class ServerGroup {
   // SLO burn-rate evaluator per shard; with GuardConfig::consult_slo the
   // canary shard's active alert vetoes an otherwise-healthy promotion.
   void SetSloEvaluator(size_t shard, obs::SloEvaluator* slo);
+  // Tail-exemplar reservoir per shard: the shard stamps each retained
+  // exemplar with its serving context (generation, epoch, quarantine), and
+  // the group marks canary confirmation windows on every reservoir so
+  // exemplars captured under a frozen swap lane carry control_window=true.
+  // The reservoir must also be fed by the shard's SpanCollector
+  // (SpanCollector::SetExemplars). Call before Run().
+  void SetExemplar(size_t shard, obs::ExemplarReservoir* exemplars);
 
   // Serves every shard's queue to completion in lockstep group epochs,
   // staggering swaps (see file comment), then saves the store if configured.
@@ -177,6 +184,7 @@ class ServerGroup {
   std::vector<RequestSource*> request_sources_;
   std::vector<obs::SpanCollector*> span_collectors_;
   std::vector<obs::SloEvaluator*> slo_evaluators_;
+  std::vector<obs::ExemplarReservoir*> exemplars_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -172,6 +172,7 @@ void Shard::OpenBoundary(bool adapting, profile::LoadProfile* epoch_evidence) {
   const runtime::DualModeReport& progress = scheduler_->progress();
   epoch_ = EpochTelemetry{};
   epoch_.epoch = report_.epochs.size();
+  epoch_.generation_id = generation_->id;
   epoch_.tasks_completed = progress.run.completions.size();
   epoch_.cycles = machine_->now() - epoch_start_;
   epoch_.sampling_overhead_cycles = overhead_delta;
@@ -401,6 +402,17 @@ void Shard::FinishEpochBoundary(bool adapting,
     // on an exact cycle partition, then snapshot cumulative class totals.
     profiler_->SyncToClock(machine_->now());
     profiler_->SnapshotEpoch(report_.epochs.size(), machine_->now());
+  }
+  if (spans_ != nullptr) {
+    // The span-side slice for the same epoch, on the same clock stamp, so
+    // the diff engine can rank span classes next to cycle classes.
+    spans_->SnapshotEpoch(report_.epochs.size(), machine_->now());
+  }
+  if (exemplar_ != nullptr) {
+    // Completions from here on belong to the NEXT epoch, served by the
+    // (possibly just-installed) current generation.
+    exemplar_->SetContext(generation_->id, report_.epochs.size() + 1,
+                          generation_->quarantined);
   }
   report_.epochs.push_back(epoch_);
 }

@@ -30,8 +30,10 @@
 #include "src/adapt/controller.h"
 #include "src/adapt/online_profile.h"
 #include "src/adapt/request_source.h"
+#include "src/obs/exemplar/exemplar.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler/profiler.h"
+#include "src/obs/span/span.h"
 #include "src/obs/trace.h"
 #include "src/pmu/session.h"
 #include "src/profile/collector.h"
@@ -97,6 +99,10 @@ struct EpochTelemetry {
   // Sampling rate multiplier in force DURING this epoch (1.0 = configured
   // periods; see AdaptiveServerConfig::drift_aware_sampling).
   double sampling_rate_scale = 1.0;
+  // The binary generation that SERVED this epoch (stamped before any swap at
+  // the boundary). `yhc why --generation G1,G2` maps generations to epoch
+  // windows through this field.
+  int generation_id = -1;
 };
 
 struct AdaptReport {
@@ -147,8 +153,24 @@ class Shard {
 
   // Wires request-scoped span attribution into this shard's scheduler (the
   // front end feeds the same collector its admission/harvest transitions).
+  // The shard keeps the pointer so FinishEpochBoundary can snapshot
+  // per-epoch span-class slices next to the profiler's.
   void SetSpanCollector(obs::SpanCollector* spans) {
+    spans_ = spans;
     scheduler_->SetSpanCollector(spans);
+  }
+
+  // Tail-exemplar capture: the shard pushes scheduler context (serving
+  // generation, epoch ordinal, quarantine state) into the reservoir at every
+  // boundary and install, so each retained exemplar is stamped with the
+  // control-plane state in force when it completed. The reservoir itself is
+  // fed by the SpanCollector (SetExemplars), not by the shard.
+  void SetExemplarReservoir(obs::ExemplarReservoir* exemplars) {
+    exemplar_ = exemplars;
+    if (exemplar_ != nullptr && generation_ != nullptr) {
+      exemplar_->SetContext(generation_->id, report_.epochs.size(),
+                            generation_->quarantined);
+    }
   }
 
   // Installs the open-loop request source (must outlive the shard) and wires
@@ -208,6 +230,8 @@ class Shard {
   obs::TraceRecorder* trace_;
   obs::MetricsRegistry* metrics_;
   obs::CycleProfiler* profiler_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
+  obs::ExemplarReservoir* exemplar_ = nullptr;
   obs::Labels labels_;
   RequestSource* request_source_ = nullptr;
 

@@ -248,7 +248,12 @@ void CycleProfiler::SnapshotEpoch(uint64_t epoch, uint64_t now_cycles) {
   slice.epoch = epoch;
   slice.end_cycle = now_cycles;
   slice.class_totals = class_totals();
-  epoch_slices_.push_back(slice);
+  if (config_.epoch_site_snapshots) {
+    for (const auto& [site, record] : sites_) {
+      slice.site_totals.emplace(site, record.cycles);
+    }
+  }
+  epoch_slices_.push_back(std::move(slice));
 }
 
 std::array<uint64_t, kNumCycleClasses> CycleProfiler::EpochDelta(

@@ -80,6 +80,12 @@ struct CycleProfilerConfig {
   // Modeled accounting cost per primary yield visit (a couple of counter
   // bumps on real hardware; 1 cycle keeps enabled runs inside 1.05x).
   uint32_t visit_cost_cycles = 1;
+  // Also store CUMULATIVE per-site class totals in every epoch slice, so the
+  // differential-attribution engine (src/obs/diff) can rank regressing sites
+  // window-over-window. Memory-only (the snapshot happens at the epoch
+  // boundary, off the hot path, like the class-total snapshot itself);
+  // default off — the whole-run site table is enough for everything else.
+  bool epoch_site_snapshots = false;
 };
 
 // Per-original-site attribution record.
@@ -182,6 +188,10 @@ class CycleProfiler {
     uint64_t epoch = 0;      // caller-supplied ordinal
     uint64_t end_cycle = 0;  // machine clock at the snapshot
     std::array<uint64_t, kNumCycleClasses> class_totals{};
+    // CUMULATIVE per-site class totals; populated only with
+    // CycleProfilerConfig::epoch_site_snapshots (keys are ORIGINAL-binary
+    // addresses, same per-epoch-delta convention as class_totals).
+    std::map<uint64_t, std::array<uint64_t, kNumCycleClasses>> site_totals;
   };
   void SnapshotEpoch(uint64_t epoch, uint64_t now_cycles);
   const std::vector<EpochSlice>& epoch_slices() const { return epoch_slices_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/strings.h"
+#include "src/obs/exemplar/exemplar.h"
 
 namespace yieldhide::obs {
 
@@ -361,10 +362,16 @@ void SpanCollector::Finalize(Active& a, uint64_t egress_begin,
   a.span.complete_cycle = egress_end;
   for (size_t i = 0; i < kNumSpanClasses; ++i) {
     class_totals_[i] += a.span.classes[i];
+    if (a.span.classes[i] != 0) {
+      class_hist_[i].Record(a.span.classes[i]);
+    }
   }
   ++completed_count_;
   if (completed_.size() < config_.max_records) {
     completed_.push_back(a.span);
+  }
+  if (exemplars_ != nullptr) {
+    exemplars_->Offer(a.span);
   }
   ++transitions_;
   if (YH_TRACE_ENABLED(trace_, kTraceSpan)) {
@@ -390,10 +397,23 @@ void SpanCollector::EndControlWindow(uint64_t now) {
 }
 
 uint64_t SpanCollector::TakeUnchargedOverheadCycles() {
-  const uint64_t delta =
+  uint64_t delta =
       (transitions_ - charged_transitions_) * config_.event_cost_cycles;
   charged_transitions_ = transitions_;
+  if (exemplars_ != nullptr) {
+    // The reservoir's accepted-insertion cost rides the same safe-point
+    // charge; the scheduler never needs to know the reservoir exists.
+    delta += exemplars_->TakeUnchargedOverheadCycles();
+  }
   return delta;
+}
+
+void SpanCollector::SnapshotEpoch(uint64_t epoch, uint64_t now_cycles) {
+  EpochSlice slice;
+  slice.epoch = epoch;
+  slice.end_cycle = now_cycles;
+  AggregateTotals(slice.class_totals, /*include_active=*/true);
+  epoch_slices_.push_back(slice);
 }
 
 void SpanCollector::AggregateTotals(uint64_t out[kNumSpanClasses],
@@ -493,17 +513,27 @@ std::string ToSpanTopTable(const std::vector<const SpanCollector*>& shards,
                          : 100.0 * static_cast<double>(dom_cycles) /
                                static_cast<double>(s.latency()));
   }
-  out += StrFormat("\n%-14s %-14s %s\n", "class", "cycles", "share");
+  out += StrFormat("\n%-14s %-14s %-7s %-12s %-12s %s\n", "class", "cycles",
+                   "share", "p50", "p90", "p99");
   for (size_t i = 0; i < kNumSpanClasses; ++i) {
     if (totals[i] == 0) {
       continue;
     }
-    out += StrFormat("%-14s %-14s %5.1f%%\n",
+    // Per-request class-cycle distribution, merged across shards
+    // (SparseHistogram merge == concatenation).
+    SparseHistogram merged;
+    for (const SpanCollector* c : shards) {
+      merged.Merge(c->class_histogram(i));
+    }
+    out += StrFormat("%-14s %-14s %5.1f%% %-12s %-12s %s\n",
                      SpanClassName(static_cast<SpanClass>(i)),
                      WithCommas(totals[i]).c_str(),
                      grand == 0 ? 0.0
                                 : 100.0 * static_cast<double>(totals[i]) /
-                                      static_cast<double>(grand));
+                                      static_cast<double>(grand),
+                     WithCommas(merged.P50()).c_str(),
+                     WithCommas(merged.ValueAtQuantile(0.90)).c_str(),
+                     WithCommas(merged.P99()).c_str());
   }
   return out;
 }
@@ -578,6 +608,13 @@ std::string ToPerfettoSpanJson(const std::vector<TraceEvent>& events,
   };
   emit("{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
        "\"args\": {\"name\": \"yieldhide spans\"}}");
+  // Control-plane guard activity renders on its own named track so exemplar
+  // and request timelines can be visually overlaid on canary/freeze windows.
+  constexpr int32_t kControlTrack = 0x7fffffff;
+  emit(StrFormat("{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
+                 "\"name\": \"thread_name\", "
+                 "\"args\": {\"name\": \"control-plane\"}}",
+                 kControlTrack));
   auto close = [&](uint64_t id, const Open& o, uint64_t end_cycle) {
     emit(StrFormat(
         "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"span\", \"ts\": %.3f, "
@@ -590,7 +627,55 @@ std::string ToPerfettoSpanJson(const std::vector<TraceEvent>& events,
         static_cast<unsigned long long>(o.cycle)));
   };
   size_t requests = 0;
+  // One canary in flight at a time (group-wide swap freeze): begin opens the
+  // guard window, promote/rollback closes it.
+  bool guard_open = false;
+  uint64_t guard_begin = 0;
+  uint64_t guard_generation = 0;
+  auto close_guard = [&](const char* verdict, uint64_t end_cycle) {
+    if (!guard_open) {
+      return;
+    }
+    guard_open = false;
+    emit(StrFormat(
+        "{\"ph\": \"X\", \"name\": \"canary gen %llu (%s)\", "
+        "\"cat\": \"guard\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, "
+        "\"tid\": %d, \"args\": {\"generation\": %llu, \"verdict\": \"%s\"}}",
+        static_cast<unsigned long long>(guard_generation), verdict,
+        static_cast<double>(guard_begin) / cycles_per_us,
+        static_cast<double>(end_cycle - guard_begin) / cycles_per_us,
+        kControlTrack, static_cast<unsigned long long>(guard_generation),
+        verdict));
+  };
   for (const TraceEvent& event : events) {
+    if (event.type == TraceEventType::kCanaryBegin) {
+      guard_open = true;
+      guard_begin = event.cycle;
+      guard_generation = event.arg;
+      continue;
+    }
+    if (event.type == TraceEventType::kCanaryPromote) {
+      close_guard("promote", event.cycle);
+      continue;
+    }
+    if (event.type == TraceEventType::kCanaryRollback) {
+      close_guard("rollback", event.cycle);
+      emit(StrFormat("{\"ph\": \"i\", \"s\": \"g\", \"name\": \"rollback\", "
+                     "\"cat\": \"guard\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %d, \"args\": {\"generation\": %llu}}",
+                     static_cast<double>(event.cycle) / cycles_per_us,
+                     kControlTrack,
+                     static_cast<unsigned long long>(event.arg)));
+      continue;
+    }
+    if (event.type == TraceEventType::kWatchdogFire) {
+      emit(StrFormat("{\"ph\": \"i\", \"s\": \"g\", \"name\": \"watchdog\", "
+                     "\"cat\": \"guard\", \"ts\": %.3f, \"pid\": 0, "
+                     "\"tid\": %d, \"args\": {\"shard\": %d}}",
+                     static_cast<double>(event.cycle) / cycles_per_us,
+                     kControlTrack, event.ctx_id));
+      continue;
+    }
     if (event.type == TraceEventType::kSpanBegin) {
       auto it = open.find(event.ip);
       if (it != open.end()) {

@@ -41,9 +41,12 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/sparse_histogram.h"
 #include "src/obs/trace.h"
 
 namespace yieldhide::obs {
+
+class ExemplarReservoir;
 
 // Every end-to-end cycle of a completed request lands in exactly one class.
 // Keep in sync with SpanClassName().
@@ -102,6 +105,13 @@ class SpanCollector {
   // kTraceSpan) so the sink/drain machinery can stream them. Optional.
   void SetTrace(TraceRecorder* trace) { trace_ = trace; }
 
+  // Tail-exemplar capture: every finalized span is offered to the reservoir
+  // (threshold-gated, so steady-tail completions cost one compare). The
+  // reservoir's modeled insertion cost is folded into this collector's
+  // TakeUnchargedOverheadCycles, so the scheduler's existing safe-point
+  // charge covers both. Optional.
+  void SetExemplars(ExemplarReservoir* exemplars) { exemplars_ = exemplars; }
+
   bool enabled() const { return config_.enabled; }
 
   // ---- front-end hooks (ShardFrontEnd) ----------------------------------
@@ -157,6 +167,27 @@ class SpanCollector {
   void AggregateTotals(uint64_t out[kNumSpanClasses],
                        bool include_active) const;
 
+  // Per-class latency distribution over completed requests: each request's
+  // nonzero class totals are recorded into one histogram per span class at
+  // finalize, which is what the p50/p90/p99 columns in `yhc spans --top`
+  // quote. Merge across shards is concatenation (SparseHistogram::Merge).
+  const SparseHistogram& class_histogram(size_t cls) const {
+    return class_hist_[cls];
+  }
+
+  // ---- per-epoch attribution slices -------------------------------------
+  // Mirrors CycleProfiler::SnapshotEpoch: the owner (Shard) calls this at
+  // each epoch boundary; the slice stores CUMULATIVE class totals (active
+  // requests' partial segments included, so slices reconcile against the
+  // profiler's to the cycle) and the diff engine computes per-epoch deltas.
+  struct EpochSlice {
+    uint64_t epoch = 0;
+    uint64_t end_cycle = 0;
+    uint64_t class_totals[kNumSpanClasses] = {};
+  };
+  void SnapshotEpoch(uint64_t epoch, uint64_t now_cycles);
+  const std::vector<EpochSlice>& epoch_slices() const { return epoch_slices_; }
+
   // The exact-sum invariant, verified per completed request:
   // sum(classes) == complete_cycle - arrival_cycle. Also fails on any
   // attribution anomaly (negative segment / counter overshoot) observed
@@ -200,6 +231,7 @@ class SpanCollector {
 
   SpanCollectorConfig config_;
   TraceRecorder* trace_ = nullptr;
+  ExemplarReservoir* exemplars_ = nullptr;
 
   std::unordered_map<uint64_t, Active> active_;
   std::unordered_map<int32_t, uint64_t> scav_ctx_;  // ctx -> request id
@@ -217,6 +249,8 @@ class SpanCollector {
   std::vector<RequestSpan> completed_;
   uint64_t completed_count_ = 0;
   uint64_t class_totals_[kNumSpanClasses] = {};
+  SparseHistogram class_hist_[kNumSpanClasses];
+  std::vector<EpochSlice> epoch_slices_;
   uint64_t transitions_ = 0;
   uint64_t charged_transitions_ = 0;
   uint64_t anomalies_ = 0;  // attribution underflows (exactness is broken)

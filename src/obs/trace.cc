@@ -246,10 +246,45 @@ std::string ToChromeTraceJson(const TraceRecorder& recorder,
   // Process/thread naming metadata so viewers label the tracks.
   emit("{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
        "\"args\": {\"name\": \"yieldhide\"}}");
+  // Guard control windows (canary confirmation with its group-wide swap
+  // freeze) render as slices on a dedicated control-plane track, so request
+  // and exemplar timelines can be visually overlaid on guard activity.
+  constexpr int32_t kControlTrack = 0x7fffffff;
+  emit(StrFormat("{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
+                 "\"name\": \"thread_name\", "
+                 "\"args\": {\"name\": \"control-plane\"}}",
+                 kControlTrack));
+  bool guard_open = false;
+  uint64_t guard_begin = 0;
+  uint64_t guard_generation = 0;
+  auto close_guard = [&](const char* verdict, uint64_t end_cycle) {
+    if (!guard_open) {
+      return;
+    }
+    guard_open = false;
+    emit(StrFormat(
+        "{\"ph\": \"X\", \"name\": \"canary gen %llu (%s)\", "
+        "\"cat\": \"guard\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, "
+        "\"tid\": %d, \"args\": {\"generation\": %llu, \"verdict\": \"%s\"}}",
+        static_cast<unsigned long long>(guard_generation), verdict,
+        static_cast<double>(guard_begin) / cycles_per_us,
+        static_cast<double>(end_cycle - guard_begin) / cycles_per_us,
+        kControlTrack, static_cast<unsigned long long>(guard_generation),
+        verdict));
+  };
   for (const TraceEvent& event : events) {
     const double ts = static_cast<double>(event.cycle) / cycles_per_us;
     const char* name = TraceEventTypeName(event.type);
     const char* cat = TraceCategoryName(TraceEventCategory(event.type));
+    if (event.type == TraceEventType::kCanaryBegin) {
+      guard_open = true;
+      guard_begin = event.cycle;
+      guard_generation = event.arg;
+    } else if (event.type == TraceEventType::kCanaryPromote) {
+      close_guard("promote", event.cycle);
+    } else if (event.type == TraceEventType::kCanaryRollback) {
+      close_guard("rollback", event.cycle);
+    }
     switch (event.type) {
       case TraceEventType::kCoroSwitch:
       case TraceEventType::kYieldHidden:

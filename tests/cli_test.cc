@@ -375,6 +375,90 @@ TEST(CliTest, SloRunReportsBurnRatesPerShard) {
   EXPECT_NE(text.find("burn fast="), std::string::npos);
 }
 
+// --- tail diagnosis (`yhc why`) ----------------------------------------------
+
+TEST(CliTest, WhyWindowAndGenerationAreMutuallyExclusive) {
+  const CommandResult r =
+      RunYhc("why --window 0-1,2-3 --generation 0,1", "why_both_modes");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(
+                "yhc why: --window and --generation are mutually exclusive"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhySingleWindowExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("why --window 0-3", "why_one_window");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("--window expects two epoch windows "
+                               "'LO-HI,LO-HI', got '0-3'"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhyReversedEpochRangeExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("why --window 5-2,6-7", "why_reversed");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("reversed epoch range '5-2'"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhyMalformedEpochRangeExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("why --window 0-x,2-3", "why_malformed");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("bad epoch range '0-x' (expected N or LO-HI)"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhyBadGenerationSpecExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("why --generation 1", "why_one_generation");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find(
+                "--generation expects two generation ids 'G1,G2', got '1'"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhyUnknownFlagExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc("why --bogus 1", "why_bad_flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("yhc why: unknown flag '--bogus'"),
+            std::string::npos);
+}
+
+TEST(CliTest, WhyUnknownGenerationNamesTheServedOnes) {
+  // The static generation-id check happens after the run, because the set of
+  // served generations IS a run artifact; a bogus id must name the real ones.
+  const CommandResult r = RunYhc(
+      std::string("why --generation 0,9 ") + kSpanRun, "why_unknown_gen");
+  EXPECT_EQ(r.exit_code, 2) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("unknown generation 9 (run served generations"),
+            std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(CliTest, WhyOutOfRangeWindowExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc(
+      std::string("why --window 0-1,900-901 ") + kSpanRun, "why_oob_window");
+  EXPECT_EQ(r.exit_code, 2) << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("epoch 900 out of range"), std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(CliTest, WhyJsonDiagnosisIsValidAndCarriesTheCause) {
+  const std::string out = TempPath("why.json");
+  const CommandResult r = RunYhc(
+      std::string("why --json --out ") + out + " " + kSpanRun, "why_json");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"cause\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"baseline\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycle_classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"control_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+}
+
 TEST(CliTest, HelpListsSpansAndSloTopics) {
   const std::string out = TempPath("help.out");
   const CommandResult r = RunYhc(std::string("help > ") + out, "help_spans");

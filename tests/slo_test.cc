@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/slo/slo.h"
@@ -131,6 +132,123 @@ TEST(SloEvaluatorTest, AlertNeedsBothWindowsThenFiresOnceAndClears) {
   }
   EXPECT_EQ(fires, 1u);
   EXPECT_EQ(clears, 1u);
+}
+
+TEST(SloConfigTest, WindowShorterThanOneBucketIsRejectedByName) {
+  // Whole-bucket windowing cannot evaluate a window narrower than its own
+  // quantum; Validate must refuse it with the field named, never silently
+  // round the window up.
+  SloConfig config = SmallSlo();
+  config.fast_window_cycles = config.bucket_cycles - 1;
+  const Status fast = config.Validate();
+  EXPECT_FALSE(fast.ok());
+  EXPECT_NE(fast.ToString().find("fast_window_cycles must be >= bucket_cycles"),
+            std::string::npos)
+      << fast.ToString();
+  config = SmallSlo();
+  config.slow_window_cycles = config.fast_window_cycles - 1;
+  const Status slow = config.Validate();
+  EXPECT_FALSE(slow.ok());
+  EXPECT_NE(
+      slow.ToString().find("slow_window_cycles must be >= fast_window_cycles"),
+      std::string::npos)
+      << slow.ToString();
+}
+
+TEST(SloEvaluatorTest, WholeBucketWindowEdgeIsExclusive) {
+  // A bucket belongs to a window as long as any part of it overlaps
+  // (whole-bucket accounting). With the fast window one bucket wide, the
+  // bucket [0, 1000) contributes through now = 1999 and drops out exactly at
+  // now = 2000, when the window's left edge reaches the bucket's end.
+  SloConfig config = SmallSlo();
+  config.fast_burn_threshold = 100.0;  // keep the alert out of this test
+  config.slow_burn_threshold = 100.0;
+  SloEvaluator slo(config);
+  slo.Record(/*now=*/0, /*latency_cycles=*/1'000);  // bad bucket [0, 1000)
+  EXPECT_DOUBLE_EQ(slo.FastBurnRate(), 10.0);
+  // One cycle before the edge: fast window [999, 1999] still overlaps the
+  // bad bucket, so fast = (1 bad / 2 total) / 0.1 = 5.
+  slo.Record(1'999, 10);
+  EXPECT_DOUBLE_EQ(slo.FastBurnRate(), 5.0);
+  // Exactly at the edge: the window's left boundary is 1000 and the bucket
+  // ends at 1000 — no overlap, the bad record vanishes from fast...
+  slo.Record(2'000, 10);
+  EXPECT_DOUBLE_EQ(slo.FastBurnRate(), 0.0);
+  // ...while the slow window (4000) still holds it: (1/3)/0.1.
+  EXPECT_DOUBLE_EQ(slo.SlowBurnRate(), (1.0 / 3.0) / 0.1);
+}
+
+TEST(SloEvaluatorTest, AlertEvaluatedExactlyAtABucketEdge) {
+  SloEvaluator slo(SmallSlo());
+  // Healthy bucket [0, 1000).
+  for (int i = 0; i < 10; ++i) {
+    slo.Record(i * 100ull, 10);
+  }
+  // Bad records with `now` sitting exactly on the bucket boundary 2000. The
+  // fast window's left edge lands on the healthy bucket's end, so it sees
+  // only the bad bucket (burn 10 >= 5 immediately); the slow window still
+  // holds the healthy history, crossing 2.0 at the third bad record:
+  // (3/13)/0.1 = 2.31. The alert therefore fires with the evaluation stamp
+  // exactly on the edge.
+  slo.Record(2'000, 1'000);
+  EXPECT_DOUBLE_EQ(slo.FastBurnRate(), 10.0);
+  EXPECT_FALSE(slo.alert_active());
+  slo.Record(2'000, 1'000);
+  EXPECT_FALSE(slo.alert_active());
+  slo.Record(2'000, 1'000);
+  EXPECT_TRUE(slo.alert_active());
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+  EXPECT_DOUBLE_EQ(slo.SlowBurnRate(), (3.0 / 13.0) / 0.1);
+}
+
+TEST(SloEvaluatorTest, TrimDropsABucketExactlyAtTheSlowHorizon) {
+  // The rolling store trims a bucket once it can no longer overlap the slow
+  // window: front.start + bucket_cycles <= now - slow_window_cycles. At
+  // now = 4999 the horizon is 999 and the bucket [0, 1000) survives (and
+  // still counts); at now = 5000 the horizon reaches its end and it is
+  // dropped in the same Record call that observes the edge.
+  SloConfig config = SmallSlo();
+  config.fast_burn_threshold = 100.0;
+  config.slow_burn_threshold = 100.0;
+  SloEvaluator slo(config);
+  slo.Record(0, 1'000);  // bad bucket [0, 1000)
+  slo.Record(4'999, 10);
+  EXPECT_DOUBLE_EQ(slo.SlowBurnRate(), 5.0);  // (1/2)/0.1
+  slo.Record(5'000, 10);
+  EXPECT_DOUBLE_EQ(slo.SlowBurnRate(), 0.0);
+  EXPECT_DOUBLE_EQ(slo.FastBurnRate(), 0.0);
+  // Lifetime counters are unaffected by trimming.
+  EXPECT_EQ(slo.total(), 3u);
+  EXPECT_EQ(slo.bad(), 1u);
+}
+
+TEST(SloEvaluatorTest, FireThenImmediateClearOnTheVeryNextRecord) {
+  SloEvaluator slo(SmallSlo());
+  TraceRecorder recorder;  // default mask includes kTraceSlo
+  slo.SetTrace(&recorder, /*shard=*/3);
+  // A single all-bad bucket fires both windows at once: (1/1)/0.1 = 10.
+  slo.Record(0, 1'000);
+  ASSERT_TRUE(slo.alert_active());
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+  // The very next record lands after the bad bucket has rolled out of even
+  // the slow window (horizon 1200 >= bucket end 1000). There is no minimum
+  // hold time in the hysteresis: fire and clear on consecutive records is
+  // legal and must produce exactly one fire and one clear, in that order.
+  slo.Record(5'200, 10);
+  EXPECT_FALSE(slo.alert_active());
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+  EXPECT_EQ(slo.alerts_cleared(), 1u);
+
+  std::vector<TraceEventType> slo_events;
+  for (const TraceEvent& event : recorder.Events()) {
+    if (event.type == TraceEventType::kSloAlertFire ||
+        event.type == TraceEventType::kSloAlertClear) {
+      slo_events.push_back(event.type);
+    }
+  }
+  ASSERT_EQ(slo_events.size(), 2u);
+  EXPECT_EQ(slo_events[0], TraceEventType::kSloAlertFire);
+  EXPECT_EQ(slo_events[1], TraceEventType::kSloAlertClear);
 }
 
 TEST(SloEvaluatorTest, ClearRequiresBothWindowsBelowThreshold) {

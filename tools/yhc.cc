@@ -21,6 +21,7 @@
 //
 // All flag parsing goes through cli::Options (src/cli/options.h): declarative
 // typed accessors, named "bad --flag" errors, exit 2 on usage problems.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +43,8 @@
 #include "src/faultinject/serving_faults.h"
 #include "src/instrument/side_table_io.h"
 #include "src/isa/assembler.h"
+#include "src/obs/diff/diff.h"
+#include "src/obs/exemplar/exemplar.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler/export.h"
 #include "src/obs/profiler/profiler.h"
@@ -1194,7 +1197,10 @@ int RunSpanServeScenario(Options& options, const obs::SloConfig& slo_config,
   // drain, not a post-run snapshot — same machinery `yhc profile` exercises.
   obs::TraceConfig trace_config;
   trace_config.capacity = 1 << 12;
-  trace_config.mask = obs::kTraceSpan | obs::kTraceSlo;
+  // Guard rides along so `--perfetto` renders canary confirmation windows as
+  // control-plane track slices over the request timelines (trace.cc / span.cc
+  // share the state machine); with adaptation off the category is just empty.
+  trace_config.mask = obs::kTraceSpan | obs::kTraceSlo | obs::kTraceGuard;
   obs::TraceRecorder recorder(trace_config);
   recorder.SetSink([out](const obs::TraceEvent& event) {
     out->span_events.push_back(event);
@@ -1381,6 +1387,402 @@ int CmdSlo(Options& options) {
   return EmitDocument(options, doc);
 }
 
+// `yhc why` scenario: the open-loop serving loop of RunSpanServeScenario with
+// a planted mid-stream workload flip (--severity/--flip) and, optionally,
+// adaptation + the guard + injected serving faults (--adapt/--guard/--fault)
+// so the diagnosis has both failure modes to tell apart. Every diagnostic
+// feed rides along per shard: a CycleProfiler with per-site epoch snapshots,
+// a SpanCollector with per-epoch span slices, and a tail ExemplarReservoir.
+struct WhyScenarioResult {
+  std::vector<std::unique_ptr<obs::SpanCollector>> collectors;
+  std::vector<std::unique_ptr<obs::SloEvaluator>> evaluators;
+  std::vector<std::unique_ptr<obs::CycleProfiler>> profilers;
+  std::vector<std::unique_ptr<obs::ExemplarReservoir>> exemplars;
+  std::vector<obs::TraceEvent> events;  // drained span/SLO/guard stream
+  adapt::GroupReport report;
+  double cycles_per_ns = 1.0;
+};
+
+int RunWhyScenario(Options& options, WhyScenarioResult* out) {
+  const uint64_t shards = options.PositiveU64("shards", 1);
+  const uint64_t epoch = options.PositiveU64("epoch", 8);
+  const uint64_t nodes = options.PositiveU64("nodes", 1 << 16);
+  const uint64_t steps = options.PositiveU64("steps", 300);
+  const double severity = options.UnitDouble("severity", 1.0);
+  const uint64_t flip = options.U64("flip", 40);
+  const uint64_t adapt_on = options.U64("adapt", 0);
+  const uint64_t guard_on = options.U64("guard", 0);
+  const double threshold = options.Double("threshold", 0.25);
+  const std::string fault_list = options.Str("fault", "");
+  const std::string arrival =
+      options.Choice("arrival", "poisson", {"poisson", "burst"});
+  const double rate = options.PositiveDouble("rate", 0.02);
+  const uint64_t duration = options.PositiveU64("duration", 4'000'000);
+  const uint64_t seed = options.PositiveU64("seed", 1);
+  const uint64_t queue_cap = options.PositiveU64("queue-cap", 32);
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+
+  auto scenario =
+      BuildAdaptScenario(nodes, steps, severity, static_cast<int>(flip));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const workloads::PhasedChase& chase = scenario->chase;
+  out->cycles_per_ns = scenario->pipeline.machine.cycles_per_ns;
+
+  adapt::ServerGroupConfig config;
+  config.shards = shards;
+  config.shard.controller.pipeline = scenario->pipeline;
+  config.shard.controller.drift_threshold = threshold;
+  config.shard.tasks_per_epoch = static_cast<int>(epoch);
+  config.shard.adapt_enabled = adapt_on != 0;
+  config.shard.scale_pool = adapt_on != 0;
+  config.shard.dual.max_scavengers = 4;
+  config.shard.dual.hide_window_cycles = 300;
+  config.guard.enabled = guard_on != 0;
+  if (guard_on != 0) {
+    config.guard.confirmation_window = 2;
+    config.guard.consult_slo = true;
+  }
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  if (!fault_list.empty()) {
+    auto specs = faultinject::ParseFaultList(fault_list);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "yhc why: %s\n", specs.status().ToString().c_str());
+      return 2;
+    }
+    auto hooks = faultinject::MakeServingFaultHooks(
+        *specs, static_cast<isa::Addr>(chase.program().size()));
+    if (!hooks.ok()) {
+      std::fprintf(stderr, "yhc why: %s\n", hooks.status().ToString().c_str());
+      return 2;
+    }
+    config.fault_hooks = std::move(hooks).value();
+  }
+
+  obs::TraceConfig trace_config;
+  trace_config.capacity = 1 << 12;
+  trace_config.mask = obs::kTraceSpan | obs::kTraceSlo | obs::kTraceGuard;
+  obs::TraceRecorder recorder(trace_config);
+  recorder.SetSink([out](const obs::TraceEvent& event) {
+    out->events.push_back(event);
+  });
+
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (uint64_t s = 0; s < shards; ++s) {
+    machines.push_back(
+        std::make_unique<sim::Machine>(scenario->pipeline.machine));
+    chase.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+
+  adapt::ServerGroup group(&chase.program(), scenario->stale, machine_ptrs,
+                           config);
+  group.SetObservability(&recorder, nullptr);
+
+  serve::FrontEndConfig fe;
+  fe.arrival.kind = arrival == "burst" ? serve::ArrivalConfig::Kind::kBurst
+                                       : serve::ArrivalConfig::Kind::kPoisson;
+  fe.arrival.rate_per_kcycle = rate;
+  fe.arrival.horizon_cycles = duration;
+  fe.queue_capacity = queue_cap;
+  fe.scavengers_serve = true;
+  std::vector<std::unique_ptr<serve::ShardFrontEnd>> fronts;
+  for (uint64_t s = 0; s < shards; ++s) {
+    serve::FrontEndConfig shard_fe = fe;
+    shard_fe.arrival.seed = seed + s;
+    shard_fe.id_seed = seed + s;
+    const Status fe_valid = shard_fe.Validate();
+    if (!fe_valid.ok()) {
+      std::fprintf(stderr, "yhc why: %s\n", fe_valid.ToString().c_str());
+      return 2;
+    }
+    fronts.push_back(std::make_unique<serve::ShardFrontEnd>(
+        shard_fe,
+        [&chase](uint64_t id) {
+          return chase.SetupFor(static_cast<int>(id));
+        },
+        &recorder, nullptr, obs::Labels{}));
+    obs::CycleProfilerConfig prof_config;
+    prof_config.epoch_site_snapshots = true;  // per-site deltas need slices
+    out->profilers.push_back(
+        std::make_unique<obs::CycleProfiler>(prof_config));
+    group.SetProfiler(s, out->profilers.back().get());
+    out->collectors.push_back(std::make_unique<obs::SpanCollector>());
+    out->collectors.back()->SetTrace(&recorder);
+    out->exemplars.push_back(std::make_unique<obs::ExemplarReservoir>());
+    out->collectors.back()->SetExemplars(out->exemplars.back().get());
+    out->evaluators.push_back(
+        std::make_unique<obs::SloEvaluator>(obs::SloConfig{}));
+    out->evaluators.back()->SetTrace(&recorder, static_cast<int32_t>(s));
+    fronts.back()->SetSpanCollector(out->collectors.back().get());
+    fronts.back()->SetSloEvaluator(out->evaluators.back().get());
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+    group.SetSpanCollector(s, out->collectors.back().get());
+    group.SetSloEvaluator(s, out->evaluators.back().get());
+    group.SetExemplar(s, out->exemplars.back().get());
+  }
+
+  auto report = group.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "why scenario failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  recorder.DrainToSink();
+  out->report = std::move(report).value();
+
+  for (uint64_t s = 0; s < shards; ++s) {
+    const Status exact = out->collectors[s]->VerifyExactness();
+    if (!exact.ok()) {
+      std::fprintf(stderr, "internal error: span exactness broken: %s\n",
+                   exact.ToString().c_str());
+      return 1;
+    }
+    const Status ex_exact = out->exemplars[s]->VerifyExactness();
+    if (!ex_exact.ok()) {
+      std::fprintf(stderr, "internal error: exemplar exactness broken: %s\n",
+                   ex_exact.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Automated "why is p99 up?" diagnosis (docs/OBSERVABILITY.md): diff the
+// per-epoch cycle/span taxonomies between two windows, rank the regressing
+// original-binary sites and classes, join control-plane events, and classify
+// the regression as workload-drift / control-plane-induced / unattributed,
+// with the retained tail exemplars from the current window as evidence.
+int CmdWhy(Options& options) {
+  const std::string window_spec = options.Str("window", "");
+  const std::string generation_spec = options.Str("generation", "");
+  options.RejectUnknownFlags(
+      "why", {"window", "generation", "json", "out", "shards", "epoch",
+              "nodes", "steps", "arrival", "rate", "duration", "seed",
+              "queue-cap", "severity", "flip", "adapt", "guard", "threshold",
+              "fault"});
+  if (!options.ok()) {
+    return options.UsageError();
+  }
+  if (!options.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: yhc why [--window LO-HI,LO-HI | --generation G1,G2] "
+                 "[--json] [--out <path>] [serve scenario flags]\n");
+    return 2;
+  }
+  if (!window_spec.empty() && !generation_spec.empty()) {
+    std::fprintf(stderr,
+                 "yhc why: --window and --generation are mutually exclusive\n");
+    return 2;
+  }
+
+  // Parse --window before paying for the run: two epoch sets split on the
+  // LAST comma, so each side can itself be a range ("0-3,8-11").
+  obs::EpochSet baseline, current;
+  bool windows_from_flag = false;
+  if (!window_spec.empty()) {
+    const size_t comma = window_spec.rfind(',');
+    if (comma == std::string::npos || comma == 0 ||
+        comma + 1 >= window_spec.size()) {
+      std::fprintf(stderr,
+                   "yhc why: --window expects two epoch windows "
+                   "'LO-HI,LO-HI', got '%s'\n",
+                   window_spec.c_str());
+      return 2;
+    }
+    auto base = obs::ParseEpochSet(window_spec.substr(0, comma));
+    if (!base.ok()) {
+      std::fprintf(stderr, "yhc why: %s\n", base.status().ToString().c_str());
+      return 2;
+    }
+    auto cur = obs::ParseEpochSet(window_spec.substr(comma + 1));
+    if (!cur.ok()) {
+      std::fprintf(stderr, "yhc why: %s\n", cur.status().ToString().c_str());
+      return 2;
+    }
+    baseline = std::move(base).value();
+    current = std::move(cur).value();
+    windows_from_flag = true;
+  }
+  int gen_baseline = -1, gen_current = -1;
+  if (!generation_spec.empty()) {
+    char extra = '\0';
+    if (std::sscanf(generation_spec.c_str(), "%d,%d%c", &gen_baseline,
+                    &gen_current, &extra) != 2) {
+      std::fprintf(stderr,
+                   "yhc why: --generation expects two generation ids "
+                   "'G1,G2', got '%s'\n",
+                   generation_spec.c_str());
+      return 2;
+    }
+  }
+
+  WhyScenarioResult result;
+  const int run = RunWhyScenario(options, &result);
+  if (run != 0) {
+    return run;
+  }
+
+  obs::DiffEngine engine;
+  for (size_t s = 0; s < result.collectors.size(); ++s) {
+    engine.AddShard(result.profilers[s].get(), result.collectors[s].get());
+  }
+  const size_t epochs = engine.epoch_count();
+  if (epochs < 2) {
+    std::fprintf(stderr,
+                 "yhc why: run produced %zu epoch slice(s); need at least 2 "
+                 "to diff (raise --duration or --rate)\n",
+                 epochs);
+    return 1;
+  }
+
+  // Guard decisions carry their group epoch directly; SLO alert fire/clear
+  // events carry a cycle stamp the engine maps onto the firing shard's epoch
+  // timeline. Both join the report; only guard ACTIONS can flip the cause.
+  for (const adapt::GuardEvent& event : result.report.guard_log) {
+    obs::ControlEvent control;
+    control.epoch = event.epoch;
+    control.shard = event.shard;
+    control.generation_id = event.generation_id;
+    switch (event.kind) {
+      case adapt::GuardEventKind::kCanaryBegin:
+        control.kind = obs::ControlEvent::Kind::kCanaryBegin;
+        break;
+      case adapt::GuardEventKind::kPromote:
+        control.kind = obs::ControlEvent::Kind::kCanaryPromote;
+        break;
+      case adapt::GuardEventKind::kRollback:
+        control.kind = obs::ControlEvent::Kind::kCanaryRollback;
+        break;
+      case adapt::GuardEventKind::kPoisonBlocked:
+        control.kind = obs::ControlEvent::Kind::kPoisonBlocked;
+        break;
+      case adapt::GuardEventKind::kRebuildRetry:
+        control.kind = obs::ControlEvent::Kind::kRebuildRetry;
+        break;
+      case adapt::GuardEventKind::kWatchdogFire:
+        control.kind = obs::ControlEvent::Kind::kWatchdogFire;
+        break;
+      case adapt::GuardEventKind::kSloVeto:
+        control.kind = obs::ControlEvent::Kind::kSloVeto;
+        break;
+      case adapt::GuardEventKind::kStoreFallback:
+        continue;  // load-time artifact, not an epoch-window action
+    }
+    engine.AddControlEvent(control);
+  }
+  for (const obs::TraceEvent& event : result.events) {
+    if (event.type != obs::TraceEventType::kSloAlertFire &&
+        event.type != obs::TraceEventType::kSloAlertClear) {
+      continue;
+    }
+    obs::ControlEvent control;
+    control.kind = event.type == obs::TraceEventType::kSloAlertFire
+                       ? obs::ControlEvent::Kind::kSloAlertFire
+                       : obs::ControlEvent::Kind::kSloAlertClear;
+    control.shard = event.ctx_id >= 0 ? static_cast<size_t>(event.ctx_id) : 0;
+    control.cycle = event.cycle;
+    auto mapped = engine.EpochForCycle(control.shard, event.cycle);
+    if (!mapped.ok()) {
+      continue;
+    }
+    control.epoch = mapped.value();
+    engine.AddControlEvent(control);
+  }
+
+  if (!generation_spec.empty()) {
+    // A generation's window is every epoch any shard spent serving it.
+    auto epochs_of = [&result](int generation) {
+      obs::EpochSet set;
+      for (const adapt::AdaptReport& shard : result.report.shards) {
+        for (const adapt::EpochTelemetry& epoch : shard.epochs) {
+          if (epoch.generation_id == generation) {
+            set.epochs.push_back(epoch.epoch);
+          }
+        }
+      }
+      std::sort(set.epochs.begin(), set.epochs.end());
+      set.epochs.erase(std::unique(set.epochs.begin(), set.epochs.end()),
+                       set.epochs.end());
+      return set;
+    };
+    baseline = epochs_of(gen_baseline);
+    current = epochs_of(gen_current);
+    std::set<int> served;
+    for (const adapt::AdaptReport& shard : result.report.shards) {
+      for (const adapt::EpochTelemetry& epoch : shard.epochs) {
+        served.insert(epoch.generation_id);
+      }
+    }
+    std::string known;
+    for (const int generation : served) {
+      if (!known.empty()) {
+        known += ",";
+      }
+      known += std::to_string(generation);
+    }
+    if (baseline.epochs.empty()) {
+      std::fprintf(stderr,
+                   "yhc why: unknown generation %d (run served generations "
+                   "%s)\n",
+                   gen_baseline, known.c_str());
+      return 2;
+    }
+    if (current.epochs.empty()) {
+      std::fprintf(stderr,
+                   "yhc why: unknown generation %d (run served generations "
+                   "%s)\n",
+                   gen_current, known.c_str());
+      return 2;
+    }
+  } else if (!windows_from_flag) {
+    // Default: first half vs second half of the run — "it was fine this
+    // morning" as an epoch split.
+    for (size_t e = 0; e < epochs / 2; ++e) {
+      baseline.epochs.push_back(e);
+    }
+    for (size_t e = epochs / 2; e < epochs; ++e) {
+      current.epochs.push_back(e);
+    }
+  }
+
+  auto report = engine.Diff(baseline, current);
+  if (!report.ok()) {
+    std::fprintf(stderr, "yhc why: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<const obs::ExemplarReservoir*> reservoirs;
+  for (const auto& reservoir : result.exemplars) {
+    reservoirs.push_back(reservoir.get());
+  }
+  const std::vector<obs::Exemplar> supporting =
+      obs::SupportingExemplars(reservoirs, report->current,
+                               /*max_exemplars=*/3);
+  std::string doc;
+  if (options.Has("json")) {
+    doc = obs::ToDiffJson(*report, supporting);
+    const Status valid_json = obs::ValidateJson(doc);
+    if (!valid_json.ok()) {
+      std::fprintf(stderr, "internal error: diagnosis is not valid JSON: %s\n",
+                   valid_json.ToString().c_str());
+      return 1;
+    }
+  } else {
+    doc = obs::ToDiffText(*report, supporting);
+  }
+  return EmitDocument(options, doc);
+}
+
 // Cycle-domain flight recording: run the adaptation scenario with a
 // TraceRecorder attached and export Chrome trace-event JSON (loadable in
 // Perfetto / chrome://tracing).
@@ -1536,6 +1938,15 @@ void PrintUsage(std::FILE* out) {
                "        SLO burn-rate monitoring over the same scenario:\n"
                "        multi-window burn rates, alert fire/clear counts,\n"
                "        per-shard compliance (docs/OBSERVABILITY.md)\n"
+               "  why [--window LO-HI,LO-HI | --generation G1,G2] [--json]\n"
+               "        [--out <path>] [--severity X] [--flip N] [--adapt 0|1]\n"
+               "        [--guard 0|1] [--fault <class:sev>] [serve flags]\n"
+               "        automated \"why is p99 up?\" diagnosis: diff the\n"
+               "        per-epoch cycle/span taxonomies between two windows,\n"
+               "        rank regressing sites and classes, join control-plane\n"
+               "        events, and classify the regression as workload-drift\n"
+               "        / control-plane-induced / unattributed, with tail\n"
+               "        exemplars as evidence (docs/OBSERVABILITY.md)\n"
                "  help [command]                      this text\n"
                "common flags: --reg N=V, --ring base,lines,stride, --max-insns N\n");
 }
@@ -1549,7 +1960,8 @@ int CmdHelp(Options& options) {
   static const char* kCommands[] = {"asm",        "dis",   "cfg",     "interval",
                                     "run",        "profile", "instrument",
                                     "chaos",      "adapt", "serve",   "trace",
-                                    "metrics",    "spans", "slo",     "help"};
+                                    "metrics",    "spans", "slo",     "why",
+                                    "help"};
   if (!options.positional().empty()) {
     const std::string& topic = options.positional().front();
     bool known = false;
@@ -1622,6 +2034,9 @@ int main(int argc, char** argv) {
   }
   if (command == "slo") {
     return CmdSlo(*options);
+  }
+  if (command == "why") {
+    return CmdWhy(*options);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     return CmdHelp(*options);
