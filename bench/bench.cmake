@@ -33,3 +33,4 @@ yh_bench(bench_s1_serving)
 yh_bench(bench_o2_attribution)
 yh_bench(bench_o3_spans)
 yh_bench(bench_o4_diagnosis)
+yh_bench(bench_q1_tenants)

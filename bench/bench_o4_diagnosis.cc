@@ -253,6 +253,11 @@ obs::DiffEngine BuildEngine(const PointOutcome& outcome) {
         break;
       case adapt::GuardEventKind::kStoreFallback:
         continue;  // load-time artifact, not an epoch-window action
+      case adapt::GuardEventKind::kTenantQuarantine:
+      case adapt::GuardEventKind::kTenantVeto:
+        // Tenant-policy actions route evidence and vetoes, not generations;
+        // the veto's effect arrives as the kRollback it forces.
+        continue;
     }
     engine.AddControlEvent(control);
   }

@@ -53,6 +53,10 @@ const char* GuardEventKindName(GuardEventKind kind) {
       return "store_fallback";
     case GuardEventKind::kSloVeto:
       return "slo_veto";
+    case GuardEventKind::kTenantQuarantine:
+      return "tenant_quarantine";
+    case GuardEventKind::kTenantVeto:
+      return "tenant_veto";
   }
   return "unknown";
 }

@@ -86,6 +86,9 @@ enum class GuardEventKind : uint8_t {
   kWatchdogFire,    // stalled shard shed its swap slot
   kStoreFallback,   // persisted store rejected; cold start
   kSloVeto,         // healthy verdict overridden by an active SLO burn alert
+  kTenantQuarantine,  // a background tenant's drift was isolated group-wide
+  kTenantVeto,      // promotion vetoed: canary pushed a foreground tenant
+                    // with a declared budget from within-budget to over
 };
 
 const char* GuardEventKindName(GuardEventKind kind);

@@ -164,6 +164,60 @@ Result<profile::ProfileData> LoadStoreFile(const std::string& path) {
 void SharedProfileStore::BeginEpoch() {
   ++epochs_;
   loads_.Decay(config_.decay, config_.min_site_executions);
+  // Tenant drift forgets at the evidence's rate; quarantine TTLs tick down
+  // once per GROUP epoch and expire by erasure (a re-offending tenant gets a
+  // fresh quarantine from the group's policy, not a lingering one).
+  for (auto& [name, drift] : tenant_drift_) {
+    drift *= config_.decay;
+  }
+  for (auto it = tenant_quarantine_.begin(); it != tenant_quarantine_.end();) {
+    if (it->second <= 1) {
+      it = tenant_quarantine_.erase(it);
+    } else {
+      --it->second;
+      ++it;
+    }
+  }
+}
+
+void SharedProfileStore::ObserveTenantDrift(const std::string& tenant,
+                                            double score) {
+  double& drift = tenant_drift_[tenant];
+  // Max-fold across the epoch's contributing shards: the group cares about
+  // the worst shard's view of this tenant, and max keeps the EWMA comparable
+  // to a single shard's drift score.
+  if (score > drift) {
+    drift = score;
+  }
+}
+
+double SharedProfileStore::TenantDrift(const std::string& tenant) const {
+  const auto it = tenant_drift_.find(tenant);
+  return it == tenant_drift_.end() ? 0.0 : it->second;
+}
+
+void SharedProfileStore::QuarantineTenant(const std::string& tenant,
+                                          uint64_t ttl_epochs) {
+  if (ttl_epochs == 0) {
+    return;
+  }
+  uint64_t& ttl = tenant_quarantine_[tenant];
+  if (ttl_epochs > ttl) {
+    ttl = ttl_epochs;
+  }
+}
+
+bool SharedProfileStore::TenantQuarantined(const std::string& tenant) const {
+  return tenant_quarantine_.count(tenant) != 0;
+}
+
+std::vector<std::string> SharedProfileStore::QuarantinedTenants() const {
+  std::vector<std::string> names;
+  names.reserve(tenant_quarantine_.size());
+  for (const auto& [name, ttl] : tenant_quarantine_) {
+    names.push_back(name);
+  }
+  return names;
 }
 
 void SharedProfileStore::Contribute(const profile::LoadProfile& epoch_evidence) {

@@ -14,7 +14,9 @@
 #ifndef YIELDHIDE_SRC_ADAPT_PROFILE_STORE_H_
 #define YIELDHIDE_SRC_ADAPT_PROFILE_STORE_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/profile/profile.h"
@@ -84,6 +86,26 @@ class SharedProfileStore {
   uint64_t contributions() const { return contributions_; }
   bool warm_started() const { return warm_started_; }
 
+  // ---- per-tenant drift isolation (multi-tenant QoS) ----------------------
+  // The store is the group-wide aggregation point, so it also carries the
+  // group-wide PER-TENANT drift view: each shard folds its per-tenant
+  // appearance scores in every epoch and the group reads the decayed EWMA
+  // when deciding whether one tenant — not the whole population — is the
+  // drift source. The same decay constant as the evidence applies, so the
+  // tenant view and the load view forget at the same rate.
+  void ObserveTenantDrift(const std::string& tenant, double score);
+  // Decayed per-epoch-max drift EWMA for `tenant` (0.0 if never observed).
+  double TenantDrift(const std::string& tenant) const;
+
+  // Tenant-scoped quarantine: while a tenant is quarantined its epoch
+  // evidence is EXCLUDED from Contribute() by the group, its drift cannot
+  // grow the group's swap appetite, and the TTL expires in BeginEpoch (group
+  // epochs, matching GuardConfig::poison_ttl_epochs semantics).
+  void QuarantineTenant(const std::string& tenant, uint64_t ttl_epochs);
+  bool TenantQuarantined(const std::string& tenant) const;
+  // Names with an active quarantine (stable map order), for reporting.
+  std::vector<std::string> QuarantinedTenants() const;
+
   // Cross-run persistence. The store rides in a ProfileData with an empty
   // block section: block structure belongs to the binary lineage (it is
   // re-derived from the original's control flow at every rebuild), not to
@@ -110,6 +132,11 @@ class SharedProfileStore {
   uint64_t epochs_ = 0;
   uint64_t contributions_ = 0;
   bool warm_started_ = false;
+  // tenant name -> decayed drift EWMA (this epoch's folds take the max of
+  // contributing shards before decaying next epoch).
+  std::map<std::string, double> tenant_drift_;
+  // tenant name -> group epochs of quarantine remaining.
+  std::map<std::string, uint64_t> tenant_quarantine_;
 };
 
 }  // namespace yieldhide::adapt

@@ -24,11 +24,26 @@
 #define YIELDHIDE_SRC_ADAPT_REQUEST_SOURCE_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/runtime/dual_mode.h"
 #include "src/sim/machine.h"
 
 namespace yieldhide::adapt {
+
+// Plain-data view of one tenant served by a source, so the adaptation layer
+// can reason about multi-tenant QoS (per-tenant drift attribution, tenant
+// quarantine, the guard's tenant veto) without depending on src/serve/
+// types. A tenant-blind source reports an empty vector and everything
+// downstream behaves exactly as before tenants existed.
+struct TenantSnapshot {
+  std::string name;
+  bool background = false;      // scavenger-class traffic (quarantine-eligible)
+  uint64_t completed = 0;       // requests completed so far
+  uint64_t p99_latency_cycles = 0;  // end-to-end p99 over completions (0=none)
+  uint64_t p99_budget_cycles = 0;   // declared budget (0 = none declared)
+};
 
 class RequestSource {
  public:
@@ -47,6 +62,30 @@ class RequestSource {
   // A scavenger left the pool: completed=true at halt (its request finished
   // at `now`), completed=false when a swap/rollback killed it mid-flight.
   virtual void OnScavengerRetire(int ctx_id, uint64_t now, bool completed) = 0;
+
+  // ---- tenant visibility (multi-tenant QoS; optional) ---------------------
+  // The tenants this source serves, in a stable order. Empty (the default)
+  // means the source is tenant-blind and the adaptation layer treats all
+  // traffic as one anonymous stream.
+  virtual std::vector<TenantSnapshot> Tenants() const { return {}; }
+  // Which tenant's request held the PRIMARY slot at `cycle` (index into
+  // Tenants()), or -1 when unknown. Adaptation evidence comes exclusively
+  // from primary-context PMU samples (OnlineProfile skips scavenger
+  // samples), and the primary serves one request at a time, so this single
+  // timeline attributes every drift-relevant sample to a tenant exactly.
+  virtual int TenantAtCycle(uint64_t cycle) const { return -1; }
+  // Attribution history before `cycle` is no longer needed (the shard folded
+  // those samples); the source may prune its timeline.
+  virtual void ForgetTenantTimelineBefore(uint64_t cycle) {}
+  // Quarantine actuation: the adaptation layer isolated (demoted=true) or
+  // released (demoted=false) this tenant. A demoted background tenant must
+  // stop occupying the PRIMARY slot while any non-demoted tenant still has
+  // traffic — scavenger-only service — so its never-adapted-for requests
+  // cannot head-of-line block foreground tenants behind the stale binary.
+  // Reconciled at every epoch boundary; default: ignore (a tenant-blind
+  // source has no tenants to demote).
+  virtual void SetTenantDemoted(const std::string& /*name*/,
+                                bool /*demoted*/) {}
 };
 
 }  // namespace yieldhide::adapt

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/strings.h"
+#include "src/obs/labels.h"
 #include "src/obs/sparse_histogram.h"
 
 namespace yieldhide::adapt {
@@ -92,6 +93,12 @@ Status ServerGroupConfig::Validate() const {
     return InvalidArgumentError("generation_reuse_epochs must be >= 0");
   }
   YH_RETURN_IF_ERROR(guard.Validate());
+  if (tenant_drift_threshold < 0.0) {
+    return InvalidArgumentError("tenant_drift_threshold must be >= 0");
+  }
+  if (tenant_quarantine_ttl_epochs < 1) {
+    return InvalidArgumentError("tenant_quarantine_ttl_epochs must be >= 1");
+  }
   return Status::Ok();
 }
 
@@ -102,13 +109,15 @@ std::string GroupReport::Summary() const {
       shards.size(), group_epochs, rebuilds, installs, reuse_installs,
       warm_started ? "yes" : "no");
   if (canaries + promotes + rollbacks + poison_blocked + rebuild_retries +
-          watchdog_fires + store_fallbacks >
+          watchdog_fires + store_fallbacks + tenant_quarantines +
+          tenant_vetoes >
       0) {
     out += StrFormat(
         "\nguard: canaries=%d promotes=%d rollbacks=%d poison_blocked=%d "
-        "rebuild_retries=%d watchdog_fires=%d store_fallbacks=%d",
+        "rebuild_retries=%d watchdog_fires=%d store_fallbacks=%d "
+        "tenant_quarantines=%d tenant_vetoes=%d",
         canaries, promotes, rollbacks, poison_blocked, rebuild_retries,
-        watchdog_fires, store_fallbacks);
+        watchdog_fires, store_fallbacks, tenant_quarantines, tenant_vetoes);
   }
   for (size_t i = 0; i < shards.size(); ++i) {
     out += StrFormat("\n[shard %zu] %s", i, shards[i].Summary().c_str());
@@ -218,7 +227,7 @@ Result<GroupReport> ServerGroup::Run() {
   for (size_t i = 0; i < config_.shards; ++i) {
     obs::Labels labels;
     if (multi) {
-      labels.emplace_back("shard", std::to_string(i));
+      labels = obs::LabelSet().Shard(i).Build();
     }
     shards.push_back(std::make_unique<Shard>(
         i, machines_[i], config_.shard, &controller_.current_generation(),
@@ -256,6 +265,11 @@ Result<GroupReport> ServerGroup::Run() {
     int generation_id = 0;
     const BinaryGeneration* previous = nullptr;  // rollback target
     uint64_t evidence_fingerprint = 0;
+    // Foreground tenants with a declared p99 budget on the canary shard and
+    // whether each was WITHIN budget when the canary armed. A tenant that
+    // was already over budget before the install cannot veto the promotion
+    // (the regression predates the canary).
+    std::vector<std::pair<std::string, bool>> tenant_within;
   } canary;
   GenerationHealth health(guard);
 
@@ -328,9 +342,72 @@ Result<GroupReport> ServerGroup::Run() {
       if (hooks.corrupt_evidence) {
         hooks.corrupt_evidence(group_epoch, evidence);
       }
-      store_.Contribute(evidence);
+      const Shard::EpochOutcome& epoch_out = outcome.value();
+      const bool tenant_aware =
+          config_.tenant_drift_threshold > 0.0 && !epoch_out.tenants.empty();
+      bool evidence_partitioned = false;
+      double swap_score = epoch_out.score.score;
+      if (tenant_aware) {
+        // Fold each tenant's appearance score into the store's decayed
+        // per-tenant drift view, then isolate any BACKGROUND tenant whose
+        // view crossed the threshold. Foreground tenants are never
+        // quarantined: their drift is the signal adaptation exists to serve.
+        for (const Shard::TenantEpochEvidence& t : epoch_out.tenants) {
+          store_.ObserveTenantDrift(t.name, t.score.score);
+        }
+        for (const Shard::TenantEpochEvidence& t : epoch_out.tenants) {
+          if (t.background && !store_.TenantQuarantined(t.name) &&
+              store_.TenantDrift(t.name) >= config_.tenant_drift_threshold) {
+            store_.QuarantineTenant(
+                t.name,
+                static_cast<uint64_t>(config_.tenant_quarantine_ttl_epochs));
+            ++report.tenant_quarantines;
+            log_guard(i, -1, GuardEventKind::kTenantQuarantine,
+                      obs::TraceEventType::kTenantQuarantine,
+                      machines_[i]->now(),
+                      static_cast<uint64_t>(store_.TenantDrift(t.name) * 1e6));
+          }
+        }
+        if (request_sources_[i] != nullptr) {
+          // Quarantine actuates on the serving path too: the front end
+          // demotes an isolated tenant to scavenger-only service until the
+          // TTL releases it. Reconciling every tenant at every boundary
+          // also handles release — the store's TTL expiry shows up here as
+          // demoted=false.
+          for (const Shard::TenantEpochEvidence& t : epoch_out.tenants) {
+            request_sources_[i]->SetTenantDemoted(
+                t.name, store_.TenantQuarantined(t.name));
+          }
+        }
+        bool any_quarantined = false;
+        for (const Shard::TenantEpochEvidence& t : epoch_out.tenants) {
+          if (store_.TenantQuarantined(t.name)) {
+            any_quarantined = true;
+            break;
+          }
+        }
+        if (any_quarantined) {
+          // A quarantined tenant's evidence never reaches the shared store —
+          // its phase change cannot shape the next rebuild — and the shard's
+          // swap appetite is judged on its best-behaved remaining traffic.
+          // Samples no tenant could be attributed to stay in: they are real
+          // evidence and no antagonist controls them.
+          evidence_partitioned = true;
+          swap_score = 0.0;
+          for (const Shard::TenantEpochEvidence& t : epoch_out.tenants) {
+            if (!store_.TenantQuarantined(t.name)) {
+              store_.Contribute(t.evidence);
+              swap_score = std::max(swap_score, t.score.score);
+            }
+          }
+          store_.Contribute(epoch_out.unattributed_evidence);
+        }
+      }
+      if (!evidence_partitioned) {
+        store_.Contribute(evidence);
+      }
       stagger.Observe(i, config_.shard.adapt_enabled &&
-                             outcome.value().score.score >=
+                             swap_score >=
                                  config_.shard.controller.drift_threshold);
       const uint64_t served = machines_[i]->now() - epoch_start;
       if (hooks.cursed_penalty > 0.0 &&
@@ -422,6 +499,38 @@ Result<GroupReport> ServerGroup::Run() {
                     obs::TraceEventType::kCanaryRollback,
                     machines_[canary.shard]->now(),
                     static_cast<uint64_t>(canary.generation_id));
+        }
+        if (promote && config_.tenant_drift_threshold > 0.0 &&
+            request_sources_[canary.shard] != nullptr &&
+            !canary.tenant_within.empty()) {
+          // Tenant budget veto: the canary may look healthy in aggregate
+          // while the regression landed entirely on one foreground tenant.
+          // Any tenant with a declared budget that was within it at arm time
+          // and is over it now condemns the promotion.
+          for (const TenantSnapshot& snap :
+               request_sources_[canary.shard]->Tenants()) {
+            if (snap.background || snap.p99_budget_cycles == 0) {
+              continue;
+            }
+            bool was_within = false;
+            for (const auto& [name, within] : canary.tenant_within) {
+              if (name == snap.name) {
+                was_within = within;
+                break;
+              }
+            }
+            if (was_within &&
+                snap.p99_latency_cycles > snap.p99_budget_cycles) {
+              promote = false;
+              ++report.tenant_vetoes;
+              log_guard(canary.shard, canary.generation_id,
+                        GuardEventKind::kTenantVeto,
+                        obs::TraceEventType::kCanaryRollback,
+                        machines_[canary.shard]->now(),
+                        static_cast<uint64_t>(canary.generation_id));
+              break;
+            }
+          }
         }
         Shard& shard = *shards[canary.shard];
         if (promote) {
@@ -595,6 +704,18 @@ Result<GroupReport> ServerGroup::Run() {
                 canary.generation_id = controller_.current_generation().id;
                 canary.previous = previous;
                 canary.evidence_fingerprint = fingerprint;
+                canary.tenant_within.clear();
+                if (config_.tenant_drift_threshold > 0.0 &&
+                    request_sources_[*chosen] != nullptr) {
+                  for (const TenantSnapshot& snap :
+                       request_sources_[*chosen]->Tenants()) {
+                    if (!snap.background && snap.p99_budget_cycles > 0) {
+                      canary.tenant_within.emplace_back(
+                          snap.name, snap.p99_latency_cycles <=
+                                         snap.p99_budget_cycles);
+                    }
+                  }
+                }
                 double fallback = 0.0;
                 if (!trailing_cpo[*chosen].empty()) {
                   for (const double cpo : trailing_cpo[*chosen]) {
@@ -670,6 +791,10 @@ Result<GroupReport> ServerGroup::Run() {
         ->Set(static_cast<uint64_t>(report.watchdog_fires));
     metrics_->GetCounter("yh_guard_slo_veto_total")
         ->Set(static_cast<uint64_t>(report.slo_vetoes));
+    metrics_->GetCounter("yh_guard_tenant_quarantine_total")
+        ->Set(static_cast<uint64_t>(report.tenant_quarantines));
+    metrics_->GetCounter("yh_guard_tenant_veto_total")
+        ->Set(static_cast<uint64_t>(report.tenant_vetoes));
     metrics_->GetCounter("yh_store_load_fallback_total")
         ->Set(static_cast<uint64_t>(report.store_fallbacks));
   }

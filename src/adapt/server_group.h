@@ -86,6 +86,19 @@ struct ServerGroupConfig {
   // watchdog. Disabled by default — an unguarded group behaves exactly as
   // before this layer existed.
   GuardConfig guard;
+  // Per-tenant drift isolation (multi-tenant QoS). 0.0 disables it: the
+  // group is tenant-blind and behaves bit-identically to before tenants
+  // existed. When > 0, each shard's per-tenant appearance scores fold into
+  // the store's decayed per-tenant drift view; a BACKGROUND tenant whose
+  // view crosses this threshold is QUARANTINED — its epoch evidence stops
+  // feeding the store, and while any tenant is quarantined a shard's swap
+  // appetite is judged on its max NON-quarantined tenant score instead of
+  // the blended one, so an antagonist's phase change cannot trigger a
+  // group-wide swap. The guard additionally vetoes promoting a canary that
+  // pushed a foreground tenant with a declared budget over it.
+  double tenant_drift_threshold = 0.0;
+  // Group epochs a tenant quarantine lasts (mirrors guard.poison_ttl_epochs).
+  int tenant_quarantine_ttl_epochs = 16;
   // Chaos testing only: injected serving-layer faults (benches, `yhc serve
   // --fault`). Empty hooks in production.
   faultinject::ServingFaultHooks fault_hooks;
@@ -119,6 +132,8 @@ struct GroupReport {
   int watchdog_fires = 0;
   int store_fallbacks = 0;  // corrupt/truncated store files rejected at load
   int slo_vetoes = 0;       // healthy canaries rolled back on a burn alert
+  int tenant_quarantines = 0;  // background tenants isolated for drift
+  int tenant_vetoes = 0;    // promotions vetoed on a tenant budget regression
   std::vector<GuardEvent> guard_log;
 
   std::string Summary() const;

@@ -196,8 +196,10 @@ void Shard::OpenBoundary(bool adapting, profile::LoadProfile* epoch_evidence) {
   }
 
   online_.BeginEpoch();
-  online_.ObserveSamples(session_->DrainAllSamples(), periods_,
-                         generation_->backmap, epoch_evidence);
+  const std::vector<pmu::PebsSample> samples = session_->DrainAllSamples();
+  online_.ObserveSamples(samples, periods_, generation_->backmap,
+                         epoch_evidence);
+  FoldTenantSamples(samples);
 
   // Drift is scored against THIS shard's generation: its reference profile
   // and site index describe the binary actually serving here, which may lag
@@ -214,6 +216,55 @@ void Shard::OpenBoundary(bool adapting, profile::LoadProfile* epoch_evidence) {
                    static_cast<int32_t>(id_), 0,
                    static_cast<uint64_t>(score.score * 1e6 + 0.5));
   }
+}
+
+void Shard::FoldTenantSamples(const std::vector<pmu::PebsSample>& samples) {
+  tenant_epoch_.clear();
+  unattributed_epoch_ = profile::LoadProfile{};
+  if (request_source_ == nullptr) {
+    return;
+  }
+  const std::vector<TenantSnapshot> snapshots = request_source_->Tenants();
+  if (snapshots.size() < 2) {
+    return;  // tenant-blind (or single-tenant) source: nothing to attribute
+  }
+  while (tenant_online_.size() < snapshots.size()) {
+    tenant_online_.emplace_back(config_.online);
+  }
+  // Partition the epoch's samples by which tenant's request held the primary
+  // slot when each fired. Scavenger-context samples land wherever the
+  // timeline says, and the per-tenant ObserveSamples skips them exactly like
+  // the aggregate fold does — only primary evidence drives drift.
+  std::vector<std::vector<pmu::PebsSample>> partition(snapshots.size());
+  std::vector<pmu::PebsSample> unattributed;
+  for (const pmu::PebsSample& sample : samples) {
+    const int tenant = request_source_->TenantAtCycle(sample.cycle);
+    if (tenant >= 0 && static_cast<size_t>(tenant) < partition.size()) {
+      partition[static_cast<size_t>(tenant)].push_back(sample);
+    } else {
+      unattributed.push_back(sample);
+    }
+  }
+  request_source_->ForgetTenantTimelineBefore(machine_->now());
+  static const std::map<isa::Addr, runtime::YieldSiteStats> kNoSiteStats;
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    TenantEpochEvidence evidence;
+    evidence.name = snapshots[i].name;
+    evidence.background = snapshots[i].background;
+    tenant_online_[i].BeginEpoch();
+    tenant_online_[i].ObserveSamples(partition[i], periods_,
+                                     generation_->backmap, &evidence.evidence);
+    // Appearance-only score (empty site stats): divergence is shared by all
+    // tenants' requests and cannot be attributed to one of them.
+    evidence.score = ComputeDriftScore(
+        generation_->reference_loads, tenant_online_[i].loads(),
+        generation_->site_index, kNoSiteStats, config_.controller.drift);
+    tenant_epoch_.push_back(std::move(evidence));
+  }
+  // The tenant-less remainder still feeds the store under quarantine.
+  OnlineProfile scratch(config_.online);
+  scratch.ObserveSamples(unattributed, periods_, generation_->backmap,
+                         &unattributed_epoch_);
 }
 
 Result<Shard::EpochOutcome> Shard::RunEpochTasks(
@@ -260,6 +311,9 @@ Result<Shard::EpochOutcome> Shard::RunEpochTasks(
   outcome.score.appearance = epoch_.drift_appearance;
   outcome.score.divergence = epoch_.drift_divergence;
   outcome.score.score = epoch_.drift;
+  outcome.tenants = std::move(tenant_epoch_);
+  outcome.unattributed_evidence = std::move(unattributed_epoch_);
+  tenant_epoch_.clear();
   return outcome;
 }
 

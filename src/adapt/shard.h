@@ -120,12 +120,35 @@ struct AdaptReport {
 
 class Shard {
  public:
+  // One tenant's slice of an epoch's drift evidence. Scores are
+  // APPEARANCE-ONLY (scored against an empty site-stats table): divergence
+  // compares the scheduler's per-site yield verdicts to promised miss rates,
+  // and yield sites are shared by every tenant's requests — it cannot be
+  // attributed to one tenant. Appearance (hot uninstrumented sites) can,
+  // because the attribution timeline maps every primary-context PMU sample
+  // to the tenant whose request held the primary slot when it fired.
+  struct TenantEpochEvidence {
+    std::string name;
+    bool background = false;
+    DriftScore score;
+    // This tenant's raw back-mapped samples (undecayed), so the group can
+    // EXCLUDE a quarantined tenant's evidence from the shared store.
+    profile::LoadProfile evidence;
+  };
+
   struct EpochOutcome {
     // True when a full tasks_per_epoch epoch completed and `score` is valid.
     // False means the queue ran dry mid-epoch — the shard is done serving
     // and any trailing partial epoch is flushed (telemetry-only) by Finish().
     bool boundary = false;
     DriftScore score;
+    // Per-tenant attribution, in the source's Tenants() order. Empty unless
+    // the request source serves more than one tenant.
+    std::vector<TenantEpochEvidence> tenants;
+    // Primary samples outside any attribution episode (e.g. fired while the
+    // event loop charged pipeline stages): tenant-less but still real
+    // evidence — contributed to the store even under quarantine.
+    profile::LoadProfile unattributed_evidence;
   };
 
   // `generation` is the binary this shard starts serving (it may lag the
@@ -219,6 +242,10 @@ class Shard {
   // Steps 1b-1d at the safe point: charge overhead, fold samples, score.
   void OpenBoundary(bool adapting, profile::LoadProfile* epoch_evidence);
 
+  // Per-tenant fold of the epoch's drained samples (multi-tenant sources
+  // only); fills tenant_epoch_ / unattributed_epoch_ for RunEpochTasks.
+  void FoldTenantSamples(const std::vector<pmu::PebsSample>& samples);
+
   const size_t id_;
   sim::Machine* machine_;
   AdaptiveServerConfig config_;
@@ -234,6 +261,11 @@ class Shard {
   obs::ExemplarReservoir* exemplar_ = nullptr;
   obs::Labels labels_;
   RequestSource* request_source_ = nullptr;
+  // Per-tenant decayed evidence (parallel to the source's Tenants() order;
+  // sized lazily at the first multi-tenant boundary).
+  std::vector<OnlineProfile> tenant_online_;
+  std::vector<TenantEpochEvidence> tenant_epoch_;
+  profile::LoadProfile unattributed_epoch_;
 
   double rate_scale_ = 1.0;
   int quiet_epochs_ = 0;

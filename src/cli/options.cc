@@ -60,6 +60,7 @@ Result<Options> Options::Parse(int argc, char** argv, const ParseSpec& spec) {
       options.rings_.push_back(value);
     } else {
       options.flags_[key] = value;
+      options.repeated_[key].push_back(value);
     }
   }
   return options;
@@ -75,6 +76,11 @@ std::string Options::Str(const std::string& name,
                          const std::string& fallback) const {
   auto it = flags_.find(name);
   return it == flags_.end() ? fallback : it->second;
+}
+
+std::vector<std::string> Options::StrList(const std::string& name) const {
+  auto it = repeated_.find(name);
+  return it == repeated_.end() ? std::vector<std::string>() : it->second;
 }
 
 uint64_t Options::U64(const std::string& name, uint64_t fallback) {

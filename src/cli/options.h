@@ -49,6 +49,10 @@ class Options {
   const std::vector<std::string>& positional() const { return positional_; }
   bool Has(const std::string& name) const { return flags_.count(name) != 0; }
   std::string Str(const std::string& name, const std::string& fallback) const;
+  // Every value given for a repeatable flag, in argv order (empty when the
+  // flag is absent). The scalar accessors above see only the LAST value —
+  // flags meant to be repeated (--tenant) must be read through this.
+  std::vector<std::string> StrList(const std::string& name) const;
 
   // Typed accessors. On a malformed (or out-of-policy) value they record the
   // named error — first failure wins — and return the fallback, so a command
@@ -89,6 +93,7 @@ class Options {
 
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> repeated_;
   std::vector<std::pair<int, uint64_t>> regs_;
   std::vector<std::string> rings_;
   std::string error_;

@@ -203,12 +203,18 @@ std::string ToExemplarJson(
         out += ",\n";
       }
       first = false;
+      // Tenant rides on the span; tenant-blind runs leave it empty and the
+      // export stays byte-identical to the pre-tenant format.
+      const std::string tenant_field =
+          e.span.tenant.empty()
+              ? std::string()
+              : StrFormat("\"tenant\": \"%s\", ", e.span.tenant.c_str());
       out += StrFormat(
-          "  {\"id\": %llu, \"shard\": %zu, \"window\": %llu, "
+          "  {\"id\": %llu, \"shard\": %zu, %s\"window\": %llu, "
           "\"latency\": %llu, \"generation\": %d, \"epoch\": %llu, "
           "\"quarantined\": %s, \"control_window\": %s, \"classes\": {",
           static_cast<unsigned long long>(e.span.id), shard_id,
-          static_cast<unsigned long long>(e.window),
+          tenant_field.c_str(), static_cast<unsigned long long>(e.window),
           static_cast<unsigned long long>(e.span.latency()),
           e.context.generation_id,
           static_cast<unsigned long long>(e.context.epoch),

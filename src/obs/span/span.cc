@@ -147,13 +147,15 @@ void SpanCollector::Transition(uint64_t id, SpanClass phase_class, int32_t ctx,
 }
 
 void SpanCollector::OnAdmit(uint64_t id, uint64_t arrival,
-                            uint64_t ingress_begin, uint64_t ingress_end) {
+                            uint64_t ingress_begin, uint64_t ingress_end,
+                            const std::string& tenant) {
   if (!config_.enabled) {
     return;
   }
   Active a;
   a.span.id = id;
   a.span.arrival_cycle = arrival;
+  a.span.tenant = tenant;
   a.phase = Phase::kQueued;
   AddWait(a, SpanClass::kIngressWait, arrival, ingress_begin);
   if (ingress_end >= ingress_begin) {
@@ -549,10 +551,16 @@ std::string ToSpanJson(const std::vector<const SpanCollector*>& shards) {
     first = false;
     out += StrFormat(
         "  {\"id\": %llu, \"latency\": %llu, \"scavenged\": %s, "
-        "\"requeues\": %u, \"classes\": {",
+        "\"requeues\": %u, ",
         static_cast<unsigned long long>(s.id),
         static_cast<unsigned long long>(s.latency()),
         s.scavenged ? "true" : "false", s.requeues);
+    if (!s.tenant.empty()) {
+      // Tenant names are [A-Za-z0-9_-] (TenantSpec::Validate), so emitting
+      // them unescaped keeps the output RFC-8259 clean.
+      out += StrFormat("\"tenant\": \"%s\", ", s.tenant.c_str());
+    }
+    out += "\"classes\": {";
     bool first_class = true;
     for (size_t i = 0; i < kNumSpanClasses; ++i) {
       if (s.classes[i] == 0) {

@@ -80,6 +80,9 @@ struct RequestSpan {
   uint64_t complete_cycle = 0;  // egress finished; latency measured here
   bool scavenged = false;       // final serving slot was a scavenger
   uint32_t requeues = 0;        // times a swap/rollback bounced it
+  // Owning tenant's name; empty in tenant-blind (single-tenant) runs, so
+  // their span exports stay byte-identical.
+  std::string tenant;
   uint64_t classes[kNumSpanClasses] = {};
 
   uint64_t latency() const { return complete_cycle - arrival_cycle; }
@@ -117,9 +120,10 @@ class SpanCollector {
   // ---- front-end hooks (ShardFrontEnd) ----------------------------------
   // Admission: the request arrived at `arrival`, the accept poll picked it
   // up at `ingress_begin`, and the ingress pipeline finished at
-  // `ingress_end`.
+  // `ingress_end`. `tenant` stamps the span with its owning tenant's name
+  // (empty = tenant-blind source; exports omit the field).
   void OnAdmit(uint64_t id, uint64_t arrival, uint64_t ingress_begin,
-               uint64_t ingress_end);
+               uint64_t ingress_end, const std::string& tenant = {});
   // Queue head handed to the scheduler as a primary task.
   void OnDispatchPrimary(uint64_t id, uint64_t now);
   // A queued request was bound to scavenger context `ctx`.

@@ -99,6 +99,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "slo_alert_fire";
     case TraceEventType::kSloAlertClear:
       return "slo_alert_clear";
+    case TraceEventType::kTenantQuarantine:
+      return "tenant_quarantine";
   }
   return "unknown";
 }
@@ -142,6 +144,8 @@ TraceCategory TraceEventCategory(TraceEventType type) {
     case TraceEventType::kSloAlertFire:
     case TraceEventType::kSloAlertClear:
       return kTraceSlo;
+    case TraceEventType::kTenantQuarantine:
+      return kTraceGuard;
   }
   return kTraceSched;
 }

@@ -96,6 +96,8 @@ enum class TraceEventType : uint8_t {
   kSloAlertFire,     // multi-window burn alert raised; arg = fast burn rate
                      // in millionths, ctx = shard
   kSloAlertClear,    // burn alert cleared; arg = fast burn rate in millionths
+  kTenantQuarantine,  // a tenant's drift was quarantined group-wide; ctx =
+                      // shard that reported it, arg = drift in millionths
 };
 
 const char* TraceEventTypeName(TraceEventType type);

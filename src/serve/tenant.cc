@@ -1,0 +1,92 @@
+#include "src/serve/tenant.h"
+
+#include <cmath>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace yieldhide::serve {
+
+const char* TenantSpec::ClassName() const {
+  return priority == Class::kBackground ? "bg" : "fg";
+}
+
+Status TenantSpec::Validate() const {
+  if (name.empty()) {
+    return InvalidArgumentError("tenant name must be non-empty");
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return InvalidArgumentError("tenant name '" + name +
+                                  "' may only use [A-Za-z0-9_-]");
+    }
+  }
+  if (!std::isfinite(share) || !(share > 0.0) || share > 1.0) {
+    return InvalidArgumentError("tenant '" + name +
+                                "' share must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+Result<TenantSpec> ParseTenantSpec(const std::string& spec) {
+  const auto parts = SplitString(spec, ':');
+  if (parts.size() < 3 || parts.size() > 4) {
+    return InvalidArgumentError("tenant spec '" + spec +
+                                "' wants name:class:share[:budget]");
+  }
+  TenantSpec tenant;
+  tenant.name = std::string(parts[0]);
+  const std::string cls(parts[1]);
+  if (cls == "fg" || cls == "foreground") {
+    tenant.priority = TenantSpec::Class::kForeground;
+  } else if (cls == "bg" || cls == "background") {
+    tenant.priority = TenantSpec::Class::kBackground;
+  } else {
+    return InvalidArgumentError("tenant '" + tenant.name + "' class '" + cls +
+                                "' wants fg|bg");
+  }
+  Result<double> share = ParseDouble(parts[2]);
+  if (!share.ok()) {
+    return InvalidArgumentError("tenant '" + tenant.name + "' share '" +
+                                std::string(parts[2]) + "' is not a number");
+  }
+  tenant.share = *share;
+  if (parts.size() == 4) {
+    Result<uint64_t> budget = ParseUint64(parts[3]);
+    if (!budget.ok()) {
+      return InvalidArgumentError("tenant '" + tenant.name + "' budget '" +
+                                  std::string(parts[3]) +
+                                  "' is not a cycle count");
+    }
+    tenant.p99_budget_cycles = *budget;
+  }
+  YH_RETURN_IF_ERROR(tenant.Validate());
+  return tenant;
+}
+
+Status ValidateTenantSet(const std::vector<TenantSpec>& tenants) {
+  if (tenants.empty()) {
+    return InvalidArgumentError("tenant set must be non-empty");
+  }
+  std::set<std::string> names;
+  double total_share = 0.0;
+  for (const TenantSpec& tenant : tenants) {
+    YH_RETURN_IF_ERROR(tenant.Validate());
+    if (!names.insert(tenant.name).second) {
+      return InvalidArgumentError("duplicate tenant name '" + tenant.name +
+                                  "'");
+    }
+    total_share += tenant.share;
+  }
+  // Tolerate representation error from parsing decimal shares.
+  if (total_share > 1.0 + 1e-9) {
+    return InvalidArgumentError("tenant shares sum past 1.0");
+  }
+  return Status::Ok();
+}
+
+std::vector<TenantSpec> DefaultTenantSet() { return {TenantSpec{}}; }
+
+}  // namespace yieldhide::serve

@@ -1,0 +1,72 @@
+// TenantSpec: tenant identity for the multi-tenant serving path
+// (docs/SERVING.md).
+//
+// A tenant is a named request stream with a priority class, a share of the
+// front end's offered arrival rate, and (optionally) a declared p99 latency
+// budget. The front end multiplexes one ArrivalProcess per tenant, admits
+// into per-tenant weighted queue rooms, and keeps one conservation ledger
+// per tenant; the adaptation layer attributes drift evidence per tenant so
+// one tenant's phase change cannot trigger a group-wide swap (tenant-scoped
+// quarantine, docs/ONLINE.md).
+//
+// Priority classes:
+//   * foreground — latency-sensitive; its queue head is always preferred for
+//     the primary slot, and its declared p99 budget feeds a per-tenant
+//     SloEvaluator and the guard's tenant veto.
+//   * background — throughput traffic; its queued requests are preferentially
+//     handed to SCAVENGER slots, i.e. background tenants ARE the scavengers
+//     that soak foreground stall windows. Only background tenants are
+//     eligible for drift quarantine — a foreground phase change is
+//     legitimate adaptation pressure, an antagonist's is noise.
+//
+// The CLI spec grammar is `name:class:share[:budget]` (yhc serve --tenant),
+// repeatable; a --tenant-less run gets the single implicit foreground tenant
+// with share 1.0, which reproduces the tenant-blind behavior bit for bit.
+#ifndef YIELDHIDE_SRC_SERVE_TENANT_H_
+#define YIELDHIDE_SRC_SERVE_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace yieldhide::serve {
+
+struct TenantSpec {
+  enum class Class { kForeground, kBackground };
+
+  std::string name = "default";
+  Class priority = Class::kForeground;
+  // Share of the front end's configured arrival rate carried by this tenant,
+  // in (0, 1]. Shares across a tenant set must sum to <= 1.0 (the remainder
+  // is simply unoffered load).
+  double share = 1.0;
+  // Declared end-to-end p99 latency budget in cycles; 0 = no declared
+  // budget. Feeds the per-tenant SloEvaluator and the guard's tenant veto.
+  uint64_t p99_budget_cycles = 0;
+
+  bool background() const { return priority == Class::kBackground; }
+  // "fg" / "bg" — the class tokens the CLI grammar accepts.
+  const char* ClassName() const;
+
+  Status Validate() const;
+};
+
+// Parses one `name:class:share[:budget]` spec. Class tokens: "fg" /
+// "foreground" and "bg" / "background". Errors are named after the failing
+// field so `yhc serve` exit-2 hygiene can surface them verbatim.
+Result<TenantSpec> ParseTenantSpec(const std::string& spec);
+
+// Set-level validation: duplicate names and shares summing past 1.0 are
+// rejected (per-spec field validation is ParseTenantSpec's job, but this
+// re-runs it so programmatic callers get the same checks).
+Status ValidateTenantSet(const std::vector<TenantSpec>& tenants);
+
+// The implicit single-tenant set every tenant-less run serves: one
+// foreground tenant named "default" carrying the whole arrival rate.
+std::vector<TenantSpec> DefaultTenantSet();
+
+}  // namespace yieldhide::serve
+
+#endif  // YIELDHIDE_SRC_SERVE_TENANT_H_

@@ -375,6 +375,70 @@ TEST(CliTest, SloRunReportsBurnRatesPerShard) {
   EXPECT_NE(text.find("burn fast="), std::string::npos);
 }
 
+TEST(CliTest, SloJsonExportIsValid) {
+  const std::string out = TempPath("slo.json");
+  const CommandResult r = RunYhc(
+      std::string("slo --json --budget 200000 --out ") + out + " " + kSpanRun,
+      "slo_json");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string json = ReadFile(out);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(obs::ValidateJson(json).ok())
+      << obs::ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"slo\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget_cycles\": 200000"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.find("\"fast_burn\""), std::string::npos);
+}
+
+// --- multi-tenant serving (serve --tenant ...) -------------------------------
+
+TEST(CliTest, ServeTenantMalformedSpecExitsTwoWithNamedError) {
+  const CommandResult r = RunYhc(
+      "serve --arrival poisson --tenant justname", "tenant_malformed");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("wants name:class:share[:budget]"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeTenantBadClassExitsTwoWithNamedError) {
+  const CommandResult r =
+      RunYhc("serve --arrival poisson --tenant a:xx:0.5", "tenant_bad_class");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("class 'xx' wants fg|bg"), std::string::npos);
+}
+
+TEST(CliTest, ServeDuplicateTenantNamesExitTwoWithNamedError) {
+  const CommandResult r = RunYhc(
+      "serve --arrival poisson --tenant a:fg:0.5 --tenant a:bg:0.4",
+      "tenant_dup");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("duplicate tenant name 'a'"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeTenantSharesOverOneExitTwoWithNamedError) {
+  const CommandResult r = RunYhc(
+      "serve --arrival poisson --tenant a:fg:0.9 --tenant b:bg:0.9",
+      "tenant_shares");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("shares sum past 1.0"), std::string::npos);
+}
+
+TEST(CliTest, ServeMultiTenantRunReportsPerTenantLedgers) {
+  const std::string out = TempPath("serve_tenants.out");
+  const CommandResult r = RunYhc(
+      std::string("serve --arrival poisson --tenant victim:fg:0.6:200000 "
+                  "--tenant antagonist:bg:0.4 --tenant-drift 0.3 "
+                  "--severity 0.8 ") + kSpanRun + " > " + out,
+      "serve_tenants");
+  ASSERT_EQ(r.exit_code, 0) << r.stderr_text;
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("tenant=victim class=fg"), std::string::npos);
+  EXPECT_NE(text.find("tenant=antagonist class=bg"), std::string::npos);
+  EXPECT_NE(text.find("conservation ok"), std::string::npos);
+}
+
 // --- tail diagnosis (`yhc why`) ----------------------------------------------
 
 TEST(CliTest, WhyWindowAndGenerationAreMutuallyExclusive) {

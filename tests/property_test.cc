@@ -5,9 +5,12 @@
 //     sets,
 //   * the full instrumentation pipeline preserves semantics and verifies,
 //   * liveness is sound (clobbering a dead register never changes results),
-//   * the scavenger pass actually establishes its interval bound.
+//   * the scavenger pass actually establishes its interval bound,
+//   * weighted multi-tenant admission conserves requests per tenant for
+//     arbitrary tenant sets and loads.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -17,8 +20,11 @@
 #include "src/instrument/verifier.h"
 #include "src/isa/builder.h"
 #include "src/runtime/annotate.h"
+#include "src/runtime/dual_mode.h"
 #include "src/runtime/round_robin.h"
+#include "src/serve/front_end.h"
 #include "src/sim/executor.h"
+#include "src/workloads/phased_chase.h"
 
 namespace yieldhide {
 namespace {
@@ -344,6 +350,103 @@ TEST_P(RandomProgramTest, LivenessIsSound) {
     EXPECT_EQ(RunResults(out->program, seed * 13), expected)
         << "clobbering dead r" << clobbered << " at " << point
         << " changed results";
+  }
+}
+
+// --- multi-tenant weighted admission ----------------------------------------
+
+class TenantLedgerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TenantLedgerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(TenantLedgerPropertyTest, WeightedAdmissionConservesPerTenant) {
+  // For an arbitrary tenant set (random count, classes, shares) under random
+  // load and queue capacity, the front end's conservation contract must hold
+  // at BOTH granularities: the aggregate ledger conserves, every per-tenant
+  // ledger conserves on its own, and the tenant ledgers sum to the aggregate
+  // counter for counter — no request may change owner or vanish between the
+  // weighted admission rooms and the shared dispatch path.
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x7e4a47);
+
+  const size_t tenant_count = 1 + rng.NextBelow(4);
+  std::vector<uint64_t> weights;
+  uint64_t weight_total = 0;
+  for (size_t i = 0; i < tenant_count; ++i) {
+    weights.push_back(1 + rng.NextBelow(8));
+    weight_total += weights.back();
+  }
+  std::vector<serve::TenantSpec> tenants;
+  for (size_t i = 0; i < tenant_count; ++i) {
+    serve::TenantSpec spec;
+    spec.name = "t" + std::to_string(i);
+    // Tenant 0 is always foreground so the set has a latency class; the rest
+    // coin-flip. Shares are normalized under 1.0 (0.9 caps fp drift).
+    spec.priority = (i > 0 && rng.NextBool(0.5))
+                        ? serve::TenantSpec::Class::kBackground
+                        : serve::TenantSpec::Class::kForeground;
+    spec.share = 0.9 * static_cast<double>(weights[i]) /
+                 static_cast<double>(weight_total);
+    tenants.push_back(spec);
+  }
+  ASSERT_TRUE(serve::ValidateTenantSet(tenants).ok());
+
+  workloads::PhasedChase::Config wc;
+  wc.num_nodes = 4096;
+  wc.steps_per_task = 120;
+  wc.severity = 0.0;
+  auto chase = workloads::PhasedChase::Make(wc).value();
+  sim::Machine machine(sim::MachineConfig::SmallTest());
+  chase.InitMemory(machine.memory());
+  auto binary = runtime::AnnotateManualYields(chase.program(),
+                                              machine.config().cost);
+
+  serve::FrontEndConfig config;
+  config.arrival.rate_per_kcycle = 0.05 + 0.15 * rng.NextBelow(4);
+  config.arrival.horizon_cycles = 400'000;
+  config.arrival.seed = seed;
+  config.queue_capacity = 2 + rng.NextBelow(15);
+  config.scavengers_serve = rng.NextBool(0.5);
+  config.tenants = tenants;
+
+  runtime::DualModeConfig dm;
+  dm.max_scavengers = 3;
+  dm.hide_window_cycles = 300;
+  runtime::DualModeScheduler sched(&binary, &binary, &machine, dm);
+  serve::ShardFrontEnd fe(
+      config,
+      [&chase](uint64_t id) { return chase.SetupFor(static_cast<int>(id)); },
+      nullptr, nullptr, {});
+  sched.SetScavengerFactory(fe.MakeScavengerFactory());
+  sched.SetScavengerLifecycleHooks(
+      [&fe](int ctx_id, uint64_t now) { fe.OnScavengerSpawn(ctx_id, now); },
+      [&fe](int ctx_id, uint64_t now, bool completed) {
+        fe.OnScavengerRetire(ctx_id, now, completed);
+      });
+  while (fe.Poll(machine, sched)) {
+    ASSERT_TRUE(sched.RunTasks(1).ok());
+  }
+  ASSERT_TRUE(fe.status().ok()) << fe.status();
+  ASSERT_TRUE(sched.Finalize().ok());
+
+  const serve::FrontEndReport report = fe.report();
+  EXPECT_TRUE(report.ConservationHolds()) << report.Summary();
+  EXPECT_TRUE(report.TenantLedgersConsistent()) << report.Summary();
+  EXPECT_EQ(report.counters.in_flight, 0u);
+  EXPECT_EQ(report.latency.count(), report.counters.completed);
+  ASSERT_EQ(report.tenants.size(), tenant_count);
+  for (size_t i = 0; i < tenant_count; ++i) {
+    const serve::TenantLedger& ledger = report.tenants[i];
+    EXPECT_EQ(ledger.spec.name, tenants[i].name);
+    EXPECT_EQ(ledger.counters.offered,
+              ledger.counters.admitted + ledger.counters.shed)
+        << "tenant " << i;
+    EXPECT_EQ(ledger.counters.admitted,
+              ledger.counters.completed + ledger.counters.in_flight)
+        << "tenant " << i;
+    EXPECT_EQ(ledger.latency.count(), ledger.counters.completed)
+        << "tenant " << i;
   }
 }
 

@@ -335,6 +335,63 @@ TEST(ShardFrontEndTest, RequestsComputeTheExactChaseResult) {
   }
 }
 
+TEST(ShardFrontEndTest, DemotedTenantDrainsWithoutStarvationOrLoss) {
+  // Quarantine actuation: a demoted background tenant must stay off the
+  // primary while the foreground has traffic, yet every one of its admitted
+  // requests must still complete — demotion degrades service, it never
+  // drops a request or hangs the drain loop. Scavengers are OFF, the
+  // adversarial case: the primary is the demoted tenant's ONLY path, so it
+  // can legally run only in the trailing drain after the foreground stream
+  // ends.
+  auto chase = SmallChase();
+  auto binary = BaselineBinary(chase);
+  sim::Machine machine(sim::MachineConfig::SmallTest());
+  chase.InitMemory(machine.memory());
+  runtime::DualModeConfig dm;
+  dm.max_scavengers = 3;
+  dm.hide_window_cycles = 300;
+  runtime::DualModeScheduler sched(&binary, &binary, &machine, dm);
+  FrontEndConfig config = LoopConfig(0.05, 400'000, 8, /*scavenge=*/false);
+  TenantSpec fg;
+  fg.name = "fg";
+  fg.share = 0.5;
+  TenantSpec bg;
+  bg.name = "bg";
+  bg.priority = TenantSpec::Class::kBackground;
+  bg.share = 0.5;
+  config.tenants = {fg, bg};
+  ShardFrontEnd fe(
+      config,
+      [&chase](uint64_t id) { return chase.SetupFor(static_cast<int>(id)); },
+      nullptr, nullptr, obs::Labels{});
+  sched.SetScavengerFactory(fe.MakeScavengerFactory());
+  sched.SetScavengerLifecycleHooks(
+      [&fe](int ctx_id, uint64_t now) { fe.OnScavengerSpawn(ctx_id, now); },
+      [&fe](int ctx_id, uint64_t now, bool completed) {
+        fe.OnScavengerRetire(ctx_id, now, completed);
+      });
+  fe.SetTenantDemoted("bg", true);
+  while (fe.Poll(machine, sched)) {
+    ASSERT_TRUE(sched.RunTasks(1).ok());
+  }
+  ASSERT_TRUE(fe.status().ok()) << fe.status();
+  ASSERT_TRUE(sched.Finalize().ok());
+  const FrontEndReport report = fe.report();
+  EXPECT_TRUE(report.ConservationHolds()) << report.Summary();
+  EXPECT_TRUE(report.TenantLedgersConsistent()) << report.Summary();
+  EXPECT_EQ(report.counters.in_flight, 0u) << report.Summary();
+  ASSERT_EQ(report.tenants.size(), 2u);
+  const TenantLedger& fgl = report.tenants[0];
+  const TenantLedger& bgl = report.tenants[1];
+  EXPECT_GT(fgl.counters.completed, 0u);
+  EXPECT_GT(bgl.counters.admitted, 0u);
+  // The demoted tenant completed everything it admitted — via the trailing
+  // primary drain, since scavengers are off.
+  EXPECT_EQ(bgl.counters.completed, bgl.counters.admitted);
+  EXPECT_EQ(bgl.counters.completed_primary, bgl.counters.completed);
+  EXPECT_EQ(bgl.counters.in_flight, 0u);
+}
+
 // ---------- ServerGroup integration: the adapt-layer injection seam --------
 
 TEST(ServerGroupOpenLoopTest, ServesFromRequestSourceWithConservation) {
@@ -425,6 +482,107 @@ TEST(ServerGroupOpenLoopTest, ServesFromRequestSourceWithConservation) {
   }
   for (size_t c = 0; c < obs::kNumCycleClasses; ++c) {
     EXPECT_EQ(summed[c], slices.back().class_totals[c]) << "class " << c;
+  }
+}
+
+// ---------- tenant-scoped quarantine: the noisy-neighbor contract ----------
+
+TEST(ServerGroupTenantTest, AntagonistQuarantineNeverTouchesTheVictim) {
+  // Q1's isolation contract in miniature: a foreground victim serving the
+  // stable workload the stale instrumentation was built for, and a
+  // background antagonist whose stream has fully phase-changed. With
+  // tenant-scoped drift attribution the antagonist gets quarantined; its
+  // evidence is excluded from the shared store and its drift never becomes
+  // swap appetite — the victim's generation stays untouched group-wide.
+  workloads::PhasedChase::Config wc;
+  wc.num_nodes = 4096;  // 256 KiB per ring > SmallTest L3: true misses
+  wc.steps_per_task = 300;
+  wc.severity = 0.0;
+  auto twin = workloads::PhasedChase::Make(wc).value();
+  wc.severity = 1.0;
+  wc.flip_task_index = 0;  // every antagonist request is phase-changed
+  auto drifted = workloads::PhasedChase::Make(wc).value();
+
+  core::PipelineConfig pipeline;
+  pipeline.machine = sim::MachineConfig::SmallTest();
+  pipeline.profile_tasks = 2;
+  pipeline.collector.l2_miss_period = 13;
+  pipeline.collector.stall_cycles_period = 101;
+  pipeline.collector.retired_period = 29;
+  pipeline.Finalize();
+  auto stale = core::BuildInstrumentedForWorkload(twin, pipeline);
+  ASSERT_TRUE(stale.ok()) << stale.status();
+
+  constexpr size_t kShards = 2;
+  std::vector<std::unique_ptr<sim::Machine>> machines;
+  std::vector<sim::Machine*> machine_ptrs;
+  for (size_t s = 0; s < kShards; ++s) {
+    machines.push_back(std::make_unique<sim::Machine>(pipeline.machine));
+    drifted.InitMemory(machines.back()->memory());
+    machine_ptrs.push_back(machines.back().get());
+  }
+  adapt::ServerGroupConfig config;
+  config.shards = kShards;
+  config.shard.controller.pipeline = pipeline;
+  config.shard.controller.drift_threshold = 0.25;
+  config.shard.tasks_per_epoch = 4;
+  config.shard.adapt_enabled = true;
+  config.shard.scale_pool = true;
+  config.shard.dual.max_scavengers = 3;
+  config.tenant_drift_threshold = 0.05;
+  adapt::ServerGroup group(&drifted.program(), *stale, machine_ptrs, config);
+
+  FrontEndConfig fe = LoopConfig(0.05, 500'000, 8, /*scavenge=*/true);
+  TenantSpec victim;
+  victim.name = "victim";
+  victim.share = 0.6;
+  TenantSpec antagonist;
+  antagonist.name = "antagonist";
+  antagonist.priority = TenantSpec::Class::kBackground;
+  antagonist.share = 0.4;
+  fe.tenants = {victim, antagonist};
+
+  std::vector<std::unique_ptr<ShardFrontEnd>> fronts;
+  for (size_t s = 0; s < kShards; ++s) {
+    FrontEndConfig shard_fe = fe;
+    shard_fe.arrival.seed = 5 + s;
+    shard_fe.id_seed = 5 + s;
+    fronts.push_back(std::make_unique<ShardFrontEnd>(
+        shard_fe,
+        [&drifted](uint64_t id) {
+          return drifted.SetupFor(static_cast<int>(id));
+        },
+        nullptr, nullptr, obs::Labels{}));
+    // The victim serves the stable twin; the antagonist keeps the shared
+    // (drifting) handler.
+    fronts.back()->SetTenantHandler(0, [&twin](uint64_t id) {
+      return twin.SetupFor(static_cast<int>(id));
+    });
+    group.SetRequestSource(s, fronts.back().get());
+    group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
+  }
+  auto report = group.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // The antagonist got quarantined at least once...
+  EXPECT_GE(report->tenant_quarantines, 1);
+  // ...and its drift never became a group-wide swap: every shard kept its
+  // initial generation end to end.
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(report->shards[s].swaps, 0) << "shard " << s;
+    EXPECT_EQ(report->shards[s].run.binary_swaps, 0u) << "shard " << s;
+  }
+  // The victim kept serving throughout: its ledger conserves, it completed
+  // requests, and the per-tenant ledgers sum exactly to the front-end one.
+  for (size_t s = 0; s < kShards; ++s) {
+    const FrontEndReport fr = fronts[s]->report();
+    EXPECT_TRUE(fr.ConservationHolds()) << "shard " << s << ": "
+                                        << fr.Summary();
+    EXPECT_TRUE(fr.TenantLedgersConsistent()) << "shard " << s;
+    ASSERT_EQ(fr.tenants.size(), 2u);
+    EXPECT_EQ(fr.tenants[0].spec.name, "victim");
+    EXPECT_GT(fr.tenants[0].counters.completed, 0u) << "shard " << s;
+    EXPECT_TRUE(fronts[s]->status().ok()) << fronts[s]->status();
   }
 }
 

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -658,12 +659,39 @@ int CmdServeOpenLoop(Options& options) {
   const uint64_t seed = options.PositiveU64("seed", 1);
   const uint64_t queue_cap = options.PositiveU64("queue-cap", 32);
   const uint64_t scavenge = options.U64("scavenge", 1);
+  const std::vector<std::string> tenant_flags = options.StrList("tenant");
+  const double tenant_drift = options.Double("tenant-drift", 0.0);
+  const std::string fault_list = options.Str("fault", "");
   options.RejectUnknownFlags(
       "serve", {"shards", "epoch", "nodes", "steps", "adapt", "severity",
                 "threshold", "guard", "guard-window", "guard-ratio", "arrival",
-                "rate", "duration", "seed", "queue-cap", "scavenge"});
+                "rate", "duration", "seed", "queue-cap", "scavenge", "tenant",
+                "tenant-drift", "fault"});
   if (!options.ok()) {
     return options.UsageError();
+  }
+
+  // Repeatable --tenant name:class:share[:budget]; per-spec field errors and
+  // set-level errors (duplicate names, shares summing past 1.0) are named and
+  // exit 2 like any other usage problem. No --tenant = the implicit single
+  // foreground tenant — existing invocations are unchanged bit for bit.
+  std::vector<serve::TenantSpec> tenants;
+  for (const std::string& spec : tenant_flags) {
+    auto parsed = serve::ParseTenantSpec(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    tenants.push_back(std::move(parsed).value());
+  }
+  if (!tenants.empty()) {
+    const Status tenant_valid = serve::ValidateTenantSet(tenants);
+    if (!tenant_valid.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   tenant_valid.ToString().c_str());
+      return 2;
+    }
   }
 
   auto scenario = BuildAdaptScenario(nodes, steps, severity, /*flip=*/0);
@@ -672,6 +700,26 @@ int CmdServeOpenLoop(Options& options) {
     return 1;
   }
   const workloads::PhasedChase& chase = scenario->chase;
+
+  // Multi-tenant noisy-neighbor shape: FOREGROUND tenants serve the stable
+  // severity-0 twin (the workload the stale binary was built for) while
+  // BACKGROUND tenants serve the drifting stream — `--tenant victim:fg:...
+  // --tenant antagonist:bg:... --severity X` reproduces the Q1 antagonist
+  // scenario from the shell. The twin shares the chase's program and ring
+  // layout, so both run on the same machine image.
+  std::optional<workloads::PhasedChase> stable;
+  if (tenants.size() > 1) {
+    workloads::PhasedChase::Config stable_config;
+    stable_config.num_nodes = nodes;
+    stable_config.steps_per_task = steps;
+    stable_config.severity = 0.0;
+    auto twin = workloads::PhasedChase::Make(stable_config);
+    if (!twin.ok()) {
+      std::fprintf(stderr, "%s\n", twin.status().ToString().c_str());
+      return 1;
+    }
+    stable.emplace(std::move(twin).value());
+  }
 
   adapt::ServerGroupConfig config;
   config.shards = shards;
@@ -685,10 +733,28 @@ int CmdServeOpenLoop(Options& options) {
   config.guard.enabled = guard_on != 0;
   config.guard.confirmation_window = static_cast<int>(guard_window);
   config.guard.regression_ratio = guard_ratio;
+  config.tenant_drift_threshold = tenant_drift;
   const Status valid = config.Validate();
   if (!valid.ok()) {
     std::fprintf(stderr, "%s\n", valid.ToString().c_str());
     return 2;
+  }
+
+  if (!fault_list.empty()) {
+    auto specs = faultinject::ParseFaultList(fault_list);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   specs.status().ToString().c_str());
+      return 2;
+    }
+    auto hooks = faultinject::MakeServingFaultHooks(
+        *specs, static_cast<isa::Addr>(chase.program().size()));
+    if (!hooks.ok()) {
+      std::fprintf(stderr, "yhc serve: %s\n",
+                   hooks.status().ToString().c_str());
+      return 2;
+    }
+    config.fault_hooks = std::move(hooks).value();
   }
 
   std::vector<std::unique_ptr<sim::Machine>> machines;
@@ -712,7 +778,9 @@ int CmdServeOpenLoop(Options& options) {
   fe.arrival.horizon_cycles = duration;
   fe.queue_capacity = queue_cap;
   fe.scavengers_serve = scavenge != 0;
+  fe.tenants = tenants;
   std::vector<std::unique_ptr<serve::ShardFrontEnd>> fronts;
+  std::vector<std::unique_ptr<obs::SloEvaluator>> tenant_slos;
   for (uint64_t s = 0; s < shards; ++s) {
     serve::FrontEndConfig shard_fe = fe;
     shard_fe.arrival.seed = seed + s;  // independent streams per shard
@@ -724,7 +792,7 @@ int CmdServeOpenLoop(Options& options) {
     }
     obs::Labels labels;
     if (shards > 1) {
-      labels.push_back({"shard", std::to_string(s)});
+      labels = obs::LabelSet().Shard(s).Build();
     }
     fronts.push_back(std::make_unique<serve::ShardFrontEnd>(
         shard_fe,
@@ -732,6 +800,21 @@ int CmdServeOpenLoop(Options& options) {
           return chase.SetupFor(static_cast<int>(id));
         },
         nullptr, &metrics, std::move(labels)));
+    for (size_t t = 0; t < fronts.back()->tenants().size(); ++t) {
+      const serve::TenantSpec& spec = fronts.back()->tenants()[t];
+      if (stable.has_value() && !spec.background()) {
+        fronts.back()->SetTenantHandler(
+            t, [victim = &*stable](uint64_t id) {
+              return victim->SetupFor(static_cast<int>(id));
+            });
+      }
+      if (spec.p99_budget_cycles > 0) {
+        obs::SloConfig tenant_slo;
+        tenant_slo.latency_budget_cycles = spec.p99_budget_cycles;
+        tenant_slos.push_back(std::make_unique<obs::SloEvaluator>(tenant_slo));
+        fronts.back()->SetTenantSloEvaluator(t, tenant_slos.back().get());
+      }
+    }
     group.SetRequestSource(s, fronts.back().get());
     group.SetScavengerFactory(s, fronts.back()->MakeScavengerFactory());
   }
@@ -756,7 +839,8 @@ int CmdServeOpenLoop(Options& options) {
   bool conserved = true;
   for (uint64_t s = 0; s < shards; ++s) {
     const serve::FrontEndReport fr = fronts[s]->report();
-    const bool ok = fr.ConservationHolds() && fronts[s]->status().ok();
+    const bool ok = fr.ConservationHolds() && fr.TenantLedgersConsistent() &&
+                    fronts[s]->status().ok();
     conserved = conserved && ok;
     std::printf("%-6llu %-8llu %-9llu %-6llu %-10llu %-9llu %-9llu %-9llu %s\n",
                 static_cast<unsigned long long>(s),
@@ -1350,8 +1434,9 @@ int CmdSlo(Options& options) {
   slo.bucket_cycles = options.PositiveU64("bucket", slo.bucket_cycles);
   options.RejectUnknownFlags(
       "slo", {"budget", "objective", "window", "fast-window", "fast-burn",
-              "slow-burn", "bucket", "out", "shards", "epoch", "nodes",
-              "steps", "arrival", "rate", "duration", "seed", "queue-cap"});
+              "slow-burn", "bucket", "json", "out", "shards", "epoch",
+              "nodes", "steps", "arrival", "rate", "duration", "seed",
+              "queue-cap"});
   if (!options.ok()) {
     return options.UsageError();
   }
@@ -1359,7 +1444,8 @@ int CmdSlo(Options& options) {
     std::fprintf(stderr,
                  "usage: yhc slo [--budget N] [--objective X] [--window N] "
                  "[--fast-window N] [--fast-burn X] [--slow-burn X] "
-                 "[--bucket N] [--out <path>] [serve scenario flags]\n");
+                 "[--bucket N] [--json] [--out <path>] "
+                 "[serve scenario flags]\n");
     return 2;
   }
   const Status valid = slo.Validate();
@@ -1372,6 +1458,41 @@ int CmdSlo(Options& options) {
   const int run = RunSpanServeScenario(options, slo, &result);
   if (run != 0) {
     return run;
+  }
+  if (options.Has("json")) {
+    // Machine-readable compliance report (RFC 8259, gated by ValidateJson
+    // like every other --json export).
+    std::string json = StrFormat(
+        "{\"slo\": {\"budget_cycles\": %llu, \"objective\": %.6f, "
+        "\"fast_window_cycles\": %llu, \"slow_window_cycles\": %llu, "
+        "\"fast_burn_threshold\": %.3f, \"slow_burn_threshold\": %.3f}, "
+        "\"shards\": [\n",
+        static_cast<unsigned long long>(slo.latency_budget_cycles),
+        slo.objective,
+        static_cast<unsigned long long>(slo.fast_window_cycles),
+        static_cast<unsigned long long>(slo.slow_window_cycles),
+        slo.fast_burn_threshold, slo.slow_burn_threshold);
+    for (size_t s = 0; s < result.evaluators.size(); ++s) {
+      const obs::SloEvaluator& eval = *result.evaluators[s];
+      json += StrFormat(
+          "  {\"shard\": %zu, \"total\": %llu, \"bad\": %llu, "
+          "\"fast_burn\": %.6f, \"slow_burn\": %.6f, "
+          "\"alert_active\": %s, \"alerts_fired\": %u, "
+          "\"alerts_cleared\": %u}%s\n",
+          s, static_cast<unsigned long long>(eval.total()),
+          static_cast<unsigned long long>(eval.bad()), eval.FastBurnRate(),
+          eval.SlowBurnRate(), eval.alert_active() ? "true" : "false",
+          eval.alerts_fired(), eval.alerts_cleared(),
+          s + 1 < result.evaluators.size() ? "," : "");
+    }
+    json += "]}\n";
+    const Status valid_json = obs::ValidateJson(json);
+    if (!valid_json.ok()) {
+      std::fprintf(stderr, "internal error: slo export is not valid JSON: %s\n",
+                   valid_json.ToString().c_str());
+      return 1;
+    }
+    return EmitDocument(options, json);
   }
   std::string doc = StrFormat(
       "budget=%s cycles objective=%.4f windows fast=%s slow=%s "
@@ -1678,6 +1799,12 @@ int CmdWhy(Options& options) {
         break;
       case adapt::GuardEventKind::kStoreFallback:
         continue;  // load-time artifact, not an epoch-window action
+      case adapt::GuardEventKind::kTenantQuarantine:
+      case adapt::GuardEventKind::kTenantVeto:
+        // Tenant-policy actions: the veto's effect already arrives as the
+        // kRollback it forces, and a quarantine changes evidence routing,
+        // not the serving generation — neither is a cause on its own.
+        continue;
     }
     engine.AddControlEvent(control);
   }
@@ -1913,12 +2040,18 @@ void PrintUsage(std::FILE* out) {
                "  serve --arrival poisson|burst [--rate R] [--duration E]\n"
                "        [--seed N] [--queue-cap N] [--scavenge 0|1]\n"
                "        [--shards N] [--epoch N] [--guard 0|1]\n"
+               "        [--tenant name:fg|bg:share[:budget]]... \n"
+               "        [--tenant-drift X] [--fault <class:sev>[,...]]\n"
                "        OPEN-LOOP serving: seeded arrivals (R requests per\n"
                "        kilocycle until cycle E) through the staged connection\n"
                "        pipeline into a bounded queue; queued requests ride\n"
                "        the scavenger slots during the head request's miss\n"
                "        windows; prints the shed/completed ledger and p50/p99/\n"
-               "        p999 end-to-end latency (docs/SERVING.md)\n"
+               "        p999 end-to-end latency (docs/SERVING.md). Repeatable\n"
+               "        --tenant multiplexes per-tenant arrivals with weighted\n"
+               "        admission; background tenants serve the drifting\n"
+               "        stream and --tenant-drift quarantines their evidence\n"
+               "        past the threshold (multi-tenant QoS)\n"
                "  trace [--out <path>] [--mask M] [--capacity N] [--tasks N]\n"
                "        run the adapt scenario with the cycle-domain flight\n"
                "        recorder on; emit Chrome/Perfetto trace-event JSON\n"
@@ -1934,10 +2067,11 @@ void PrintUsage(std::FILE* out) {
                "        tracks from the streamed kSpanBegin/kSpanEnd events\n"
                "        (docs/OBSERVABILITY.md)\n"
                "  slo [--budget N] [--objective X] [--window N] [--fast-window N]\n"
-               "        [--fast-burn X] [--slow-burn X] [--out <path>]\n"
+               "        [--fast-burn X] [--slow-burn X] [--json] [--out <path>]\n"
                "        SLO burn-rate monitoring over the same scenario:\n"
                "        multi-window burn rates, alert fire/clear counts,\n"
-               "        per-shard compliance (docs/OBSERVABILITY.md)\n"
+               "        per-shard compliance; --json emits the machine-\n"
+               "        readable compliance report (docs/OBSERVABILITY.md)\n"
                "  why [--window LO-HI,LO-HI | --generation G1,G2] [--json]\n"
                "        [--out <path>] [--severity X] [--flip N] [--adapt 0|1]\n"
                "        [--guard 0|1] [--fault <class:sev>] [serve flags]\n"
